@@ -1,0 +1,30 @@
+//! Arbitrary-precision integers and rationals.
+//!
+//! A minimal, dependency-free bignum stack sized for this workspace's needs:
+//! exact binomials, partition counts, and the Theorem 5.1 / 6.3 constants,
+//! whose magnitudes reach `2^binom(n+1,2)` (≈ 2⁲⁰⁰⁰ at `n = 64`). The
+//! offline dependency allowlist has no `num` crate, so we carry our own (see
+//! DESIGN.md §2).
+//!
+//! * [`BigUint`] — unsigned magnitude, little-endian `u64` limbs.
+//! * [`BigInt`] — sign + magnitude.
+//! * [`BigRational`] — always-reduced `BigInt / BigUint` fractions.
+//!
+//! # Example
+//!
+//! ```
+//! use analytic::bigq::BigRational;
+//!
+//! let third = BigRational::ratio(1, 3);
+//! let sixth = BigRational::ratio(1, 6);
+//! assert_eq!(&third - &sixth, sixth);
+//! assert_eq!(BigRational::pow2(-3).to_f64(), 0.125);
+//! ```
+
+mod int;
+mod ratio;
+mod uint;
+
+pub use int::{BigInt, Sign};
+pub use ratio::BigRational;
+pub use uint::{BigUint, ParseBigUintError};

@@ -1,0 +1,398 @@
+//! Arbitrary-precision rationals.
+
+use super::int::Sign;
+use super::{BigInt, BigUint};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An always-reduced arbitrary-precision rational number.
+///
+/// Invariants: the denominator is strictly positive and
+/// `gcd(|num|, den) = 1`; zero is represented as `0/1`.
+///
+/// # Example
+///
+/// ```
+/// use analytic::BigRational;
+///
+/// // The Theorem 6.2 TSO lower bound, 58/441.
+/// let lo = BigRational::ratio(58, 441);
+/// assert_eq!(lo.to_string(), "58/441");
+/// assert!(lo.to_f64() > 0.1315);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BigRational {
+    num: BigInt,
+    den: BigUint,
+}
+
+impl BigRational {
+    /// The value 0.
+    #[must_use]
+    pub fn zero() -> BigRational {
+        BigRational {
+            num: BigInt::zero(),
+            den: BigUint::one(),
+        }
+    }
+
+    /// The value 1.
+    #[must_use]
+    pub fn one() -> BigRational {
+        BigRational {
+            num: BigInt::one(),
+            den: BigUint::one(),
+        }
+    }
+
+    /// `num / den` from machine integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    #[must_use]
+    pub fn ratio(num: i64, den: i64) -> BigRational {
+        assert!(den != 0, "zero denominator");
+        let sign_flip = den < 0;
+        let num = if sign_flip {
+            -&BigInt::from(num)
+        } else {
+            BigInt::from(num)
+        };
+        BigRational::new(num, BigUint::from(den.unsigned_abs()))
+    }
+
+    /// `num / den` from big integers, reducing to lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    #[must_use]
+    pub fn new(num: BigInt, den: BigUint) -> BigRational {
+        assert!(!den.is_zero(), "zero denominator");
+        if num.is_zero() {
+            return BigRational::zero();
+        }
+        let g = num.magnitude().gcd(&den);
+        let (nm, _) = num.magnitude().div_rem(&g);
+        let (dm, _) = den.div_rem(&g);
+        BigRational {
+            num: BigInt::from_sign_mag(num.sign(), nm),
+            den: dm,
+        }
+    }
+
+    /// `2^k` for any integer `k` (negative exponents give dyadic fractions).
+    #[must_use]
+    pub fn pow2(k: i32) -> BigRational {
+        if k >= 0 {
+            BigRational {
+                num: BigInt::from(BigUint::two_pow(k as usize)),
+                den: BigUint::one(),
+            }
+        } else {
+            BigRational {
+                num: BigInt::one(),
+                den: BigUint::two_pow((-k) as usize),
+            }
+        }
+    }
+
+    /// The numerator (signed, reduced).
+    #[must_use]
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// The denominator (positive, reduced).
+    #[must_use]
+    pub fn denom(&self) -> &BigUint {
+        &self.den
+    }
+
+    /// Whether the value is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Whether the value is strictly negative.
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    #[must_use]
+    pub fn recip(&self) -> BigRational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        BigRational {
+            num: BigInt::from_sign_mag(self.num.sign(), self.den.clone()),
+            den: self.num.magnitude().clone(),
+        }
+    }
+
+    /// `self^exp` for a machine-word exponent.
+    #[must_use]
+    pub fn pow(&self, exp: u32) -> BigRational {
+        let sign = if self.is_negative() && exp % 2 == 1 {
+            Sign::Negative
+        } else if self.is_zero() && exp > 0 {
+            Sign::Zero
+        } else {
+            Sign::Positive
+        };
+        BigRational {
+            num: BigInt::from_sign_mag(sign, self.num.magnitude().pow(exp)),
+            den: self.den.pow(exp),
+        }
+    }
+
+    /// Nearest `f64`, stable even when numerator and denominator separately
+    /// overflow `f64`'s range.
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        let sign = if self.is_negative() { -1.0 } else { 1.0 };
+        sign * 2f64.powf(self.log2_abs())
+    }
+
+    /// `log2 |self|`, accurate to f64 precision for values far outside
+    /// `f64`'s exponent range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    #[must_use]
+    pub fn log2_abs(&self) -> f64 {
+        assert!(!self.is_zero(), "log2 of zero");
+        self.num.magnitude().log2() - self.den.log2()
+    }
+}
+
+impl Default for BigRational {
+    fn default() -> BigRational {
+        BigRational::zero()
+    }
+}
+
+impl From<i64> for BigRational {
+    fn from(v: i64) -> BigRational {
+        BigRational {
+            num: BigInt::from(v),
+            den: BigUint::one(),
+        }
+    }
+}
+
+impl From<BigInt> for BigRational {
+    fn from(v: BigInt) -> BigRational {
+        BigRational {
+            num: v,
+            den: BigUint::one(),
+        }
+    }
+}
+
+impl Add for &BigRational {
+    type Output = BigRational;
+
+    fn add(self, rhs: &BigRational) -> BigRational {
+        let num = &(&self.num * &BigInt::from(rhs.den.clone()))
+            + &(&rhs.num * &BigInt::from(self.den.clone()));
+        BigRational::new(num, &self.den * &rhs.den)
+    }
+}
+
+impl Sub for &BigRational {
+    type Output = BigRational;
+
+    fn sub(self, rhs: &BigRational) -> BigRational {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &BigRational {
+    type Output = BigRational;
+
+    fn mul(self, rhs: &BigRational) -> BigRational {
+        BigRational::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div for &BigRational {
+    type Output = BigRational;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[allow(clippy::suspicious_arithmetic_impl)] // division by multiplying with the reciprocal
+    fn div(self, rhs: &BigRational) -> BigRational {
+        self * &rhs.recip()
+    }
+}
+
+impl Neg for &BigRational {
+    type Output = BigRational;
+
+    fn neg(self) -> BigRational {
+        BigRational {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
+    }
+}
+
+impl PartialOrd for BigRational {
+    fn partial_cmp(&self, other: &BigRational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigRational {
+    fn cmp(&self, other: &BigRational) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b   (b, d > 0).
+        let lhs = &self.num * &BigInt::from(other.den.clone());
+        let rhs = &other.num * &BigInt::from(self.den.clone());
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for BigRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(n: i64, d: i64) -> BigRational {
+        BigRational::ratio(n, d)
+    }
+
+    #[test]
+    fn reduction_to_lowest_terms() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(2, 4).to_string(), "1/2");
+        assert_eq!(r(-6, 9).to_string(), "-2/3");
+        assert_eq!(r(6, -9).to_string(), "-2/3");
+        assert_eq!(r(-6, -9).to_string(), "2/3");
+        assert_eq!(r(0, 5), BigRational::zero());
+    }
+
+    #[test]
+    fn integer_display_omits_denominator() {
+        assert_eq!(r(8, 4).to_string(), "2");
+        assert_eq!(BigRational::from(-3i64).to_string(), "-3");
+    }
+
+    #[test]
+    fn field_identities() {
+        let x = r(3, 7);
+        assert_eq!(&x + &BigRational::zero(), x);
+        assert_eq!(&x * &BigRational::one(), x);
+        assert_eq!(&x * &x.recip(), BigRational::one());
+        assert_eq!(&x - &x, BigRational::zero());
+        assert_eq!(&x / &x, BigRational::one());
+    }
+
+    #[test]
+    fn pow2_both_signs() {
+        assert_eq!(BigRational::pow2(3), BigRational::from(8));
+        assert_eq!(BigRational::pow2(-3), r(1, 8));
+        assert_eq!(BigRational::pow2(0), BigRational::one());
+        // Far outside f64 range, log2 stays exact.
+        assert_eq!(BigRational::pow2(-5000).log2_abs(), -5000.0);
+    }
+
+    #[test]
+    fn pow_with_negative_base() {
+        assert_eq!(r(-1, 2).pow(2), r(1, 4));
+        assert_eq!(r(-1, 2).pow(3), r(-1, 8));
+        assert_eq!(r(5, 3).pow(0), BigRational::one());
+        assert_eq!(BigRational::zero().pow(5), BigRational::zero());
+    }
+
+    #[test]
+    fn to_f64_basics() {
+        assert_eq!(r(1, 4).to_f64(), 0.25);
+        assert_eq!(r(-3, 2).to_f64(), -1.5);
+        assert_eq!(BigRational::zero().to_f64(), 0.0);
+        assert!((r(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn paper_constant_58_441() {
+        // Theorem 6.2: 2/3 * (1/6 + 3/98) = 58/441.
+        let v = &r(2, 3) * &(&r(1, 6) + &r(3, 98));
+        assert_eq!(v, r(58, 441));
+        assert!(v.to_f64() > 0.1315 && v.to_f64() < 0.1316);
+    }
+
+    #[test]
+    fn recip_of_zero_panics() {
+        assert!(std::panic::catch_unwind(|| BigRational::zero().recip()).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_i128_rationals(
+            an in -1000i64..1000, ad in 1i64..1000,
+            bn in -1000i64..1000, bd in 1i64..1000,
+        ) {
+            let sum = &r(an, ad) + &r(bn, bd);
+            let expect = r(an * bd + bn * ad, ad * bd);
+            prop_assert_eq!(sum, expect);
+        }
+
+        #[test]
+        fn mul_matches_i128_rationals(
+            an in -1000i64..1000, ad in 1i64..1000,
+            bn in -1000i64..1000, bd in 1i64..1000,
+        ) {
+            prop_assert_eq!(&r(an, ad) * &r(bn, bd), r(an * bn, ad * bd));
+        }
+
+        #[test]
+        fn ordering_matches_f64(
+            an in -1000i64..1000, ad in 1i64..1000,
+            bn in -1000i64..1000, bd in 1i64..1000,
+        ) {
+            let (a, b) = (r(an, ad), r(bn, bd));
+            let (fa, fb) = (an as f64 / ad as f64, bn as f64 / bd as f64);
+            if (fa - fb).abs() > 1e-9 {
+                prop_assert_eq!(a.cmp(&b), fa.partial_cmp(&fb).unwrap());
+            }
+        }
+
+        #[test]
+        fn to_f64_close(an in -10_000i64..10_000, ad in 1i64..10_000) {
+            let v = r(an, ad).to_f64();
+            let expect = an as f64 / ad as f64;
+            prop_assert!((v - expect).abs() <= expect.abs() * 1e-12 + 1e-300);
+        }
+
+        #[test]
+        fn sub_then_add_round_trips(
+            an in -1000i64..1000, ad in 1i64..1000,
+            bn in -1000i64..1000, bd in 1i64..1000,
+        ) {
+            let (a, b) = (r(an, ad), r(bn, bd));
+            prop_assert_eq!(&(&a - &b) + &b, a);
+        }
+    }
+}

@@ -1,0 +1,629 @@
+//! Arbitrary-precision unsigned integers.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Shl, Shr, Sub};
+use std::str::FromStr;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Stored as little-endian `u64` limbs with no trailing zero limbs
+/// (zero is the empty limb vector). Arithmetic is schoolbook — quadratic
+/// multiplication and shift-subtract division — which is ample for the
+/// few-thousand-bit numbers this workspace manipulates.
+///
+/// # Example
+///
+/// ```
+/// use analytic::BigUint;
+///
+/// let a = BigUint::from(u64::MAX);
+/// let b = &a * &a;
+/// assert_eq!(b.to_string(), "340282366920938463426481119284349108225");
+/// let (q, r) = b.div_rem(&a);
+/// assert_eq!(q, a);
+/// assert!(r.is_zero());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs, normalized (no trailing zeros).
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value 0.
+    #[must_use]
+    pub fn zero() -> BigUint {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value 1.
+    #[must_use]
+    pub fn one() -> BigUint {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// `2^k`.
+    #[must_use]
+    pub fn two_pow(k: usize) -> BigUint {
+        let mut limbs = vec![0u64; k / 64 + 1];
+        limbs[k / 64] = 1u64 << (k % 64);
+        BigUint { limbs }.normalized()
+    }
+
+    /// Whether the value is 0.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Whether the value is 1.
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    fn normalized(mut self) -> BigUint {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+        self
+    }
+
+    /// Number of significant bits (0 for the value 0).
+    #[must_use]
+    pub fn bit_length(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// The `i`-th bit (little-endian).
+    #[must_use]
+    pub fn bit(&self, i: usize) -> bool {
+        self.limbs
+            .get(i / 64)
+            .is_some_and(|&l| (l >> (i % 64)) & 1 == 1)
+    }
+
+    /// `self - other`, or `None` if it would underflow.
+    #[must_use]
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut limbs = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let rhs = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(rhs);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            limbs.push(d2);
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(BigUint { limbs }.normalized())
+    }
+
+    /// Euclidean division: returns `(self / divisor, self % divisor)`.
+    ///
+    /// Uses shift-subtract long division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    #[must_use]
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero BigUint");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+            return (q, BigUint::from(r));
+        }
+        let bits = self.bit_length();
+        let mut quotient = BigUint {
+            limbs: vec![0; self.limbs.len()],
+        };
+        let mut remainder = BigUint::zero();
+        for i in (0..bits).rev() {
+            remainder = &remainder << 1;
+            if self.bit(i) {
+                remainder = &remainder + &BigUint::one();
+            }
+            if let Some(r) = remainder.checked_sub(divisor) {
+                remainder = r;
+                quotient.limbs[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        (quotient.normalized(), remainder)
+    }
+
+    /// Division by a single limb; returns `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    #[must_use]
+    pub fn div_rem_u64(&self, divisor: u64) -> (BigUint, u64) {
+        assert!(divisor != 0, "division by zero u64");
+        let mut limbs = vec![0u64; self.limbs.len()];
+        let mut rem: u128 = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | u128::from(self.limbs[i]);
+            limbs[i] = (cur / u128::from(divisor)) as u64;
+            rem = cur % u128::from(divisor);
+        }
+        (BigUint { limbs }.normalized(), rem as u64)
+    }
+
+    /// Greatest common divisor (Stein's binary algorithm).
+    #[must_use]
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let az = a.trailing_zeros();
+        let bz = b.trailing_zeros();
+        let shift = az.min(bz);
+        a = &a >> az;
+        b = &b >> bz;
+        loop {
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.checked_sub(&a).expect("b >= a after swap");
+            if b.is_zero() {
+                return &a << shift;
+            }
+            b = &b >> b.trailing_zeros();
+        }
+    }
+
+    /// Number of trailing zero bits (0 for the value 0).
+    #[must_use]
+    pub fn trailing_zeros(&self) -> usize {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return i * 64 + l.trailing_zeros() as usize;
+            }
+        }
+        0
+    }
+
+    /// `self^exp` by binary exponentiation.
+    #[must_use]
+    pub fn pow(&self, mut exp: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Nearest `f64` (may overflow to `f64::INFINITY` beyond ~2¹⁰²⁴).
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.bit_length();
+        if bits == 0 {
+            return 0.0;
+        }
+        if bits <= 64 {
+            return self.limbs[0] as f64;
+        }
+        // Take the top 64 bits as a mantissa and scale.
+        let shift = bits - 64;
+        let top = (self >> shift).limbs[0];
+        (top as f64) * 2f64.powi(shift as i32)
+    }
+
+    /// Base-2 logarithm, accurate to f64 precision even when the value
+    /// itself would overflow `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    #[must_use]
+    pub fn log2(&self) -> f64 {
+        let bits = self.bit_length();
+        assert!(bits > 0, "log2 of zero");
+        if bits <= 64 {
+            return (self.limbs[0] as f64).log2();
+        }
+        let shift = bits - 64;
+        let top = (self >> shift).limbs[0];
+        (top as f64).log2() + shift as f64
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> BigUint {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> BigUint {
+        BigUint {
+            limbs: vec![v as u64, (v >> 64) as u64],
+        }
+        .normalized()
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &BigUint) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &BigUint) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        Ordering::Equal => continue,
+                        ne => return ne,
+                    }
+                }
+                Ordering::Equal
+            }
+            ne => ne,
+        }
+    }
+}
+
+impl Add for &BigUint {
+    type Output = BigUint;
+
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let mut limbs = Vec::with_capacity(long.limbs.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.limbs.len() {
+            let rhs_limb = short.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long.limbs[i].overflowing_add(rhs_limb);
+            let (s2, c2) = s1.overflowing_add(carry);
+            limbs.push(s2);
+            carry = u64::from(c1) + u64::from(c2);
+        }
+        if carry != 0 {
+            limbs.push(carry);
+        }
+        BigUint { limbs }
+    }
+}
+
+impl Sub for &BigUint {
+    type Output = BigUint;
+
+    /// # Panics
+    ///
+    /// Panics on underflow; use [`BigUint::checked_sub`] to handle it.
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflow")
+    }
+}
+
+impl Mul for &BigUint {
+    type Output = BigUint;
+
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut limbs = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry: u128 = 0;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let cur = u128::from(limbs[i + j]) + u128::from(a) * u128::from(b) + carry;
+                limbs[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry != 0 {
+                let cur = u128::from(limbs[k]) + carry;
+                limbs[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        BigUint { limbs }.normalized()
+    }
+}
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+
+    fn shl(self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut limbs = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        BigUint { limbs }.normalized()
+    }
+}
+
+impl Shr<usize> for &BigUint {
+    type Output = BigUint;
+
+    fn shr(self, bits: usize) -> BigUint {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 64;
+        let src = &self.limbs[limb_shift..];
+        let mut limbs = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            limbs.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                limbs.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
+            }
+        }
+        BigUint { limbs }.normalized()
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Peel off 19 decimal digits at a time.
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = chunks.pop().expect("nonzero value").to_string();
+        for c in chunks.into_iter().rev() {
+            s.push_str(&format!("{c:019}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+/// Error returned when parsing a [`BigUint`] from a decimal string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigUintError {
+    /// The character that is not a decimal digit, if any; `None` means the
+    /// input was empty.
+    pub offending: Option<char>,
+}
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offending {
+            Some(c) => write!(f, "invalid decimal digit {c:?}"),
+            None => f.write_str("empty string"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBigUintError {}
+
+impl FromStr for BigUint {
+    type Err = ParseBigUintError;
+
+    fn from_str(s: &str) -> Result<BigUint, ParseBigUintError> {
+        if s.is_empty() {
+            return Err(ParseBigUintError { offending: None });
+        }
+        let ten = BigUint::from(10u64);
+        let mut acc = BigUint::zero();
+        for c in s.chars() {
+            let d = c
+                .to_digit(10)
+                .ok_or(ParseBigUintError { offending: Some(c) })?;
+            acc = &(&acc * &ten) + &BigUint::from(u64::from(d));
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn zero_and_one_basics() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(BigUint::zero().bit_length(), 0);
+        assert_eq!(BigUint::one().bit_length(), 1);
+        assert_eq!(BigUint::default(), BigUint::zero());
+    }
+
+    #[test]
+    fn two_pow_structure() {
+        assert_eq!(BigUint::two_pow(0), BigUint::one());
+        assert_eq!(BigUint::two_pow(64), big(1u128 << 64));
+        assert_eq!(BigUint::two_pow(200).bit_length(), 201);
+        assert!(BigUint::two_pow(200).bit(200));
+        assert!(!BigUint::two_pow(200).bit(199));
+    }
+
+    #[test]
+    fn display_small_and_large() {
+        assert_eq!(BigUint::zero().to_string(), "0");
+        assert_eq!(big(12345).to_string(), "12345");
+        assert_eq!(
+            big(u128::MAX).to_string(),
+            "340282366920938463463374607431768211455"
+        );
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for s in ["0", "1", "999999999999999999999999999999999999"] {
+            let v: BigUint = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert!("".parse::<BigUint>().is_err());
+        assert!("12a".parse::<BigUint>().is_err());
+    }
+
+    #[test]
+    fn subtraction_underflow_is_checked() {
+        assert_eq!(big(5).checked_sub(&big(7)), None);
+        assert_eq!(big(7).checked_sub(&big(5)), Some(big(2)));
+    }
+
+    #[test]
+    fn division_by_zero_panics() {
+        let r = std::panic::catch_unwind(|| big(1).div_rem(&BigUint::zero()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let three = big(3);
+        let mut expect = BigUint::one();
+        for e in 0..40u32 {
+            assert_eq!(three.pow(e), expect);
+            expect = &expect * &three;
+        }
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(big(12).gcd(&big(18)), big(6));
+        assert_eq!(big(0).gcd(&big(5)), big(5));
+        assert_eq!(big(5).gcd(&big(0)), big(5));
+        assert_eq!(big(1).gcd(&big(9)), big(1));
+        let huge = BigUint::two_pow(300);
+        assert_eq!(huge.gcd(&BigUint::two_pow(200)), BigUint::two_pow(200));
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        assert_eq!(BigUint::zero().to_f64(), 0.0);
+        assert_eq!(big(1u128 << 100).to_f64(), 2f64.powi(100));
+        let v = BigUint::two_pow(2000);
+        assert_eq!(v.to_f64(), f64::INFINITY);
+        assert_eq!(v.log2(), 2000.0);
+    }
+
+    #[test]
+    fn log2_of_products() {
+        let a = BigUint::two_pow(700);
+        let b = big(3);
+        let prod = &a * &b;
+        assert!((prod.log2() - (700.0 + 3f64.log2())).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_u128(a in 0u128..=u128::MAX / 2, b in 0u128..=u128::MAX / 2) {
+            prop_assert_eq!(&big(a) + &big(b), big(a + b));
+        }
+
+        #[test]
+        fn mul_matches_u128(a in 0u64..=u64::MAX, b in 0u64..=u64::MAX) {
+            prop_assert_eq!(&big(u128::from(a)) * &big(u128::from(b)),
+                            big(u128::from(a) * u128::from(b)));
+        }
+
+        #[test]
+        fn sub_matches_u128(a in 0u128..=u128::MAX, b in 0u128..=u128::MAX) {
+            let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+            prop_assert_eq!(&big(hi) - &big(lo), big(hi - lo));
+        }
+
+        #[test]
+        fn div_rem_matches_u128(a in 0u128..=u128::MAX, b in 1u128..=u128::MAX) {
+            let (q, r) = big(a).div_rem(&big(b));
+            prop_assert_eq!(q, big(a / b));
+            prop_assert_eq!(r, big(a % b));
+        }
+
+        #[test]
+        fn div_rem_reconstructs(a in 0u128..=u128::MAX, b in 1u128..=u128::MAX) {
+            let (q, r) = big(a).div_rem(&big(b));
+            prop_assert_eq!(&(&q * &big(b)) + &r, big(a));
+            prop_assert!(r < big(b));
+        }
+
+        #[test]
+        fn shifts_match_u128(a in 0u128..=u128::MAX, s in 0usize..64) {
+            prop_assert_eq!(&big(a) >> s, big(a >> s));
+            prop_assert_eq!(&(&big(a) << s) >> s, big(a));
+        }
+
+        #[test]
+        fn gcd_matches_euclid(a in 1u64..=u64::MAX, b in 1u64..=u64::MAX) {
+            fn euclid(mut a: u64, mut b: u64) -> u64 {
+                while b != 0 { let t = a % b; a = b; b = t; }
+                a
+            }
+            prop_assert_eq!(big(u128::from(a)).gcd(&big(u128::from(b))),
+                            big(u128::from(euclid(a, b))));
+        }
+
+        #[test]
+        fn ordering_matches_u128(a in 0u128..=u128::MAX, b in 0u128..=u128::MAX) {
+            prop_assert_eq!(big(a).cmp(&big(b)), a.cmp(&b));
+        }
+
+        #[test]
+        fn display_matches_u128(a in 0u128..=u128::MAX) {
+            prop_assert_eq!(big(a).to_string(), a.to_string());
+        }
+
+        #[test]
+        fn to_f64_relative_error(a in 1u128..=u128::MAX) {
+            let exact = big(a).to_f64();
+            let reference = a as f64;
+            prop_assert!((exact - reference).abs() <= reference * 1e-15);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Binomial coefficients, exact and floating-point.
+
+use crate::bigq::BigUint;
+use crate::special::ln_gamma;
+
+/// `C(n, k)` as a `u128`, or `None` on overflow.
+///
+/// ```
+/// assert_eq!(analytic::binom::choose_u128(5, 2), Some(10));
+/// assert_eq!(analytic::binom::choose_u128(5, 6), Some(0));
+/// ```
+#[must_use]
+pub fn choose_u128(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        // acc * (n - i) / (i + 1) stays integral at every step because the
+        // prefix product is itself a binomial coefficient.
+        acc = acc.checked_mul(u128::from(n - i))?;
+        acc /= u128::from(i + 1);
+    }
+    Some(acc)
+}
+
+/// `C(n, k)` exactly, as a [`BigUint`].
+///
+/// ```
+/// use analytic::binom::choose_big;
+/// assert_eq!(choose_big(64, 32).to_string(), "1832624140942590534");
+/// ```
+#[must_use]
+pub fn choose_big(n: u64, k: u64) -> BigUint {
+    if k > n {
+        return BigUint::zero();
+    }
+    let k = k.min(n - k);
+    let mut acc = BigUint::one();
+    for i in 0..k {
+        acc = &acc * &BigUint::from(n - i);
+        let (q, r) = acc.div_rem_u64(i + 1);
+        debug_assert_eq!(r, 0, "binomial prefix products are integral");
+        acc = q;
+    }
+    acc
+}
+
+/// `n!` exactly.
+#[must_use]
+pub fn factorial_big(n: u64) -> BigUint {
+    let mut acc = BigUint::one();
+    for i in 2..=n {
+        acc = &acc * &BigUint::from(i);
+    }
+    acc
+}
+
+/// `ln C(n, k)` via `ln Γ`; accurate for `n` far beyond `u64` factorials.
+#[must_use]
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// `C(n, k)` as `f64` (may round for large arguments).
+#[must_use]
+pub fn choose_f64(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    match choose_u128(n, k) {
+        Some(v) if v <= (1u128 << 100) => v as f64,
+        _ => ln_choose(n, k).exp(),
+    }
+}
+
+/// `ln n!` via `ln Γ(n + 1)`.
+#[must_use]
+pub fn ln_factorial(n: u64) -> f64 {
+    ln_gamma(n as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pascal_row_five() {
+        let row: Vec<u128> = (0..=5).map(|k| choose_u128(5, k).unwrap()).collect();
+        assert_eq!(row, [1, 5, 10, 10, 5, 1]);
+    }
+
+    #[test]
+    fn out_of_range_k_is_zero() {
+        assert_eq!(choose_u128(3, 4), Some(0));
+        assert_eq!(choose_big(3, 4), BigUint::zero());
+        assert_eq!(choose_f64(3, 4), 0.0);
+        assert_eq!(ln_choose(3, 4), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn big_matches_u128_where_possible() {
+        for n in 0..40u64 {
+            for k in 0..=n {
+                assert_eq!(
+                    choose_big(n, k).to_string(),
+                    choose_u128(n, k).unwrap().to_string()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        // C(200, 100) has ~196 bits, > 128.
+        assert_eq!(choose_u128(200, 100), None);
+        // But BigUint handles it.
+        assert!(choose_big(200, 100).bit_length() > 128);
+    }
+
+    #[test]
+    fn factorial_small_values() {
+        assert_eq!(factorial_big(0), BigUint::one());
+        assert_eq!(factorial_big(5).to_string(), "120");
+        assert_eq!(factorial_big(20).to_string(), "2432902008176640000");
+    }
+
+    #[test]
+    fn ln_choose_matches_exact() {
+        for (n, k) in [(10, 3), (52, 5), (100, 50)] {
+            let exact = choose_big(n, k).log2() * std::f64::consts::LN_2;
+            assert!(
+                (ln_choose(n, k) - exact).abs() < 1e-9,
+                "ln C({n},{k}) mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_factorial_matches_exact() {
+        for n in [1u64, 5, 20, 100] {
+            let exact = factorial_big(n).log2() * std::f64::consts::LN_2;
+            assert!((ln_factorial(n) - exact).abs() < 1e-8);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn pascal_recurrence(n in 1u64..60, k in 1u64..60) {
+            prop_assume!(k <= n);
+            let lhs = choose_u128(n, k).unwrap();
+            let rhs = choose_u128(n - 1, k - 1).unwrap() + choose_u128(n - 1, k).unwrap();
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn symmetry(n in 0u64..80, k in 0u64..80) {
+            prop_assume!(k <= n);
+            prop_assert_eq!(choose_u128(n, k), choose_u128(n, n - k));
+        }
+
+        #[test]
+        fn row_sums_to_two_pow(n in 0u64..50) {
+            let sum: u128 = (0..=n).map(|k| choose_u128(n, k).unwrap()).sum();
+            prop_assert_eq!(sum, 1u128 << n);
+        }
+    }
+}

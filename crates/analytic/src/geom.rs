@@ -1,0 +1,162 @@
+//! The geometric shift distribution of §3.2 / Appendix A.3.
+//!
+//! Each thread's shift is geometric: `Pr[s = k] = 2^-(k+1)` for `k ∈ ℕ`
+//! (success probability `1/2`, support including 0). Its *memorylessness* —
+//! `Pr[s = k + j | s ≥ j] = Pr[s = k]` — is the key property exploited by
+//! the proof of Theorem 5.1.
+
+use crate::bigq::BigRational;
+
+/// A geometric distribution on `{0, 1, 2, …}` with success probability `q`:
+/// `Pr[k] = q·(1−q)^k`.
+///
+/// # Example
+///
+/// ```
+/// use analytic::geom::Geometric;
+///
+/// let g = Geometric::half();
+/// assert_eq!(g.pmf(0), 0.5);
+/// assert_eq!(g.pmf(2), 0.125);
+/// assert_eq!(g.tail(3), 0.125); // Pr[s >= 3] = 2^-3
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    q: f64,
+}
+
+impl Geometric {
+    /// A geometric distribution with success probability `q ∈ (0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the invalid value if `q` is outside `(0, 1]`.
+    pub fn new(q: f64) -> Result<Geometric, f64> {
+        if q > 0.0 && q <= 1.0 {
+            Ok(Geometric { q })
+        } else {
+            Err(q)
+        }
+    }
+
+    /// The paper's canonical `q = 1/2` shift distribution.
+    #[must_use]
+    pub fn half() -> Geometric {
+        Geometric { q: 0.5 }
+    }
+
+    /// The success probability `q`.
+    #[must_use]
+    pub fn success_probability(&self) -> f64 {
+        self.q
+    }
+
+    /// `Pr[s = k]`.
+    #[must_use]
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.q * (1.0 - self.q).powi(k as i32)
+    }
+
+    /// `Pr[s ≤ k] = 1 − (1−q)^(k+1)`.
+    #[must_use]
+    pub fn cdf(&self, k: u64) -> f64 {
+        1.0 - (1.0 - self.q).powi(k as i32 + 1)
+    }
+
+    /// `Pr[s ≥ k] = (1−q)^k`.
+    #[must_use]
+    pub fn tail(&self, k: u64) -> f64 {
+        (1.0 - self.q).powi(k as i32)
+    }
+
+    /// `E[s] = (1−q)/q` (equal to 1 for the canonical half-geometric).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        (1.0 - self.q) / self.q
+    }
+
+    /// Exact `Pr[s = k]` for the canonical half-geometric, as a rational
+    /// `2^-(k+1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k + 1` does not fit in `i32` (far beyond any practical
+    /// shift).
+    #[must_use]
+    pub fn half_pmf_exact(k: u64) -> BigRational {
+        let e = i32::try_from(k + 1).expect("shift exponent fits i32");
+        BigRational::pow2(-e)
+    }
+}
+
+impl Default for Geometric {
+    fn default() -> Geometric {
+        Geometric::half()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_q() {
+        assert!(Geometric::new(0.0).is_err());
+        assert!(Geometric::new(1.5).is_err());
+        assert!(Geometric::new(1.0).is_ok());
+        assert!(Geometric::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn half_matches_paper_weights() {
+        let g = Geometric::half();
+        for k in 0..20u64 {
+            assert!((g.pmf(k) - 2f64.powi(-(k as i32) - 1)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for q in [0.1, 0.5, 0.9] {
+            let g = Geometric::new(q).unwrap();
+            let total: f64 = (0..2000).map(|k| g.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-10, "q={q} total={total}");
+        }
+    }
+
+    #[test]
+    fn cdf_tail_complement() {
+        let g = Geometric::new(0.3).unwrap();
+        for k in 0..30u64 {
+            assert!((g.cdf(k) + g.tail(k + 1) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn memorylessness() {
+        let g = Geometric::half();
+        for j in 0..10u64 {
+            for k in 0..10u64 {
+                let conditional = g.pmf(k + j) / g.tail(j);
+                assert!(
+                    (conditional - g.pmf(k)).abs() < 1e-12,
+                    "memorylessness fails at j={j} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn half_mean_is_one() {
+        assert_eq!(Geometric::half().mean(), 1.0);
+    }
+
+    #[test]
+    fn exact_pmf_matches_float() {
+        for k in 0..10u64 {
+            assert!(
+                (Geometric::half_pmf_exact(k).to_f64() - Geometric::half().pmf(k)).abs() < 1e-15
+            );
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Exact mathematics for the PODC 2011 memory-model reliability analysis.
+//!
+//! This crate is pure math — no randomness, no I/O. It provides:
+//!
+//! * [`bigq`] — arbitrary-precision unsigned integers, signed integers, and
+//!   rationals (`BigUint`, `BigInt`, `BigRational`). The paper's Theorem 5.1
+//!   prefactor contains `2^-binom(n+1,2)`, which overflows `i128` by
+//!   `n ≈ 16`; exact rationals keep every reported constant exact.
+//! * [`binom`] — binomial coefficients (exact and floating point).
+//! * [`partitions`] — the bounded partition count `φ(x, y, z)` of Claim 4.4.
+//! * [`geom`] — the geometric shift distribution `Pr[s = k] = 2^-(k+1)`.
+//! * [`general`] — every law generalised to arbitrary `(p, s, q)` (the §7
+//!   robustness programme).
+//! * [`recurrence`] — Claim 4.3's steady-state bottom-of-program store
+//!   fraction.
+//! * [`window_law`] — Theorem 4.1: the critical-window laws for SC, WO, TSO
+//!   (bounds and partition series) and the PSO extension.
+//! * [`lemma42`] — Lemma 4.2: bounds and series for `Pr[L_µ]`.
+//! * [`shift_law`] — Theorem 5.1 / Corollary 5.2 closed forms (`c(n)` etc.).
+//! * [`thm62`] — the headline two-thread survival constants.
+//! * [`thm63`] — the large-`n` asymptotics `Pr[A] = e^{-n²(1+o(1))}`.
+//! * [`special`] — `ln Γ`, regularised incomplete gamma, chi-square CDF.
+//!
+//! # Example
+//!
+//! ```
+//! use analytic::thm62;
+//!
+//! // Theorem 6.2: survival probabilities for n = 2 threads.
+//! assert!((thm62::sc_survival().to_f64() - 1.0 / 6.0).abs() < 1e-15);
+//! assert!((thm62::wo_survival().to_f64() - 7.0 / 54.0).abs() < 1e-15);
+//! let (lo, hi) = thm62::tso_survival_bounds();
+//! assert!(lo.to_f64() > 0.1315 && hi.to_f64() < 0.1369);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bigq;
+pub mod binom;
+pub mod general;
+pub mod geom;
+pub mod lemma42;
+pub mod partitions;
+pub mod recurrence;
+pub mod shift_law;
+pub mod special;
+pub mod thm62;
+pub mod thm63;
+pub mod window_law;
+
+pub use bigq::{BigInt, BigRational, BigUint};

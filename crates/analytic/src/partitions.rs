@@ -1,0 +1,205 @@
+//! Bounded integer-partition counts — the `φ(x, y, z)` of Claim 4.4.
+//!
+//! The paper defines `φ(x, y, z)` as "the number of distinct multi-sets of
+//! `y` positive integers summing to `x`, such that each integer is at most
+//! `z`" and uses it to express `Pr[∆ = δ]`, the distribution of total
+//! LD-over-ST displacement in the TSO settling analysis. Claim 4.4 only needs
+//! `φ(δ, q, µ) ≥ 1` for `q ≤ δ ≤ µq`; we compute the counts exactly, which
+//! both verifies the paper's existence construction and enables a sharper
+//! series for `Pr[L_µ]` than the paper's closed-form bound.
+
+/// Number of partitions of `x` into **at most** `y` parts, each at most `z`.
+///
+/// This is the coefficient of `q^x` in the Gaussian binomial
+/// `binom(y+z, y)_q`, computed by the recurrence
+/// `N(x,y,z) = N(x,y,z-1) + N(x-z, y-1, z)` (split on whether some part
+/// equals `z`).
+///
+/// ```
+/// // Partitions of 4 into at most 2 parts each at most 3: 3+1, 2+2 — and 4
+/// // itself is excluded because 4 > 3. Also 4 = 3+1 = 2+2.
+/// assert_eq!(analytic::partitions::partitions_at_most(4, 2, 3), 2);
+/// ```
+#[must_use]
+pub fn partitions_at_most(x: u64, y: u64, z: u64) -> u128 {
+    if x == 0 {
+        return 1;
+    }
+    if y == 0 || z == 0 {
+        return 0;
+    }
+    // table[a][b] = N(a, b, zcur) built layer by layer over zcur = 1..=z.
+    // Memory O(x·y); values fit u128 comfortably for the sizes used here.
+    let xs = x as usize;
+    let ys = y as usize;
+    let mut table = vec![vec![0u128; ys + 1]; xs + 1];
+    for cell in &mut table[0] {
+        *cell = 1;
+    }
+    for zcur in 1..=z {
+        // In-place layer update: before the update, table[a][b] holds
+        // N(a, b, zcur-1); cells at smaller `a` already hold the current
+        // layer, which is exactly what the N(a-zcur, b-1, zcur) term needs.
+        for a in 1..=xs {
+            for b in 1..=ys {
+                let with_part_z = if (a as u64) >= zcur {
+                    table[a - zcur as usize][b - 1]
+                } else {
+                    0
+                };
+                table[a][b] += with_part_z;
+            }
+        }
+    }
+    table[xs][ys]
+}
+
+/// The paper's `φ(x, y, z)`: multisets of **exactly** `y` positive integers
+/// summing to `x`, each at most `z`.
+///
+/// Subtracting 1 from each part bijects these with partitions of `x − y`
+/// into at most `y` parts each at most `z − 1`.
+///
+/// ```
+/// use analytic::partitions::phi;
+/// // Claim 4.4's existence bound: φ(δ, q, µ) ≥ 1 whenever q ≤ δ ≤ µq.
+/// assert!(phi(7, 3, 4) >= 1);
+/// // Out of range: y positive parts need at least sum y and at most yz.
+/// assert_eq!(phi(2, 3, 4), 0);
+/// assert_eq!(phi(13, 3, 4), 0);
+/// ```
+#[must_use]
+pub fn phi(x: u64, y: u64, z: u64) -> u128 {
+    if y == 0 {
+        return u128::from(x == 0);
+    }
+    if x < y || x > y.saturating_mul(z) {
+        return 0;
+    }
+    if z == 0 {
+        return 0;
+    }
+    partitions_at_most(x - y, y, z - 1)
+}
+
+/// The distribution `Pr[∆ = δ | Ψ_µ = q]` of Claim 4.4's proof:
+/// `φ(δ, q, µ) / C(µ+q−1, q)`, returned as an `f64`.
+///
+/// `∆` is the total number of positions the `q` interspersed LDs must climb;
+/// it ranges over `[q, µq]`.
+#[must_use]
+pub fn delta_pmf(delta: u64, q: u64, mu: u64) -> f64 {
+    if q == 0 {
+        return f64::from(u8::from(delta == 0));
+    }
+    let numer = phi(delta, q, mu) as f64;
+    let denom = crate::binom::choose_f64(mu + q - 1, q);
+    numer / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Brute force: enumerate non-increasing tuples of exactly `y` parts in
+    /// `[1, z]` summing to `x`.
+    fn phi_brute(x: u64, y: u64, z: u64) -> u128 {
+        fn rec(remaining: u64, parts_left: u64, max_part: u64) -> u128 {
+            if parts_left == 0 {
+                return u128::from(remaining == 0);
+            }
+            let mut count = 0;
+            let hi = max_part.min(remaining);
+            for part in 1..=hi {
+                // Remaining parts must be able to absorb the rest.
+                if remaining - part <= (parts_left - 1) * part {
+                    count += rec(remaining - part, parts_left - 1, part);
+                }
+            }
+            count
+        }
+        if y == 0 {
+            return u128::from(x == 0);
+        }
+        rec(x, y, z)
+    }
+
+    #[test]
+    fn known_small_values() {
+        // Partitions of 5 into exactly 2 parts each <= 4: 4+1, 3+2.
+        assert_eq!(phi(5, 2, 4), 2);
+        // Partitions of 6 into exactly 3 parts each <= 3: 3+2+1, 2+2+2.
+        assert_eq!(phi(6, 3, 3), 2);
+        // Partitions of 7 into exactly 3 parts each <= 4: 4+2+1, 3+3+1, 3+2+2.
+        assert_eq!(phi(7, 3, 4), 3);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(phi(0, 0, 5), 1);
+        assert_eq!(phi(1, 0, 5), 0);
+        assert_eq!(phi(0, 1, 5), 0);
+        assert_eq!(phi(5, 1, 5), 1);
+        assert_eq!(phi(6, 1, 5), 0);
+        assert_eq!(phi(3, 3, 0), 0);
+        assert_eq!(partitions_at_most(0, 0, 0), 1);
+        assert_eq!(partitions_at_most(1, 0, 0), 0);
+    }
+
+    #[test]
+    fn claim_44_existence_construction() {
+        // φ(δ, q, µ) ≥ 1 whenever q ≤ δ ≤ µq (the paper's ceiling/floor
+        // construction).
+        for q in 1..=6u64 {
+            for mu in 1..=6u64 {
+                for delta in q..=mu * q {
+                    assert!(
+                        phi(delta, q, mu) >= 1,
+                        "φ({delta}, {q}, {mu}) should be ≥ 1"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phi_sums_to_arrangement_count() {
+        // Σ_δ φ(δ, q, µ) counts all arrangements of q LDs and µ STs beginning
+        // with a ST (the paper: C(µ+q−1, q) total arrangements).
+        for q in 0..=5u64 {
+            for mu in 1..=5u64 {
+                let total: u128 = (0..=mu * q).map(|d| phi(d, q, mu)).sum();
+                assert_eq!(
+                    total,
+                    crate::binom::choose_u128(mu + q - 1, q).unwrap(),
+                    "sum of φ(·, {q}, {mu})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_pmf_normalises() {
+        for (q, mu) in [(1u64, 1u64), (2, 3), (4, 2), (5, 5)] {
+            let total: f64 = (0..=mu * q).map(|d| delta_pmf(d, q, mu)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "q={q} mu={mu} total={total}");
+        }
+        assert_eq!(delta_pmf(0, 0, 3), 1.0);
+        assert_eq!(delta_pmf(1, 0, 3), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_brute_force(x in 0u64..18, y in 0u64..7, z in 0u64..7) {
+            prop_assert_eq!(phi(x, y, z), phi_brute(x, y, z));
+        }
+
+        #[test]
+        fn symmetric_conjugate_bound(x in 0u64..15, y in 1u64..6, z in 1u64..6) {
+            // Conjugation swaps the roles of y and z for partitions of x
+            // into at most y parts each ≤ z.
+            prop_assert_eq!(partitions_at_most(x, y, z), partitions_at_most(x, z, y));
+        }
+    }
+}

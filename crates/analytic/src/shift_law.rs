@@ -1,0 +1,214 @@
+//! Theorem 5.1 / Corollary 5.2 constants for the shift process.
+//!
+//! Theorem 5.1 factors the disjointness probability as
+//!
+//! ```text
+//! Pr[A(γ̄)] = prefactor(n) · Σ_{σ∈Sym_n} Π_{i=1}^{n-1} 2^{-(n-i)γ_{σ(i)}}
+//! ```
+//!
+//! with `prefactor(n) = 2^{-(C(n+1,2)-1)} / Π_{i=1}^{n-1}(1 − 2^{-(n+1-i)})`.
+//! Corollary 5.2 rewrites the prefactor as `c(n)·2^{-C(n+1,2)}` and shows
+//! `c(n) ∈ [2, 4]`, with `c(2) = 8/3` exactly. The permutation-sum
+//! algorithms themselves live in the `shiftproc` crate; this module provides
+//! the exact constants.
+
+use crate::bigq::{BigInt, BigRational, BigUint};
+
+/// `C(n+1, 2) = n(n+1)/2` as a `u64`.
+///
+/// # Panics
+///
+/// Panics if the product overflows `u64` (requires `n > ~6·10⁹`).
+#[must_use]
+pub fn triangle(n: u64) -> u64 {
+    n.checked_mul(n + 1).expect("triangle number overflow") / 2
+}
+
+/// `c(n) = 2 / Π_{i=2}^{n} (1 − 2^-i)` exactly (Corollary 5.2).
+///
+/// ```
+/// use analytic::shift_law::c_n_exact;
+/// use analytic::BigRational;
+/// assert_eq!(c_n_exact(2), BigRational::ratio(8, 3));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn c_n_exact(n: u32) -> BigRational {
+    assert!(n >= 1, "c(n) is defined for n >= 1");
+    let mut denom = BigRational::one();
+    for i in 2..=n {
+        let factor = &BigRational::one() - &BigRational::pow2(-(i as i32));
+        denom = &denom * &factor;
+    }
+    &BigRational::from(2) / &denom
+}
+
+/// `c(n)` as an `f64`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn c_n(n: u32) -> f64 {
+    assert!(n >= 1, "c(n) is defined for n >= 1");
+    let mut denom = 1.0;
+    for i in 2..=n {
+        denom *= 1.0 - 2f64.powi(-(i as i32));
+    }
+    2.0 / denom
+}
+
+/// The limit `c(∞) = 2 / Π_{i≥2}(1 − 2^-i) ≈ 3.462746619…`.
+#[must_use]
+pub fn c_infinity() -> f64 {
+    c_n(80)
+}
+
+/// The exact Theorem 5.1 prefactor `c(n)·2^{-C(n+1,2)}`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `C(n+1,2)` exceeds `i32` (n beyond ~65000).
+#[must_use]
+pub fn prefactor_exact(n: u32) -> BigRational {
+    let t = i32::try_from(triangle(u64::from(n))).expect("triangle fits i32");
+    &c_n_exact(n) * &BigRational::pow2(-t)
+}
+
+/// `log2` of the Theorem 5.1 prefactor, stable for large `n` where the
+/// prefactor underflows `f64`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn log2_prefactor(n: u32) -> f64 {
+    c_n(n).log2() - triangle(u64::from(n)) as f64
+}
+
+/// `n!` exactly, re-exported here for the Theorem 6.1 estimator.
+#[must_use]
+pub fn factorial(n: u32) -> BigUint {
+    crate::binom::factorial_big(u64::from(n))
+}
+
+/// The exact survival probability for `n` *deterministic* unit segments of
+/// length `γ` each (every thread has the same window):
+/// `c(n)·2^{-C(n+1,2)}·n!·2^{-γ·C(n,2)}`.
+///
+/// With `γ = 2` this is the Sequential Consistency survival probability of
+/// Theorem 6.3.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the exponents exceed `i32`.
+#[must_use]
+pub fn survival_identical_segments_exact(n: u32, gamma: u32) -> BigRational {
+    let pairs = i32::try_from(triangle(u64::from(n)) - u64::from(n)).expect("C(n,2) fits i32");
+    let gamma_term = BigRational::pow2(
+        -(i32::try_from(u64::from(gamma) * pairs as u64).expect("exponent fits i32")),
+    );
+    let nf = BigRational::from(BigInt::from(factorial(n)));
+    &(&prefactor_exact(n) * &nf) * &gamma_term
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_numbers() {
+        assert_eq!(triangle(1), 1);
+        assert_eq!(triangle(2), 3);
+        assert_eq!(triangle(3), 6);
+        assert_eq!(triangle(10), 55);
+    }
+
+    #[test]
+    fn c2_is_eight_thirds() {
+        assert_eq!(c_n_exact(2), BigRational::ratio(8, 3));
+        assert!((c_n(2) - 8.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn corollary_52_range() {
+        // c(n) ∈ [2, 4] for all n; increasing in n.
+        let mut prev = 0.0;
+        for n in 1..=64u32 {
+            let c = c_n(n);
+            assert!((2.0..=4.0).contains(&c), "c({n}) = {c}");
+            assert!(c >= prev);
+            prev = c;
+        }
+        // The limit is comfortably below the paper's upper bound 4.
+        assert!(c_infinity() < 3.4628);
+        assert!(c_infinity() > 3.4627);
+    }
+
+    #[test]
+    fn exact_matches_float() {
+        for n in 1..=20u32 {
+            assert!((c_n_exact(n).to_f64() - c_n(n)).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn prefactor_log2_matches_exact() {
+        for n in [2u32, 3, 5, 10, 30] {
+            let exact = prefactor_exact(n).log2_abs();
+            assert!(
+                (log2_prefactor(n) - exact).abs() < 1e-9,
+                "n={n}: {} vs {exact}",
+                log2_prefactor(n)
+            );
+        }
+    }
+
+    #[test]
+    fn prefactor_survives_large_n() {
+        // At n = 64 the prefactor is ~2^-2078 — far below f64 range but fine
+        // exactly and in log space.
+        let lp = log2_prefactor(64);
+        assert!(lp < -2000.0);
+        assert!((prefactor_exact(64).log2_abs() - lp).abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_segment_always_survives() {
+        // n = 1: a single segment is trivially disjoint.
+        assert_eq!(
+            survival_identical_segments_exact(1, 5),
+            &prefactor_exact(1) * &BigRational::one()
+        );
+        assert_eq!(survival_identical_segments_exact(1, 5).to_f64(), 1.0);
+    }
+
+    #[test]
+    fn two_identical_unit_segments() {
+        // n = 2, γ: Pr[A] = (8/3)·2^-3·2!·2^-γ = (2/3)·2^-γ... times sum
+        // structure; verify against the direct Theorem 5.1 expression
+        // Pr = (1/3)(2^-γ + 2^-γ).
+        for gamma in 0..8u32 {
+            let exact = survival_identical_segments_exact(2, gamma).to_f64();
+            let direct = (2.0 / 3.0) * 2f64.powi(-(gamma as i32));
+            assert!((exact - direct).abs() < 1e-12, "γ={gamma}");
+        }
+    }
+
+    #[test]
+    fn sc_survival_theorem_63_shape() {
+        // −log2 Pr[A] / n² → 3/2 for SC (γ = 2). The o(1) correction is
+        // dominated by log2(n!)/n² ≈ log2(n)/n, which decays slowly.
+        for (n, tol) in [(8u32, 0.45), (16, 0.30), (32, 0.17), (64, 0.10)] {
+            let log2p = survival_identical_segments_exact(n, 2).log2_abs();
+            let normalized = -log2p / (f64::from(n) * f64::from(n));
+            assert!(
+                (normalized - 1.5).abs() < tol,
+                "n={n}: normalized exponent {normalized}"
+            );
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Special functions: `ln Γ`, incomplete gamma, chi-square and normal CDFs.
+//!
+//! These support the statistical machinery in the `montecarlo` crate
+//! (chi-square goodness-of-fit of simulated window histograms against the
+//! Theorem 4.1 laws; normal-approximation confidence intervals).
+
+/// `ln Γ(x)` for `x > 0`, via the Lanczos approximation (g = 7, n = 9).
+///
+/// Absolute error below `1e-13` over the range used here.
+///
+/// # Panics
+///
+/// Panics if `x <= 0`.
+///
+/// ```
+/// // Γ(5) = 4! = 24.
+/// assert!((analytic::special::ln_gamma(5.0) - 24f64.ln()).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients for g = 7 (quoted at full published precision).
+    const G: f64 = 7.0;
+    #[allow(clippy::excessive_precision)]
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularised lower incomplete gamma `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// Uses the power series for `x < a + 1` and the Lentz continued fraction
+/// for the complement otherwise.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `x < 0`.
+#[must_use]
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0");
+    assert!(x >= 0.0, "gamma_p requires x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_continued_fraction(a, x)
+    }
+}
+
+/// Regularised upper incomplete gamma `Q(a, x) = 1 − P(a, x)`.
+#[must_use]
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_q requires a > 0");
+    assert!(x >= 0.0, "gamma_q requires x >= 0");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_continued_fraction(a, x)
+    }
+}
+
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    let mut n = a;
+    for _ in 0..500 {
+        n += 1.0;
+        term *= x / n;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn gamma_q_continued_fraction(a: f64, x: f64) -> f64 {
+    // Modified Lentz algorithm for the continued fraction
+    // Q(a,x) = e^{-x} x^a / Γ(a) · 1/(x+1-a- 1·(1-a)/(x+3-a- …)).
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// CDF of the chi-square distribution with `k` degrees of freedom.
+///
+/// ```
+/// // Median of chi-square(2) is 2 ln 2.
+/// let med = analytic::special::chi_square_cdf(2.0 * 2f64.ln(), 2);
+/// assert!((med - 0.5).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `x < 0`.
+#[must_use]
+pub fn chi_square_cdf(x: f64, k: u64) -> f64 {
+    assert!(k > 0, "chi-square needs at least one degree of freedom");
+    gamma_p(k as f64 / 2.0, x / 2.0)
+}
+
+/// Survival function `Pr[X > x]` of the chi-square distribution with `k`
+/// degrees of freedom (the goodness-of-fit p-value).
+#[must_use]
+pub fn chi_square_sf(x: f64, k: u64) -> f64 {
+    assert!(k > 0, "chi-square needs at least one degree of freedom");
+    gamma_q(k as f64 / 2.0, x / 2.0)
+}
+
+/// The error function `erf(x)`, via `P(1/2, x²)` with sign.
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let p = gamma_p(0.5, x * x);
+    if x > 0.0 {
+        p
+    } else {
+        -p
+    }
+}
+
+/// Standard normal CDF `Φ(x)`.
+///
+/// ```
+/// assert!((analytic::special::normal_cdf(0.0) - 0.5).abs() < 1e-15);
+/// assert!((analytic::special::normal_cdf(1.959963984540054) - 0.975).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_factorials() {
+        let mut fact = 1.0f64;
+        for n in 1..15u32 {
+            assert!(
+                (ln_gamma(n as f64) - fact.ln()).abs() < 1e-11,
+                "Γ({n}) mismatch"
+            );
+            fact *= n as f64;
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-12);
+        // Γ(3/2) = √π / 2.
+        assert!((ln_gamma(1.5) - (std::f64::consts::PI.sqrt() / 2.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        let _ = ln_gamma(0.0);
+    }
+
+    #[test]
+    fn gamma_p_q_complement() {
+        for a in [0.5, 1.0, 2.5, 10.0] {
+            for x in [0.1, 1.0, 5.0, 20.0] {
+                let (p, q) = (gamma_p(a, x), gamma_q(a, x));
+                assert!((p + q - 1.0).abs() < 1e-12, "a={a} x={x}");
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_p_exponential_special_case() {
+        // P(1, x) = 1 - e^{-x}.
+        for x in [0.0, 0.5, 1.0, 3.0, 10.0] {
+            assert!((gamma_p(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn chi_square_known_quantiles() {
+        // Pr[χ²₁ > 3.841] ≈ 0.05.
+        assert!((chi_square_sf(3.841_458_820_694_124, 1) - 0.05).abs() < 1e-9);
+        // Pr[χ²₅ > 11.0705] ≈ 0.05.
+        assert!((chi_square_sf(11.070_497_693_516_35, 5) - 0.05).abs() < 1e-9);
+        // CDF and SF are complementary.
+        assert!((chi_square_cdf(4.2, 3) + chi_square_sf(4.2, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erf_symmetry_and_known_value() {
+        assert!((erf(1.0) - 0.842_700_792_949_714_9).abs() < 1e-10);
+        for x in [0.3, 1.1, 2.4] {
+            assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_cdf_monotone() {
+        let xs = [-3.0, -1.0, 0.0, 0.5, 2.0, 4.0];
+        let mut prev = 0.0;
+        for &x in &xs {
+            let v = normal_cdf(x);
+            assert!(v > prev);
+            prev = v;
+        }
+        assert!((normal_cdf(-1.0) + normal_cdf(1.0) - 1.0).abs() < 1e-12);
+    }
+}

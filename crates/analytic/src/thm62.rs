@@ -1,0 +1,173 @@
+//! Theorem 6.2: survival probabilities for two threads.
+//!
+//! For `n = 2` the disjointness probability collapses to
+//! `Pr[A] = (2/3)·E[2^-Γ]` where `Γ = γ + 2` is the critical-window length.
+//! The paper derives:
+//!
+//! | model | `Pr[A]` |
+//! |---|---|
+//! | Sequential Consistency | `1/6 ≈ 0.1666` |
+//! | Total Store Order | `(58/441, 58/441 + 1/189) ⊂ (0.1315, 0.1369)` |
+//! | Weak Ordering | `7/54 ≈ 0.1296` |
+
+use crate::bigq::BigRational;
+use crate::window_law;
+use memmodel::MemoryModel;
+
+/// SC two-thread survival: `1/6` exactly.
+#[must_use]
+pub fn sc_survival() -> BigRational {
+    BigRational::ratio(1, 6)
+}
+
+/// WO two-thread survival: `7/54` exactly.
+#[must_use]
+pub fn wo_survival() -> BigRational {
+    BigRational::ratio(7, 54)
+}
+
+/// TSO two-thread survival bounds: `(58/441, 58/441 + 1/189)` exactly.
+#[must_use]
+pub fn tso_survival_bounds() -> (BigRational, BigRational) {
+    let lo = BigRational::ratio(58, 441);
+    let hi = &lo + &BigRational::ratio(1, 189);
+    (lo, hi)
+}
+
+/// SC's `E[2^-Γ]`: `1/4` (the window is always exactly the two critical
+/// instructions).
+#[must_use]
+pub fn sc_expected_window_term() -> BigRational {
+    BigRational::ratio(1, 4)
+}
+
+/// WO's `E[2^-Γ]`: `7/36`.
+#[must_use]
+pub fn wo_expected_window_term() -> BigRational {
+    BigRational::ratio(7, 36)
+}
+
+/// TSO's `E[2^-Γ]` bounds: `(1/6 + 3/98, 1/6 + 3/98 + 1/126)`.
+#[must_use]
+pub fn tso_expected_window_term_bounds() -> (BigRational, BigRational) {
+    let lo = &BigRational::ratio(1, 6) + &BigRational::ratio(3, 98);
+    let hi = &lo + &BigRational::ratio(1, 126);
+    (lo, hi)
+}
+
+/// Survival bounds `(lo, hi)` for any named model; `lo == hi` where the
+/// paper's value is exact. Returns `None` for custom models.
+#[must_use]
+pub fn survival_bounds(model: MemoryModel) -> Option<(BigRational, BigRational)> {
+    match model {
+        MemoryModel::Sc => Some((sc_survival(), sc_survival())),
+        MemoryModel::Wo => Some((wo_survival(), wo_survival())),
+        MemoryModel::Tso => Some(tso_survival_bounds()),
+        MemoryModel::Pso => {
+            // Derived numerically from the PSO window series (footnote 4's
+            // omitted result); widen by the series truncation error.
+            let v = survival_from_window_series(MemoryModel::Pso)?;
+            let eps = 1e-9;
+            Some((
+                BigRational::ratio(((v - eps) * 1e12) as i64, 1_000_000_000_000),
+                BigRational::ratio(((v + eps) * 1e12) as i64, 1_000_000_000_000),
+            ))
+        }
+        MemoryModel::Custom(_) => None,
+    }
+}
+
+/// `Pr[A] = (2/3)·E[2^-Γ]` computed from the window-law series — an
+/// independent cross-check of the exact constants (and the only analytic
+/// route for PSO).
+///
+/// Builds a fresh [`window_law::WindowLaws`]; callers evaluating many models
+/// should build one and use
+/// [`window_law::WindowLaws::expected_two_pow_neg_window`] directly.
+#[must_use]
+pub fn survival_from_window_series(model: MemoryModel) -> Option<f64> {
+    let laws = window_law::WindowLaws::new();
+    let e = laws.expected_two_pow_neg_window(model, 90)?;
+    Some(e * 2.0 / 3.0)
+}
+
+/// The paper's headline comparison: survival ratio SC / WO = `9/7`
+/// ("correct behavior is somewhat more likely than under sequential
+/// consistency").
+#[must_use]
+pub fn sc_over_wo_ratio() -> BigRational {
+    &sc_survival() / &wo_survival()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_constants() {
+        assert!((sc_survival().to_f64() - 0.166_666_666_666).abs() < 1e-9);
+        assert!((wo_survival().to_f64() - 0.129_629_629_629).abs() < 1e-9);
+        let (lo, hi) = tso_survival_bounds();
+        assert!(lo.to_f64() > 0.1315);
+        assert!(hi.to_f64() < 0.1369);
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn survival_is_two_thirds_of_window_term() {
+        let two_thirds = BigRational::ratio(2, 3);
+        assert_eq!(&two_thirds * &sc_expected_window_term(), sc_survival());
+        assert_eq!(&two_thirds * &wo_expected_window_term(), wo_survival());
+        let (elo, ehi) = tso_expected_window_term_bounds();
+        let (slo, shi) = tso_survival_bounds();
+        assert_eq!(&two_thirds * &elo, slo);
+        assert_eq!(&two_thirds * &ehi, shi);
+    }
+
+    #[test]
+    fn series_reproduces_exact_constants() {
+        let sc = survival_from_window_series(MemoryModel::Sc).unwrap();
+        assert!((sc - 1.0 / 6.0).abs() < 1e-12);
+        let wo = survival_from_window_series(MemoryModel::Wo).unwrap();
+        assert!((wo - 7.0 / 54.0).abs() < 1e-12);
+        let tso = survival_from_window_series(MemoryModel::Tso).unwrap();
+        let (lo, hi) = tso_survival_bounds();
+        assert!(tso > lo.to_f64() - 1e-10 && tso < hi.to_f64() + 1e-10);
+    }
+
+    #[test]
+    fn ordering_sc_pso_tso_wo() {
+        // Survival: SC > PSO > TSO > WO. (PSO beats TSO because its window
+        // shrinks back; both sit between SC and WO.)
+        let sc = survival_from_window_series(MemoryModel::Sc).unwrap();
+        let pso = survival_from_window_series(MemoryModel::Pso).unwrap();
+        let tso = survival_from_window_series(MemoryModel::Tso).unwrap();
+        let wo = survival_from_window_series(MemoryModel::Wo).unwrap();
+        assert!(sc > pso && pso > tso && tso > wo, "{sc} {pso} {tso} {wo}");
+    }
+
+    #[test]
+    fn tso_closer_to_wo_than_sc() {
+        // The paper's observation: TSO's reliability is substantially closer
+        // to WO's than to SC's.
+        let tso = survival_from_window_series(MemoryModel::Tso).unwrap();
+        let sc = sc_survival().to_f64();
+        let wo = wo_survival().to_f64();
+        assert!((tso - wo).abs() < (tso - sc).abs());
+    }
+
+    #[test]
+    fn ratio_nine_sevenths() {
+        assert_eq!(sc_over_wo_ratio(), BigRational::ratio(9, 7));
+    }
+
+    #[test]
+    fn bounds_cover_all_named_models() {
+        for model in MemoryModel::NAMED {
+            let (lo, hi) = survival_bounds(model).unwrap();
+            assert!(lo <= hi);
+            assert!(lo.to_f64() > 0.12 && hi.to_f64() < 0.17, "{model}");
+        }
+        assert!(survival_bounds(MemoryModel::Custom(memmodel::ReorderMatrix::all())).is_none());
+    }
+}

@@ -1,0 +1,402 @@
+//! Theorem 4.1: the critical-window growth laws `Pr[B_γ]`.
+//!
+//! `B_γ` is the event that settling leaves exactly `γ` instructions strictly
+//! between the critical LD and the critical ST. The paper proves:
+//!
+//! * **SC** — `Pr[B_0] = 1`;
+//! * **WO** — `Pr[B_0] = 2/3`, `Pr[B_γ] = 2^-γ/3` for `γ > 0`;
+//! * **TSO** — `Pr[B_0] = 2/3`,
+//!   `Pr[B_γ] = (6/7)·4^-γ + R(γ)·2^-γ` with `0 ≤ R(γ) ≤ 2/21` for `γ > 0`.
+//!
+//! Beyond the paper's bounds, [`TsoLaw`] evaluates the TSO law with the
+//! exact partition series for `Pr[L_µ]` (see [`crate::lemma42`]), and
+//! [`PsoLaw`] extends the analysis to Partial Store Order (the result the
+//! paper's footnote 4 omits "for brevity"): under PSO the type string
+//! evolves exactly as under TSO (ST/ST swaps permute equal symbols), and the
+//! critical ST afterwards climbs back through the `j` stores the critical LD
+//! had passed, shrinking the window.
+
+use crate::lemma42::{pr_l_mu_series_all, DEFAULT_Q_MAX};
+use memmodel::MemoryModel;
+
+/// Default truncation depth for the `µ`-sums of the TSO/PSO series.
+/// Truncation error is below `2^-µ_max`.
+pub const DEFAULT_MU_MAX: u32 = 96;
+
+/// Sequential Consistency: the window never grows.
+#[must_use]
+pub fn sc_pmf(gamma: u64) -> f64 {
+    f64::from(u8::from(gamma == 0))
+}
+
+/// Weak Ordering: `2/3` at zero, `2^-γ/3` beyond.
+#[must_use]
+pub fn wo_pmf(gamma: u64) -> f64 {
+    if gamma == 0 {
+        2.0 / 3.0
+    } else {
+        2f64.powi(-(gamma as i32)) / 3.0
+    }
+}
+
+/// Total Store Order: the paper's `(lower, upper)` bounds
+/// `(6/7)4^-γ ≤ Pr[B_γ] ≤ (6/7)4^-γ + (2/21)2^-γ` (exact `2/3` at zero).
+#[must_use]
+pub fn tso_pmf_bounds(gamma: u64) -> (f64, f64) {
+    if gamma == 0 {
+        return (2.0 / 3.0, 2.0 / 3.0);
+    }
+    let four = 4f64.powi(-(gamma as i32));
+    let two = 2f64.powi(-(gamma as i32));
+    let main = (6.0 / 7.0) * four;
+    (main, main + (2.0 / 21.0) * two)
+}
+
+/// `Pr[B_γ | L_µ]` under TSO: the critical LD must pass `γ` contiguous STs
+/// and then stop.
+///
+/// * `µ < γ`: impossible (`0`);
+/// * `µ = γ`: `2^-γ` (after the `γ`-th ST the next instruction is a LD, so
+///   the climb stops automatically);
+/// * `µ > γ`: `2^-(γ+1)` (the instruction above the `γ`-th ST is another ST,
+///   so stopping costs one failed swap).
+///
+/// The `γ = 0, µ = 0` case is `1`.
+#[must_use]
+pub fn tso_b_given_l(gamma: u64, mu: u64) -> f64 {
+    if mu < gamma {
+        0.0
+    } else if mu == gamma {
+        2f64.powi(-(gamma as i32))
+    } else {
+        2f64.powi(-(gamma as i32) - 1)
+    }
+}
+
+/// The TSO critical-window law, evaluated once via the partition series and
+/// cached: `Pr[B_γ] = Σ_{µ≥γ} Pr[B_γ|L_µ]·Pr[L_µ]`.
+///
+/// # Example
+///
+/// ```
+/// use analytic::window_law::TsoLaw;
+///
+/// let law = TsoLaw::new();
+/// assert!((law.pmf(0) - 2.0 / 3.0).abs() < 1e-10);
+/// let (lo, hi) = analytic::window_law::tso_pmf_bounds(3);
+/// assert!(law.pmf(3) >= lo && law.pmf(3) <= hi);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TsoLaw {
+    /// `Pr[L_µ]` for `µ = 0..=mu_max`.
+    l: Vec<f64>,
+}
+
+impl TsoLaw {
+    /// The law at default truncation depths (accurate to ~`2^-96`).
+    #[must_use]
+    pub fn new() -> TsoLaw {
+        TsoLaw::with_depth(DEFAULT_MU_MAX, DEFAULT_Q_MAX)
+    }
+
+    /// The law with explicit series truncation depths.
+    #[must_use]
+    pub fn with_depth(mu_max: u32, q_max: u32) -> TsoLaw {
+        TsoLaw {
+            l: pr_l_mu_series_all(mu_max, q_max),
+        }
+    }
+
+    /// The cached `Pr[L_µ]` values.
+    #[must_use]
+    pub fn pr_l(&self) -> &[f64] {
+        &self.l
+    }
+
+    /// `Pr[B_γ]`.
+    #[must_use]
+    pub fn pmf(&self, gamma: u64) -> f64 {
+        (gamma..self.l.len() as u64)
+            .map(|mu| tso_b_given_l(gamma, mu) * self.l[mu as usize])
+            .sum()
+    }
+}
+
+impl Default for TsoLaw {
+    fn default() -> TsoLaw {
+        TsoLaw::new()
+    }
+}
+
+/// The probability that the critical ST, climbing back under PSO through the
+/// `j` stores the critical LD passed, passes exactly `k` of them.
+///
+/// The climb stops at the first failed swap, or automatically at the
+/// critical LD (same address): `2^-(k+1)` for `k < j`, `2^-j` for `k = j`.
+#[must_use]
+pub fn pso_climbback_pmf(passed: u64, j: u64) -> f64 {
+    if passed > j {
+        0.0
+    } else if passed == j {
+        2f64.powi(-(j as i32))
+    } else {
+        2f64.powi(-(passed as i32) - 1)
+    }
+}
+
+/// The PSO critical-window law: the TSO law convolved with the critical
+/// store's climb-back,
+/// `Pr[B_γ^PSO] = Σ_{j≥γ} Pr[B_j^TSO] · Pr[climb back j − γ | j]`.
+///
+/// This is the result the paper's footnote 4 omits. PSO's extra ST/ST
+/// relaxation cannot change the LD/ST *type string* during settling (swapping
+/// two STs is a no-op on the string), so the critical LD's climb is
+/// distributed exactly as under TSO; the new effect is the critical store
+/// climbing back up through the passed stores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PsoLaw {
+    /// Cached `Pr[B_γ^PSO]` for `γ = 0..=mu_max`.
+    pmf: Vec<f64>,
+}
+
+impl PsoLaw {
+    /// The law at default truncation depths.
+    #[must_use]
+    pub fn new() -> PsoLaw {
+        PsoLaw::from_tso(&TsoLaw::new())
+    }
+
+    /// Builds the PSO law from a (possibly custom-depth) TSO law.
+    #[must_use]
+    pub fn from_tso(tso: &TsoLaw) -> PsoLaw {
+        let depth = tso.pr_l().len() as u64;
+        let tso_pmf: Vec<f64> = (0..depth).map(|g| tso.pmf(g)).collect();
+        let pmf = (0..depth)
+            .map(|gamma| {
+                (gamma..depth)
+                    .map(|j| tso_pmf[j as usize] * pso_climbback_pmf(j - gamma, j))
+                    .sum()
+            })
+            .collect();
+        PsoLaw { pmf }
+    }
+
+    /// `Pr[B_γ^PSO]`.
+    #[must_use]
+    pub fn pmf(&self, gamma: u64) -> f64 {
+        usize::try_from(gamma)
+            .ok()
+            .and_then(|g| self.pmf.get(g))
+            .copied()
+            .unwrap_or(0.0)
+    }
+}
+
+impl Default for PsoLaw {
+    fn default() -> PsoLaw {
+        PsoLaw::new()
+    }
+}
+
+/// A cached window law for every named memory model.
+///
+/// Building one [`WindowLaws`] costs one partition-series evaluation; all
+/// subsequent pmf queries are O(depth) at worst.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowLaws {
+    tso: TsoLaw,
+    pso: PsoLaw,
+}
+
+impl WindowLaws {
+    /// Laws at default truncation depths.
+    #[must_use]
+    pub fn new() -> WindowLaws {
+        let tso = TsoLaw::new();
+        let pso = PsoLaw::from_tso(&tso);
+        WindowLaws { tso, pso }
+    }
+
+    /// `Pr[B_γ]` under `model`; `None` for custom models (no closed form —
+    /// use Monte-Carlo estimation from the `settle` crate).
+    #[must_use]
+    pub fn pmf(&self, model: MemoryModel, gamma: u64) -> Option<f64> {
+        match model {
+            MemoryModel::Sc => Some(sc_pmf(gamma)),
+            MemoryModel::Wo => Some(wo_pmf(gamma)),
+            MemoryModel::Tso => Some(self.tso.pmf(gamma)),
+            MemoryModel::Pso => Some(self.pso.pmf(gamma)),
+            MemoryModel::Custom(_) => None,
+        }
+    }
+
+    /// `E[2^-Γ]` where `Γ = γ + 2` is the full critical-window length (both
+    /// critical instructions included) — the quantity Theorem 6.2 needs:
+    /// `Pr[A] = (2/3)·E[2^-Γ]` for two threads.
+    #[must_use]
+    pub fn expected_two_pow_neg_window(&self, model: MemoryModel, gamma_max: u64) -> Option<f64> {
+        let mut total = 0.0;
+        for gamma in 0..=gamma_max {
+            total += self.pmf(model, gamma)? * 2f64.powi(-(gamma as i32) - 2);
+        }
+        Some(total)
+    }
+
+    /// The underlying TSO law.
+    #[must_use]
+    pub fn tso(&self) -> &TsoLaw {
+        &self.tso
+    }
+
+    /// The underlying PSO law.
+    #[must_use]
+    pub fn pso(&self) -> &PsoLaw {
+        &self.pso
+    }
+}
+
+impl Default for WindowLaws {
+    fn default() -> WindowLaws {
+        WindowLaws::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn laws() -> WindowLaws {
+        WindowLaws::new()
+    }
+
+    #[test]
+    fn sc_is_a_point_mass() {
+        assert_eq!(sc_pmf(0), 1.0);
+        for g in 1..10 {
+            assert_eq!(sc_pmf(g), 0.0);
+        }
+    }
+
+    #[test]
+    fn wo_normalises_and_matches_theorem() {
+        let total: f64 = (0..200).map(wo_pmf).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((wo_pmf(0) - 2.0 / 3.0).abs() < 1e-15);
+        assert!((wo_pmf(1) - 1.0 / 6.0).abs() < 1e-15);
+        assert!((wo_pmf(3) - 1.0 / 24.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tso_series_within_paper_bounds() {
+        let law = TsoLaw::new();
+        for gamma in 0..25u64 {
+            let v = law.pmf(gamma);
+            let (lo, hi) = tso_pmf_bounds(gamma);
+            assert!(
+                v >= lo - 1e-10 && v <= hi + 1e-10,
+                "γ={gamma}: {v} not in [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn tso_series_normalises() {
+        let law = TsoLaw::new();
+        let total: f64 = (0..96).map(|g| law.pmf(g)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total={total}");
+    }
+
+    #[test]
+    fn tso_zero_is_two_thirds() {
+        assert!((TsoLaw::new().pmf(0) - 2.0 / 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pso_normalises() {
+        let law = PsoLaw::new();
+        let total: f64 = (0..96).map(|g| law.pmf(g)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total={total}");
+    }
+
+    #[test]
+    fn pso_concentrates_more_than_tso_at_zero() {
+        // The climb-back can only shrink windows, so PSO puts more mass on
+        // γ = 0 than TSO and less on every large γ.
+        let l = laws();
+        let (tso, pso) = (l.tso(), l.pso());
+        assert!(pso.pmf(0) > tso.pmf(0));
+        for gamma in 3..20u64 {
+            assert!(
+                pso.pmf(gamma) < tso.pmf(gamma),
+                "γ={gamma}: PSO {} vs TSO {}",
+                pso.pmf(gamma),
+                tso.pmf(gamma)
+            );
+        }
+    }
+
+    #[test]
+    fn climbback_is_a_distribution() {
+        for j in 0..12u64 {
+            let total: f64 = (0..=j).map(|k| pso_climbback_pmf(k, j)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "j={j}");
+        }
+        assert_eq!(pso_climbback_pmf(3, 2), 0.0);
+    }
+
+    #[test]
+    fn stochastic_ordering_of_window_tails() {
+        // Window tails order as SC ≤ PSO ≤ TSO ≤ WO. PSO sits *below* TSO
+        // despite being the weaker model, because its extra ST/ST relaxation
+        // lets the critical store climb back and shrink the window.
+        let l = laws();
+        let tail = |model: MemoryModel, g0: u64| -> f64 {
+            (g0..96).map(|g| l.pmf(model, g).unwrap()).sum()
+        };
+        for g0 in 1..15u64 {
+            let sc = tail(MemoryModel::Sc, g0);
+            let tso = tail(MemoryModel::Tso, g0);
+            let pso = tail(MemoryModel::Pso, g0);
+            let wo = tail(MemoryModel::Wo, g0);
+            assert!(sc <= pso + 1e-12, "γ≥{g0}");
+            assert!(pso <= tso + 1e-12, "γ≥{g0}");
+            assert!(tso <= wo + 1e-12, "γ≥{g0}");
+        }
+    }
+
+    #[test]
+    fn pmf_dispatch_covers_named_models() {
+        let l = laws();
+        for model in MemoryModel::NAMED {
+            assert!(l.pmf(model, 0).is_some());
+        }
+        assert!(l
+            .pmf(MemoryModel::Custom(memmodel::ReorderMatrix::all()), 0)
+            .is_none());
+    }
+
+    #[test]
+    fn expected_window_terms_match_theorem_62() {
+        let l = laws();
+        // SC: E[2^-Γ] = 1/4; WO: 7/36; TSO ∈ (1/6 + 3/98, 1/6 + 3/98 + 1/126).
+        let sc = l.expected_two_pow_neg_window(MemoryModel::Sc, 90).unwrap();
+        assert!((sc - 0.25).abs() < 1e-12);
+        let wo = l.expected_two_pow_neg_window(MemoryModel::Wo, 90).unwrap();
+        assert!((wo - 7.0 / 36.0).abs() < 1e-12);
+        let tso = l.expected_two_pow_neg_window(MemoryModel::Tso, 90).unwrap();
+        assert!(tso > 1.0 / 6.0 + 3.0 / 98.0 - 1e-10);
+        assert!(tso < 1.0 / 6.0 + 3.0 / 98.0 + 1.0 / 126.0 + 1e-10);
+    }
+
+    #[test]
+    fn truncation_depth_is_converged() {
+        let coarse = TsoLaw::with_depth(48, 48);
+        let fine = TsoLaw::with_depth(128, 96);
+        for gamma in 0..6u64 {
+            assert!(
+                (coarse.pmf(gamma) - fine.pmf(gamma)).abs() < 1e-10,
+                "γ={gamma}"
+            );
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Benchmarks the big-rational substrate on the paper's actual workloads:
+//! the Theorem 5.1 prefactor and the exact SC survival at growing `n`.
+
+use analytic::bigq::{BigRational, BigUint};
+use analytic::shift_law;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_biguint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("biguint");
+    for bits in [256usize, 2048, 8192] {
+        let a = BigUint::two_pow(bits);
+        let b = &a - &BigUint::one();
+        group.bench_with_input(BenchmarkId::new("mul", bits), &bits, |bch, _| {
+            bch.iter(|| black_box(&a * &b));
+        });
+        group.bench_with_input(BenchmarkId::new("div_rem", bits), &bits, |bch, _| {
+            let d = BigUint::two_pow(bits / 2 + 1);
+            bch.iter(|| black_box(a.div_rem(&d)));
+        });
+        group.bench_with_input(BenchmarkId::new("gcd", bits), &bits, |bch, _| {
+            let x = &(&a * &BigUint::from(12345u64)) + &BigUint::from(6u64);
+            let y = &(&b * &BigUint::from(54321u64)) + &BigUint::from(9u64);
+            bch.iter(|| black_box(x.gcd(&y)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_paper_constants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_constants");
+    for n in [8u32, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("prefactor", n), &n, |b, &n| {
+            b.iter(|| black_box(shift_law::prefactor_exact(n)));
+        });
+        group.bench_with_input(BenchmarkId::new("sc_survival", n), &n, |b, &n| {
+            b.iter(|| black_box(shift_law::survival_identical_segments_exact(n, 2)));
+        });
+    }
+    group.bench_function("c_64_exact", |b| {
+        b.iter(|| black_box(shift_law::c_n_exact(64)));
+    });
+    group.bench_function("ratio_arithmetic_chain", |b| {
+        let x = BigRational::ratio(58, 441);
+        let y = BigRational::ratio(1, 189);
+        b.iter(|| {
+            let s = &x + &y;
+            let p = &s * &x;
+            black_box(&p / &y)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_biguint, bench_paper_constants);
+criterion_main!(benches);

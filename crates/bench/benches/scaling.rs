@@ -1,0 +1,36 @@
+//! DESIGN.md ablation 3: direct Monte-Carlo survival estimation vs the
+//! Rao-Blackwellised (Theorem 6.1) estimator — same target, wildly
+//! different sample-efficiency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memmodel::MemoryModel;
+use mmr_core::ReliabilityModel;
+use std::hint::black_box;
+
+const TRIALS: u64 = 2_000;
+
+fn bench_direct_vs_rb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("survival_estimators");
+    group.sample_size(10);
+    for n in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, &n| {
+            let rm = ReliabilityModel::new(MemoryModel::Tso, n);
+            b.iter(|| black_box(rm.simulate_survival(TRIALS, 5)));
+        });
+        group.bench_with_input(BenchmarkId::new("rao_blackwell", n), &n, |b, &n| {
+            let rm = ReliabilityModel::new(MemoryModel::Tso, n);
+            b.iter(|| black_box(rm.estimate_survival_rb(TRIALS, 5)));
+        });
+    }
+    // RB keeps working where direct estimation returns all-zero counts.
+    for n in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("rao_blackwell_large", n), &n, |b, &n| {
+            let rm = ReliabilityModel::new(MemoryModel::Wo, n);
+            b.iter(|| black_box(rm.estimate_survival_rb(TRIALS / 4, 6)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_direct_vs_rb);
+criterion_main!(benches);

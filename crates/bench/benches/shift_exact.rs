@@ -1,0 +1,51 @@
+//! Benchmarks the three exact `Pr[A(γ̄)]` evaluators against each other and
+//! against one Monte-Carlo trial (DESIGN.md ablation 4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use shiftproc::{exact, ShiftProcess};
+use std::hint::black_box;
+
+fn lengths(n: usize) -> Vec<u64> {
+    (0..n).map(|i| 2 + (i as u64 % 3)).collect()
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pr_disjoint");
+    for n in [2usize, 4, 6, 8] {
+        let ls = lengths(n);
+        group.bench_with_input(BenchmarkId::new("perm_sum", n), &ls, |b, ls| {
+            b.iter(|| black_box(exact::pr_disjoint_perm_sum(ls)));
+        });
+    }
+    for n in [2usize, 4, 8, 12, 16, 20] {
+        let ls = lengths(n);
+        group.bench_with_input(BenchmarkId::new("subset_dp", n), &ls, |b, ls| {
+            b.iter(|| black_box(exact::pr_disjoint(ls)));
+        });
+    }
+    for n in [2usize, 6, 10] {
+        let ls = lengths(n);
+        group.bench_with_input(BenchmarkId::new("exact_rational", n), &ls, |b, ls| {
+            b.iter(|| black_box(exact::pr_disjoint_exact(ls)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_disjoint");
+    let proc = ShiftProcess::canonical();
+    for n in [2usize, 8, 32] {
+        let ls = lengths(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ls, |b, ls| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            b.iter(|| black_box(proc.simulate_disjoint(ls, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact, bench_simulate);
+criterion_main!(benches);

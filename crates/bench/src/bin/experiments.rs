@@ -1,0 +1,90 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments [--quick] [--trials N] [--seed S] [--out FILE] [ids…]
+//! ```
+//!
+//! With no ids, all experiments run in DESIGN.md §4 order. The default
+//! (standard) context is what produced `EXPERIMENTS.md`.
+
+use mmr_bench::{registry, run_experiments, run_experiments_structured, Ctx};
+use std::io::Write as _;
+
+fn main() {
+    let mut ctx = Ctx::standard();
+    let mut ids: Vec<String> = Vec::new();
+    let mut out_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => ctx = Ctx::quick(),
+            "--trials" => {
+                let v = args.next().expect("--trials needs a value");
+                ctx.trials = v.parse().expect("--trials takes an integer");
+            }
+            "--seed" => {
+                let v = args.next().expect("--seed needs a value");
+                ctx.seed = v.parse().expect("--seed takes an integer");
+            }
+            "--out" => out_path = Some(args.next().expect("--out needs a path")),
+            "--json" => json_path = Some(args.next().expect("--json needs a path")),
+            "--list" => {
+                for e in registry() {
+                    println!("{:<8} {}", e.id, e.artifact);
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--quick] [--trials N] [--seed S] [--out FILE] [--json FILE] [--list] [ids...]"
+                );
+                return;
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
+
+    if let Some(path) = &json_path {
+        let res = run_experiments_structured(&ids, &ctx);
+        let json = serde_json::to_string_pretty(&res).expect("serializable results");
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        let mismatched: usize = res.experiments.iter().map(|e| e.mismatched).sum();
+        eprintln!("structured results written to {path}");
+        if mismatched > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let started = std::time::Instant::now();
+    let mut report = String::new();
+    report.push_str("# Experiment report — PODC 2011 memory-model reliability reproduction\n\n");
+    report.push_str(&format!(
+        "context: trials = {}, seed = {}\n\n",
+        ctx.trials, ctx.seed
+    ));
+    report.push_str(&run_experiments(&ids, &ctx));
+    report.push_str(&format!(
+        "\ntotal wall time: {:.1}s\n",
+        started.elapsed().as_secs_f64()
+    ));
+
+    match out_path {
+        Some(path) => {
+            let mut f = std::fs::File::create(&path)
+                .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
+            f.write_all(report.as_bytes()).expect("write report");
+            eprintln!("report written to {path}");
+        }
+        None => print!("{report}"),
+    }
+
+    let reproduced = report.matches("REPRODUCED").count();
+    let mismatched = report.matches("MISMATCH").count();
+    eprintln!("\n{reproduced} checks REPRODUCED, {mismatched} MISMATCH");
+    if mismatched > 0 {
+        std::process::exit(1);
+    }
+}

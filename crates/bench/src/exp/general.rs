@@ -1,0 +1,171 @@
+//! EXP-GENERAL: the §7 robustness programme — every law generalised to
+//! arbitrary `(p, s, q)` and validated by simulation, including one finding
+//! the paper did not report.
+
+use crate::{verdict, Ctx};
+use analytic::general::{GeneralWindowLaws, Params};
+use memmodel::{MemoryModel, SettleProbs};
+use montecarlo::{chi_square_gof, Runner, Seed};
+use progmodel::ProgramGenerator;
+use settle::Settler;
+use shiftproc::ShiftProcess;
+use std::fmt::Write as _;
+use textplot::Table;
+
+fn settler(model: MemoryModel, s: f64) -> Settler {
+    Settler::new(model.matrix(), SettleProbs::uniform(s).expect("valid s"))
+}
+
+/// Validates the generalised window laws and survival formula at off-
+/// canonical parameters, then demonstrates that the paper's TSO > WO
+/// survival ordering is *not* robust: it inverts at high swap probability.
+pub fn run(ctx: &Ctx) -> String {
+    let mut out = String::new();
+    let mut ok = true;
+
+    // Generalised laws vs MC at two off-canonical parameter points.
+    let _ = writeln!(out, "generalised window laws vs simulation (chi-square):\n");
+    for (pi, (p, s)) in [(0.3f64, 0.6f64), (0.7, 0.4)].into_iter().enumerate() {
+        let laws = GeneralWindowLaws::new(Params::new(p, s, 0.5).expect("valid params"));
+        for (mi, model) in [MemoryModel::Tso, MemoryModel::Wo, MemoryModel::Pso]
+            .into_iter()
+            .enumerate()
+        {
+            let st = settler(model, s);
+            let gen = ProgramGenerator::new(64)
+                .with_store_probability(p)
+                .expect("valid p");
+            let h = Runner::new(Seed(ctx.seed.wrapping_add((pi * 10 + mi) as u64) ^ 0x6E))
+                .histogram(ctx.trials / 2, move |rng| {
+                    let program = gen.generate(rng);
+                    st.sample_gamma(&program, rng)
+                });
+            let gof = chi_square_gof(&h, |g| laws.pmf(model, g).expect("named"), 5.0);
+            let pass = gof.consistent_at(0.001);
+            ok &= pass;
+            let _ = writeln!(
+                out,
+                "  p={p} s={s} {:<4}: chi-square {:.2} (dof {}), p-value {:.4} -> {}",
+                model.short_name(),
+                gof.statistic,
+                gof.dof,
+                gof.p_value,
+                verdict(pass)
+            );
+        }
+    }
+
+    // Generalised survival formula vs full end-to-end simulation with a
+    // non-canonical shift parameter.
+    let _ = writeln!(
+        out,
+        "\ngeneralised two-thread survival Pr[A] = 2(1-q)/(2-q) E[(1-q)^Gamma]:\n"
+    );
+    let mut table = Table::new(vec!["(p, s, q)", "model", "analytic", "simulated", "covered"]);
+    for (ci, (p, s, q)) in [(0.5f64, 0.5f64, 0.3f64), (0.3, 0.6, 0.7)].into_iter().enumerate() {
+        let laws = GeneralWindowLaws::new(Params::new(p, s, q).expect("valid params"));
+        for (mi, model) in MemoryModel::NAMED.into_iter().enumerate() {
+            let analytic_v = laws.two_thread_survival(model).expect("named");
+            let st = settler(model, s);
+            let gen = ProgramGenerator::new(64)
+                .with_store_probability(p)
+                .expect("valid p");
+            let proc = ShiftProcess::with_q(q).expect("valid q");
+            let est = Runner::new(Seed(ctx.seed.wrapping_add((ci * 10 + mi) as u64) ^ 0x6F))
+                .bernoulli(ctx.trials / 2, move |rng| {
+                    let program = gen.generate(rng);
+                    let windows: Vec<u64> = (0..2)
+                        .map(|_| st.settle(&program, rng).window_len())
+                        .collect();
+                    proc.simulate_disjoint(&windows, rng)
+                });
+            let covered = est.covers(analytic_v, 0.999);
+            ok &= covered;
+            table.row(vec![
+                format!("({p}, {s}, {q})"),
+                model.short_name().into(),
+                format!("{analytic_v:.6}"),
+                format!("{:.6}", est.point()),
+                covered.to_string(),
+            ]);
+        }
+    }
+    out.push_str(&table.render());
+
+    // The robustness finding: TSO > WO at canonical parameters, but the
+    // ordering inverts at high s.
+    let canonical = GeneralWindowLaws::new(Params::canonical());
+    let high_s = GeneralWindowLaws::new(Params::new(0.5, 0.8, 0.5).expect("valid params"));
+    let v = |laws: &GeneralWindowLaws, m| laws.two_thread_survival(m).expect("named");
+    let canon_order = v(&canonical, MemoryModel::Tso) > v(&canonical, MemoryModel::Wo);
+    let flipped = v(&high_s, MemoryModel::Wo) > v(&high_s, MemoryModel::Tso);
+    let _ = writeln!(
+        out,
+        "\nfinding: the TSO-vs-WO ordering is NOT parameter-robust.\n\
+         canonical (s=0.5): TSO {:.5} > WO {:.5} -> {}\n\
+         high swap (s=0.8): WO {:.5} > TSO {:.5} -> {}",
+        v(&canonical, MemoryModel::Tso),
+        v(&canonical, MemoryModel::Wo),
+        verdict(canon_order),
+        v(&high_s, MemoryModel::Wo),
+        v(&high_s, MemoryModel::Tso),
+        verdict(flipped),
+    );
+    // Confirm the inversion by simulation, not just the series.
+    let sim = |model: MemoryModel, salt: u64| {
+        let st = settler(model, 0.8);
+        let gen = ProgramGenerator::new(64);
+        Runner::new(Seed(ctx.seed ^ salt)).bernoulli(ctx.trials, move |rng| {
+            let program = gen.generate(rng);
+            let windows: Vec<u64> = (0..2)
+                .map(|_| st.settle(&program, rng).window_len())
+                .collect();
+            ShiftProcess::canonical().simulate_disjoint(&windows, rng)
+        })
+    };
+    let wo_sim = sim(MemoryModel::Wo, 0x701);
+    let tso_sim = sim(MemoryModel::Tso, 0x702);
+    let sim_flip = wo_sim.point() > tso_sim.point();
+    ok &= canon_order && flipped && sim_flip;
+    let _ = writeln!(
+        out,
+        "simulated at s=0.8, q=0.5: WO {:.5} vs TSO {:.5} -> {}\n\
+         (mechanism: under WO the critical store chases the critical load —\n\
+          the same climb-back that makes PSO safer than TSO — and at high s\n\
+          the chase wins; at s = 1/2 the two laws tie at Pr[B_0] = 2/3 exactly)",
+        wo_sim.point(),
+        tso_sim.point(),
+        verdict(sim_flip)
+    );
+
+    // What *is* robust: SC dominates everything, PSO dominates TSO.
+    let mut robust = true;
+    for p in [0.2, 0.5, 0.8] {
+        for s in [0.2, 0.5, 0.8] {
+            let laws = GeneralWindowLaws::new(Params::new(p, s, 0.5).expect("valid params"));
+            robust &= v(&laws, MemoryModel::Sc) >= v(&laws, MemoryModel::Pso) - 1e-9;
+            robust &= v(&laws, MemoryModel::Sc) >= v(&laws, MemoryModel::Wo) - 1e-9;
+            robust &= v(&laws, MemoryModel::Pso) >= v(&laws, MemoryModel::Tso) - 1e-9;
+        }
+    }
+    ok &= robust;
+    let _ = writeln!(
+        out,
+        "\nrobust across the 3x3 grid: SC >= all relaxed models, PSO >= TSO: {}",
+        verdict(robust)
+    );
+
+    let _ = writeln!(out, "\noverall: {}", verdict(ok));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_general_laws_and_flip() {
+        let out = run(&Ctx::quick());
+        assert!(out.contains("overall: REPRODUCED"), "{out}");
+    }
+}

@@ -1,0 +1,226 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each experiment in [`exp`] reproduces one artifact (see DESIGN.md §4's
+//! per-experiment index) and returns a text report section with
+//! paper-vs-measured rows. The `experiments` binary runs any subset and is
+//! the source of `EXPERIMENTS.md`; the Criterion benches in `benches/`
+//! measure the cost of the underlying machinery.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exp;
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Shared experiment context.
+#[derive(Debug, Clone, Copy)]
+pub struct Ctx {
+    /// Baseline Monte-Carlo trial count (experiments scale it as needed).
+    pub trials: u64,
+    /// Master seed for all randomness.
+    pub seed: u64,
+}
+
+impl Ctx {
+    /// The default context used to generate `EXPERIMENTS.md`.
+    #[must_use]
+    pub fn standard() -> Ctx {
+        Ctx {
+            trials: 200_000,
+            seed: 20110606, // PODC'11, June 6 2011
+        }
+    }
+
+    /// A fast context for smoke tests.
+    #[must_use]
+    pub fn quick() -> Ctx {
+        Ctx {
+            trials: 10_000,
+            seed: 20110606,
+        }
+    }
+}
+
+impl Default for Ctx {
+    fn default() -> Ctx {
+        Ctx::standard()
+    }
+}
+
+/// One experiment: id, paper artifact, and runner.
+pub struct Experiment {
+    /// Short id (`t1`, `thm62`, …) used on the command line.
+    pub id: &'static str,
+    /// The paper artifact reproduced.
+    pub artifact: &'static str,
+    /// Runs the experiment, returning a report section.
+    pub run: fn(&Ctx) -> String,
+}
+
+/// Every experiment, in DESIGN.md §4 order.
+#[must_use]
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment { id: "t1", artifact: "Table 1 — memory-model relaxation matrix", run: exp::t1::run },
+        Experiment { id: "f1", artifact: "Figure 1 — a settling-process instantiation under TSO", run: exp::f1::run },
+        Experiment { id: "f2", artifact: "Figure 2 — a shift-process instantiation", run: exp::f2::run },
+        Experiment { id: "thm41", artifact: "Theorem 4.1 — critical-window growth laws", run: exp::thm41::run },
+        Experiment { id: "clm43", artifact: "Claim 4.3 — steady-state bottom store fraction 2/3", run: exp::clm43::run },
+        Experiment { id: "lem42", artifact: "Lemma 4.2 — Pr[L_mu] bounds and series", run: exp::lem42::run },
+        Experiment { id: "thm51", artifact: "Theorem 5.1 — exact shift disjointness", run: exp::thm51::run },
+        Experiment { id: "cor52", artifact: "Corollary 5.2 — c(n) in [2,4], c(2) = 8/3", run: exp::cor52::run },
+        Experiment { id: "thm61", artifact: "Theorem 6.1 — exchangeability reduction", run: exp::thm61::run },
+        Experiment { id: "thm62", artifact: "Theorem 6.2 — two-thread survival table", run: exp::thm62::run },
+        Experiment { id: "thm63", artifact: "Theorem 6.3 — large-n asymptotics", run: exp::thm63::run },
+        Experiment { id: "pso", artifact: "footnote 4 — the omitted PSO result", run: exp::pso::run },
+        Experiment { id: "fence", artifact: "section 7 — fences shrink windows", run: exp::fence::run },
+        Experiment { id: "opsim", artifact: "section 2.2 — operational multiprocessor ground truth", run: exp::opsim::run },
+        Experiment { id: "litmus", artifact: "section 2.1 semantics — SB/MP/LB litmus matrix", run: exp::litmus::run },
+        Experiment { id: "general", artifact: "section 7 robustness — laws at arbitrary (p, s, q)", run: exp::general::run },
+    ]
+}
+
+/// Runs a set of experiment ids (all when empty), concatenating sections.
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+#[must_use]
+pub fn run_experiments(ids: &[String], ctx: &Ctx) -> String {
+    let registry = registry();
+    let selected: Vec<&Experiment> = if ids.is_empty() {
+        registry.iter().collect()
+    } else {
+        ids.iter()
+            .map(|id| {
+                registry
+                    .iter()
+                    .find(|e| e.id == id)
+                    .unwrap_or_else(|| panic!("unknown experiment id {id:?}"))
+            })
+            .collect()
+    };
+    let mut out = String::new();
+    for e in selected {
+        let _ = writeln!(out, "## {} — {}\n", e.id.to_uppercase(), e.artifact);
+        out.push_str(&(e.run)(ctx));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a paper-vs-measured verdict line.
+#[must_use]
+pub fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "REPRODUCED"
+    } else {
+        "MISMATCH"
+    }
+}
+
+/// Machine-readable result of one experiment run.
+#[derive(Debug, Clone, Serialize, PartialEq, Eq)]
+pub struct ExperimentResult {
+    /// Experiment id.
+    pub id: String,
+    /// The paper artifact reproduced.
+    pub artifact: String,
+    /// Number of individual checks that reproduced.
+    pub reproduced: usize,
+    /// Number of individual checks that mismatched.
+    pub mismatched: usize,
+    /// The full text section.
+    pub report: String,
+}
+
+/// Machine-readable result of a whole run (the `--json` output).
+#[derive(Debug, Clone, Serialize, PartialEq, Eq)]
+pub struct RunResult {
+    /// Trial count of the context.
+    pub trials: u64,
+    /// Master seed of the context.
+    pub seed: u64,
+    /// Per-experiment results.
+    pub experiments: Vec<ExperimentResult>,
+}
+
+/// Runs experiments and collects structured results (the `--json` path).
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+#[must_use]
+pub fn run_experiments_structured(ids: &[String], ctx: &Ctx) -> RunResult {
+    let registry = registry();
+    let selected: Vec<&Experiment> = if ids.is_empty() {
+        registry.iter().collect()
+    } else {
+        ids.iter()
+            .map(|id| {
+                registry
+                    .iter()
+                    .find(|e| e.id == id)
+                    .unwrap_or_else(|| panic!("unknown experiment id {id:?}"))
+            })
+            .collect()
+    };
+    let experiments = selected
+        .into_iter()
+        .map(|e| {
+            let report = (e.run)(ctx);
+            ExperimentResult {
+                id: e.id.to_owned(),
+                artifact: e.artifact.to_owned(),
+                reproduced: report.matches("REPRODUCED").count(),
+                mismatched: report.matches("MISMATCH").count(),
+                report,
+            }
+        })
+        .collect();
+    RunResult {
+        trials: ctx.trials,
+        seed: ctx.seed,
+        experiments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let reg = registry();
+        let mut ids: Vec<&str> = reg.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), reg.len());
+        assert_eq!(reg.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_id_panics() {
+        let _ = run_experiments(&["nope".into()], &Ctx::quick());
+    }
+
+    #[test]
+    fn t1_runs_in_quick_mode() {
+        let out = run_experiments(&["t1".into()], &Ctx::quick());
+        assert!(out.contains("Table 1"));
+        assert!(out.contains("REPRODUCED"));
+    }
+
+    #[test]
+    fn structured_results_serialize() {
+        let res = run_experiments_structured(&["t1".into(), "f2".into()], &Ctx::quick());
+        assert_eq!(res.experiments.len(), 2);
+        assert!(res.experiments.iter().all(|e| e.mismatched == 0));
+        assert!(res.experiments.iter().all(|e| e.reproduced >= 1));
+        let json = serde_json::to_string_pretty(&res).unwrap();
+        assert!(json.contains("\"id\": \"t1\""));
+    }
+}

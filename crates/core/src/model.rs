@@ -1,0 +1,238 @@
+//! The joined model configuration and its samplers.
+
+use memmodel::{MemoryModel, CANONICAL_P};
+use montecarlo::{BernoulliEstimate, Histogram, Runner, Seed};
+use progmodel::ProgramGenerator;
+use rand::Rng;
+use settle::Settler;
+use shiftproc::ShiftProcess;
+use std::fmt;
+
+/// Default filler length; window-law truncation error decays like `2^-m`.
+pub const DEFAULT_M: usize = 64;
+
+/// The end-to-end reliability model of §6 for one memory model and thread
+/// count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityModel {
+    model: MemoryModel,
+    settler: Settler,
+    n: usize,
+    m: usize,
+    p: f64,
+    acquire_fence: bool,
+}
+
+impl ReliabilityModel {
+    /// The canonical model: `s = p = 1/2`, filler length [`DEFAULT_M`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(model: MemoryModel, n: usize) -> ReliabilityModel {
+        assert!(n >= 1, "at least one thread");
+        ReliabilityModel {
+            model,
+            settler: Settler::for_model(model),
+            n,
+            m: DEFAULT_M,
+            p: CANONICAL_P,
+            acquire_fence: false,
+        }
+    }
+
+    /// Inserts an acquire fence directly before the critical load in every
+    /// generated program — the §7 mitigation. The window is then pinned at
+    /// the SC size under any memory model.
+    #[must_use]
+    pub fn with_acquire_fence(mut self) -> ReliabilityModel {
+        self.acquire_fence = true;
+        self
+    }
+
+    /// Replaces the filler length `m` (builder style).
+    #[must_use]
+    pub fn with_filler_len(mut self, m: usize) -> ReliabilityModel {
+        self.m = m;
+        self
+    }
+
+    /// Replaces the store probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the invalid value if `p` is not in `[0, 1]`.
+    pub fn with_store_probability(mut self, p: f64) -> Result<ReliabilityModel, f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(p);
+        }
+        self.p = p;
+        Ok(self)
+    }
+
+    /// Replaces the settler (for the generalised per-pair probabilities of
+    /// footnote 3, or fence-aware settling).
+    #[must_use]
+    pub fn with_settler(mut self, settler: Settler) -> ReliabilityModel {
+        self.settler = settler;
+        self
+    }
+
+    /// The memory model.
+    #[must_use]
+    pub fn memory_model(&self) -> MemoryModel {
+        self.model
+    }
+
+    /// The thread count `n`.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.n
+    }
+
+    /// The filler length `m`.
+    #[must_use]
+    pub fn filler_len(&self) -> usize {
+        self.m
+    }
+
+    /// The settler in use.
+    #[must_use]
+    pub fn settler(&self) -> &Settler {
+        &self.settler
+    }
+
+    fn generator(&self) -> ProgramGenerator {
+        ProgramGenerator::new(self.m)
+            .with_store_probability(self.p)
+            .expect("validated probability")
+    }
+
+    /// Samples one window-length vector `Γ_1 … Γ_n`: one random program,
+    /// `n` independent settles (§6: "we generate a single initial random
+    /// program, then independently reorder n copies of this program").
+    pub fn sample_windows<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u64> {
+        let mut program = self.generator().generate(rng);
+        if self.acquire_fence {
+            program = program.with_acquire_before_critical();
+        }
+        (0..self.n)
+            .map(|_| self.settler.settle(&program, rng).window_len())
+            .collect()
+    }
+
+    /// Simulates one end-to-end trial: `true` when the bug does **not**
+    /// manifest (all shifted windows disjoint — the event `A`).
+    pub fn simulate_survival_once<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        let windows = self.sample_windows(rng);
+        ShiftProcess::canonical().simulate_disjoint(&windows, rng)
+    }
+
+    /// Direct Monte-Carlo estimate of `Pr[A]` over `trials` runs.
+    #[must_use]
+    pub fn simulate_survival(&self, trials: u64, seed: u64) -> BernoulliEstimate {
+        let this = *self;
+        Runner::new(Seed(seed)).bernoulli(trials, move |rng| this.simulate_survival_once(rng))
+    }
+
+    /// Empirical distribution of the per-thread window growth `γ = Γ − 2`.
+    #[must_use]
+    pub fn window_histogram(&self, trials: u64, seed: u64) -> Histogram {
+        let this = *self;
+        Runner::new(Seed(seed)).histogram(trials, move |rng| {
+            let mut program = this.generator().generate(rng);
+            if this.acquire_fence {
+                program = program.with_acquire_before_critical();
+            }
+            this.settler.sample_gamma(&program, rng)
+        })
+    }
+}
+
+impl fmt::Display for ReliabilityModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ReliabilityModel({}, n={}, m={}, p={})",
+            self.model, self.n, self.m, self.p
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builders_validate() {
+        let m = ReliabilityModel::new(MemoryModel::Sc, 2)
+            .with_filler_len(16)
+            .with_store_probability(0.3)
+            .unwrap();
+        assert_eq!(m.filler_len(), 16);
+        assert_eq!(m.threads(), 2);
+        assert!(ReliabilityModel::new(MemoryModel::Sc, 2)
+            .with_store_probability(1.5)
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = ReliabilityModel::new(MemoryModel::Sc, 0);
+    }
+
+    #[test]
+    fn sc_windows_are_all_two() {
+        let m = ReliabilityModel::new(MemoryModel::Sc, 4);
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..20 {
+            assert!(m.sample_windows(&mut rng).iter().all(|&w| w == 2));
+        }
+    }
+
+    #[test]
+    fn window_vectors_have_n_entries() {
+        for n in [1usize, 2, 5] {
+            let m = ReliabilityModel::new(MemoryModel::Wo, n);
+            let mut rng = SmallRng::seed_from_u64(1);
+            assert_eq!(m.sample_windows(&mut rng).len(), n);
+        }
+    }
+
+    #[test]
+    fn one_thread_always_survives() {
+        let m = ReliabilityModel::new(MemoryModel::Wo, 1);
+        let est = m.simulate_survival(2_000, 3);
+        assert_eq!(est.point(), 1.0);
+    }
+
+    #[test]
+    fn histogram_matches_gamma_support() {
+        let m = ReliabilityModel::new(MemoryModel::Sc, 2);
+        let h = m.window_histogram(1_000, 4);
+        assert_eq!(h.count(0), h.total());
+    }
+
+    #[test]
+    fn acquire_fence_restores_sc_behaviour() {
+        // Fenced WO: windows pinned to 2, survival equals the SC constant.
+        let m = ReliabilityModel::new(MemoryModel::Wo, 2).with_acquire_fence();
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..20 {
+            assert!(m.sample_windows(&mut rng).iter().all(|&w| w == 2));
+        }
+        let est = m.simulate_survival(60_000, 10);
+        assert!(est.covers(1.0 / 6.0, 0.999), "{est}");
+    }
+
+    #[test]
+    fn display_summarises_config() {
+        let m = ReliabilityModel::new(MemoryModel::Tso, 3);
+        let s = m.to_string();
+        assert!(s.contains("TSO") && s.contains("n=3"));
+    }
+}

@@ -1,0 +1,249 @@
+//! The named memory consistency models analysed in the paper.
+
+use crate::{ReorderMatrix, SettleProbs};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A memory consistency model, as characterised by its reorder matrix.
+///
+/// The paper analyses three models in depth — Sequential Consistency, Total
+/// Store Order, and Weak Ordering — and notes (footnote 4) that a very
+/// similar analysis covers Partial Store Order. [`MemoryModel::Custom`]
+/// carries an arbitrary [`ReorderMatrix`], supporting the "other plausible
+/// models" of §7.
+///
+/// # Example
+///
+/// ```
+/// use memmodel::MemoryModel;
+///
+/// let order: Vec<_> = MemoryModel::NAMED.iter().map(|m| m.short_name()).collect();
+/// assert_eq!(order, ["SC", "TSO", "PSO", "WO"]);
+/// assert!(MemoryModel::Sc.is_stricter_than(&MemoryModel::Wo));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryModel {
+    /// Sequential Consistency (Lamport): no reordering at all.
+    Sc,
+    /// Total Store Order (SPARC/x86-like): loads may pass earlier stores.
+    Tso,
+    /// Partial Store Order: TSO plus stores may pass earlier stores
+    /// (to distinct locations).
+    Pso,
+    /// Weak Ordering: any operations may reorder absent data dependencies.
+    Wo,
+    /// A custom model defined by an arbitrary relaxation matrix.
+    Custom(ReorderMatrix),
+}
+
+impl MemoryModel {
+    /// The four named models, strictest first (the order of Table 1).
+    pub const NAMED: [MemoryModel; 4] = [
+        MemoryModel::Sc,
+        MemoryModel::Tso,
+        MemoryModel::Pso,
+        MemoryModel::Wo,
+    ];
+
+    /// The three models given headline results in Theorem 6.2.
+    pub const HEADLINE: [MemoryModel; 3] = [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Wo];
+
+    /// The model's relaxation matrix (its row of Table 1).
+    #[must_use]
+    pub const fn matrix(&self) -> ReorderMatrix {
+        match self {
+            MemoryModel::Sc => ReorderMatrix::none(),
+            MemoryModel::Tso => ReorderMatrix::new(false, true, false, false),
+            MemoryModel::Pso => ReorderMatrix::new(true, true, false, false),
+            MemoryModel::Wo => ReorderMatrix::all(),
+            MemoryModel::Custom(m) => *m,
+        }
+    }
+
+    /// The canonical settling probabilities for this model (`s = 1/2` on
+    /// every relaxed pair), as used by the paper's analysis.
+    #[must_use]
+    pub fn canonical_probs(&self) -> SettleProbs {
+        SettleProbs::canonical()
+    }
+
+    /// Full name as used in the paper.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            MemoryModel::Sc => "Sequential Consistency",
+            MemoryModel::Tso => "Total Store Order",
+            MemoryModel::Pso => "Partial Store Order",
+            MemoryModel::Wo => "Weak Ordering",
+            MemoryModel::Custom(_) => "Custom",
+        }
+    }
+
+    /// Short name (`SC`, `TSO`, `PSO`, `WO`, `CUSTOM`).
+    #[must_use]
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            MemoryModel::Sc => "SC",
+            MemoryModel::Tso => "TSO",
+            MemoryModel::Pso => "PSO",
+            MemoryModel::Wo => "WO",
+            MemoryModel::Custom(_) => "CUSTOM",
+        }
+    }
+
+    /// `true` if `self` relaxes strictly fewer pairs than `other` while
+    /// remaining comparable in the Table 1 partial order.
+    #[must_use]
+    pub fn is_stricter_than(&self, other: &MemoryModel) -> bool {
+        let (a, b) = (self.matrix(), other.matrix());
+        a != b && a.at_least_as_strict_as(&b)
+    }
+
+    /// `true` if the model performs no reordering whatsoever (its settle
+    /// output always equals its input).
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.matrix().relaxation_count() == 0
+    }
+}
+
+impl Default for MemoryModel {
+    /// Defaults to Sequential Consistency, the strongest model.
+    fn default() -> MemoryModel {
+        MemoryModel::Sc
+    }
+}
+
+impl fmt::Display for MemoryModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let MemoryModel::Custom(m) = self {
+            write!(f, "CUSTOM[{m}]")
+        } else {
+            f.write_str(self.short_name())
+        }
+    }
+}
+
+/// Error returned when parsing a [`MemoryModel`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseMemoryModelError {
+    input: String,
+}
+
+impl ParseMemoryModelError {
+    /// The string that failed to parse.
+    #[must_use]
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseMemoryModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown memory model {:?} (expected sc, tso, pso, or wo)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseMemoryModelError {}
+
+impl FromStr for MemoryModel {
+    type Err = ParseMemoryModelError;
+
+    fn from_str(s: &str) -> Result<MemoryModel, ParseMemoryModelError> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "sc" | "sequential consistency" => Ok(MemoryModel::Sc),
+            "tso" | "total store order" => Ok(MemoryModel::Tso),
+            "pso" | "partial store order" => Ok(MemoryModel::Pso),
+            "wo" | "weak ordering" => Ok(MemoryModel::Wo),
+            _ => Err(ParseMemoryModelError {
+                input: s.to_owned(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpType::{Ld, St};
+
+    #[test]
+    fn table1_rows() {
+        // Table 1 of the paper, column order ST/ST, ST/LD, LD/ST, LD/LD.
+        assert_eq!(MemoryModel::Sc.matrix().to_string(), "....");
+        assert_eq!(MemoryModel::Tso.matrix().to_string(), ".X..");
+        assert_eq!(MemoryModel::Pso.matrix().to_string(), "XX..");
+        assert_eq!(MemoryModel::Wo.matrix().to_string(), "XXXX");
+    }
+
+    #[test]
+    fn tso_relaxes_exactly_st_ld() {
+        let m = MemoryModel::Tso.matrix();
+        assert!(m.allows(St, Ld));
+        assert!(!m.allows(St, St));
+        assert!(!m.allows(Ld, St));
+        assert!(!m.allows(Ld, Ld));
+    }
+
+    #[test]
+    fn strictness_chain() {
+        use MemoryModel::{Pso, Sc, Tso, Wo};
+        assert!(Sc.is_stricter_than(&Tso));
+        assert!(Tso.is_stricter_than(&Pso));
+        assert!(Pso.is_stricter_than(&Wo));
+        assert!(Sc.is_stricter_than(&Wo));
+        assert!(!Wo.is_stricter_than(&Sc));
+        assert!(!Sc.is_stricter_than(&Sc));
+    }
+
+    #[test]
+    fn only_sc_is_identity() {
+        assert!(MemoryModel::Sc.is_identity());
+        for m in [MemoryModel::Tso, MemoryModel::Pso, MemoryModel::Wo] {
+            assert!(!m.is_identity());
+        }
+        assert!(MemoryModel::Custom(ReorderMatrix::none()).is_identity());
+    }
+
+    #[test]
+    fn parse_round_trips_short_names() {
+        for m in MemoryModel::NAMED {
+            assert_eq!(m.short_name().parse::<MemoryModel>().unwrap(), m);
+            assert_eq!(m.name().parse::<MemoryModel>().unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_trims() {
+        assert_eq!(" tSo ".parse::<MemoryModel>().unwrap(), MemoryModel::Tso);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let err = "rc".parse::<MemoryModel>().unwrap_err();
+        assert_eq!(err.input(), "rc");
+        assert!(err.to_string().contains("unknown memory model"));
+    }
+
+    #[test]
+    fn custom_display_includes_matrix() {
+        let m = MemoryModel::Custom(ReorderMatrix::new(false, true, true, false));
+        assert_eq!(m.to_string(), "CUSTOM[.XX.]");
+    }
+
+    #[test]
+    fn custom_equals_named_matrix() {
+        let c = MemoryModel::Custom(MemoryModel::Tso.matrix());
+        assert_eq!(c.matrix(), MemoryModel::Tso.matrix());
+    }
+
+    #[test]
+    fn default_is_sc() {
+        assert_eq!(MemoryModel::default(), MemoryModel::Sc);
+    }
+}

@@ -1,0 +1,132 @@
+//! The memory-operation type alphabet.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The type of a memory operation in the program model (§3.1.1).
+///
+/// The paper's program model consists solely of loads and stores; arithmetic
+/// and control flow are abstracted away (§7 discusses this limitation).
+///
+/// # Example
+///
+/// ```
+/// use memmodel::OpType;
+///
+/// let t = OpType::Ld;
+/// assert_eq!(t.to_string(), "LD");
+/// assert_eq!(t.flip(), OpType::St);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpType {
+    /// A load (read) from memory.
+    Ld,
+    /// A store (write) to memory.
+    St,
+}
+
+impl OpType {
+    /// Both operation types, in a fixed order convenient for iteration.
+    pub const ALL: [OpType; 2] = [OpType::Ld, OpType::St];
+
+    /// Returns the opposite operation type.
+    ///
+    /// ```
+    /// use memmodel::OpType;
+    /// assert_eq!(OpType::St.flip(), OpType::Ld);
+    /// ```
+    #[must_use]
+    pub const fn flip(self) -> OpType {
+        match self {
+            OpType::Ld => OpType::St,
+            OpType::St => OpType::Ld,
+        }
+    }
+
+    /// Returns `true` if this is a load.
+    #[must_use]
+    pub const fn is_load(self) -> bool {
+        matches!(self, OpType::Ld)
+    }
+
+    /// Returns `true` if this is a store.
+    #[must_use]
+    pub const fn is_store(self) -> bool {
+        matches!(self, OpType::St)
+    }
+
+    /// A dense index (`LD = 0`, `ST = 1`) used for table lookups.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            OpType::Ld => 0,
+            OpType::St => 1,
+        }
+    }
+
+    /// The inverse of [`OpType::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 1`.
+    #[must_use]
+    pub fn from_index(index: usize) -> OpType {
+        match index {
+            0 => OpType::Ld,
+            1 => OpType::St,
+            _ => panic!("OpType index must be 0 or 1, got {index}"),
+        }
+    }
+}
+
+impl fmt::Display for OpType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpType::Ld => f.write_str("LD"),
+            OpType::St => f.write_str("ST"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involutive() {
+        for t in OpType::ALL {
+            assert_eq!(t.flip().flip(), t);
+        }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for t in OpType::ALL {
+            assert_eq!(OpType::from_index(t.index()), t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 0 or 1")]
+    fn from_index_rejects_out_of_range() {
+        let _ = OpType::from_index(2);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(OpType::Ld.to_string(), "LD");
+        assert_eq!(OpType::St.to_string(), "ST");
+    }
+
+    #[test]
+    fn predicates_are_exclusive() {
+        assert!(OpType::Ld.is_load() && !OpType::Ld.is_store());
+        assert!(OpType::St.is_store() && !OpType::St.is_load());
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        // LD < ST, relied upon by dense tables.
+        assert!(OpType::Ld < OpType::St);
+    }
+}

@@ -1,0 +1,215 @@
+//! Per-pair swap-success probabilities for the generalised settling process.
+
+use crate::{OpType, ReorderMatrix};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Swap-success probabilities `s_{τ1,τ2}` of the generalised settling model.
+///
+/// Footnote 3 of the paper: *"A more general form of the settling model
+/// allows different nonzero probabilities for different kinds of reorderings,
+/// depending on the types of memory operations involved."* The canonical
+/// analysis fixes all of them to `s = 1/2`.
+///
+/// Probabilities are indexed by the ordered pair `(earlier, later)`, matching
+/// [`ReorderMatrix::allows`]. Combining a matrix with probabilities yields
+/// the effective swap probability via [`SettleProbs::effective`]: `0` when
+/// the matrix forbids the pair, `s_{τ1,τ2}` otherwise.
+///
+/// # Example
+///
+/// ```
+/// use memmodel::{OpType, ReorderMatrix, SettleProbs};
+///
+/// let probs = SettleProbs::uniform(0.5).expect("0.5 is a probability");
+/// let tso = ReorderMatrix::new(false, true, false, false);
+/// assert_eq!(probs.effective(&tso, OpType::St, OpType::Ld), 0.5);
+/// assert_eq!(probs.effective(&tso, OpType::Ld, OpType::Ld), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SettleProbs {
+    /// `s[earlier.index()][later.index()]`.
+    s: [[f64; 2]; 2],
+}
+
+/// Error returned when a settle probability lies outside `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidProbability {
+    /// The offending value.
+    pub value: f64,
+}
+
+impl fmt::Display for InvalidProbability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "settle probability {} is not in [0, 1]", self.value)
+    }
+}
+
+impl std::error::Error for InvalidProbability {}
+
+fn check(p: f64) -> Result<f64, InvalidProbability> {
+    if (0.0..=1.0).contains(&p) {
+        Ok(p)
+    } else {
+        Err(InvalidProbability { value: p })
+    }
+}
+
+impl SettleProbs {
+    /// All four probabilities equal to `s` (the paper's normal form).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidProbability`] if `s` is not in `[0, 1]`.
+    pub fn uniform(s: f64) -> Result<SettleProbs, InvalidProbability> {
+        let s = check(s)?;
+        Ok(SettleProbs { s: [[s; 2]; 2] })
+    }
+
+    /// The canonical probabilities of the paper's analysis: `s = 1/2`.
+    #[must_use]
+    pub fn canonical() -> SettleProbs {
+        SettleProbs { s: [[0.5; 2]; 2] }
+    }
+
+    /// Per-pair probabilities, in Table 1 column order
+    /// (`ST/ST`, `ST/LD`, `LD/ST`, `LD/LD`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidProbability`] if any argument is not in `[0, 1]`.
+    pub fn per_pair(
+        st_st: f64,
+        st_ld: f64,
+        ld_st: f64,
+        ld_ld: f64,
+    ) -> Result<SettleProbs, InvalidProbability> {
+        Ok(SettleProbs {
+            s: [
+                [check(ld_ld)?, check(ld_st)?],
+                [check(st_ld)?, check(st_st)?],
+            ],
+        })
+    }
+
+    /// The raw swap-success probability for the ordered pair
+    /// `(earlier, later)` — ignoring any reorder matrix.
+    #[must_use]
+    pub const fn raw(&self, earlier: OpType, later: OpType) -> f64 {
+        self.s[earlier.index()][later.index()]
+    }
+
+    /// The effective swap probability under `matrix`: `0` if the pair is not
+    /// relaxed, otherwise the raw probability.
+    #[must_use]
+    pub const fn effective(&self, matrix: &ReorderMatrix, earlier: OpType, later: OpType) -> f64 {
+        if matrix.allows(earlier, later) {
+            self.raw(earlier, later)
+        } else {
+            0.0
+        }
+    }
+
+    /// Returns a copy with the probability for `(earlier, later)` replaced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidProbability`] if `p` is not in `[0, 1]`.
+    pub fn with(
+        mut self,
+        earlier: OpType,
+        later: OpType,
+        p: f64,
+    ) -> Result<SettleProbs, InvalidProbability> {
+        self.s[earlier.index()][later.index()] = check(p)?;
+        Ok(self)
+    }
+}
+
+impl Default for SettleProbs {
+    /// The canonical `s = 1/2`.
+    fn default() -> SettleProbs {
+        SettleProbs::canonical()
+    }
+}
+
+impl fmt::Display for SettleProbs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use OpType::{Ld, St};
+        write!(
+            f,
+            "s(ST,ST)={} s(ST,LD)={} s(LD,ST)={} s(LD,LD)={}",
+            self.raw(St, St),
+            self.raw(St, Ld),
+            self.raw(Ld, St),
+            self.raw(Ld, Ld)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use OpType::{Ld, St};
+
+    #[test]
+    fn uniform_fills_all_pairs() {
+        let p = SettleProbs::uniform(0.25).unwrap();
+        for e in OpType::ALL {
+            for l in OpType::ALL {
+                assert_eq!(p.raw(e, l), 0.25);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_rejects_out_of_range() {
+        assert!(SettleProbs::uniform(-0.1).is_err());
+        assert!(SettleProbs::uniform(1.1).is_err());
+        assert!(SettleProbs::uniform(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn per_pair_column_order() {
+        let p = SettleProbs::per_pair(0.1, 0.2, 0.3, 0.4).unwrap();
+        assert_eq!(p.raw(St, St), 0.1);
+        assert_eq!(p.raw(St, Ld), 0.2);
+        assert_eq!(p.raw(Ld, St), 0.3);
+        assert_eq!(p.raw(Ld, Ld), 0.4);
+    }
+
+    #[test]
+    fn effective_zeroes_forbidden_pairs() {
+        let p = SettleProbs::canonical();
+        let sc = ReorderMatrix::none();
+        let wo = ReorderMatrix::all();
+        for e in OpType::ALL {
+            for l in OpType::ALL {
+                assert_eq!(p.effective(&sc, e, l), 0.0);
+                assert_eq!(p.effective(&wo, e, l), 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn with_replaces_one_entry() {
+        let p = SettleProbs::canonical().with(St, Ld, 0.9).unwrap();
+        assert_eq!(p.raw(St, Ld), 0.9);
+        assert_eq!(p.raw(St, St), 0.5);
+        assert!(SettleProbs::canonical().with(St, Ld, 2.0).is_err());
+    }
+
+    #[test]
+    fn canonical_is_default_and_half() {
+        assert_eq!(SettleProbs::default(), SettleProbs::canonical());
+        assert_eq!(SettleProbs::canonical().raw(Ld, St), 0.5);
+    }
+
+    #[test]
+    fn display_mentions_all_pairs() {
+        let s = SettleProbs::canonical().to_string();
+        for pair in ["s(ST,ST)", "s(ST,LD)", "s(LD,ST)", "s(LD,LD)"] {
+            assert!(s.contains(pair), "missing {pair} in {s}");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Monte-Carlo harness: deterministic RNG fan-out, parallel trial runners,
+//! and streaming statistics.
+//!
+//! Every simulation in this workspace is driven through this crate so that
+//! results are (a) reproducible from a single master seed and (b) cheap to
+//! parallelise. The statistical layer provides Wilson confidence intervals
+//! for proportions, Welford accumulators for means, and a chi-square
+//! goodness-of-fit test (against the exact laws from the `analytic` crate).
+//!
+//! # Example
+//!
+//! ```
+//! use montecarlo::{Runner, Seed};
+//! use rand::Rng;
+//!
+//! // Estimate Pr[coin == heads] with a deterministic seed.
+//! let runner = Runner::new(Seed(42)).with_threads(2);
+//! let est = runner.bernoulli(10_000, |rng| rng.gen_bool(0.5));
+//! let (lo, hi) = est.wilson_ci(0.999);
+//! assert!(lo < 0.5 && 0.5 < hi);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chi2;
+mod hist;
+mod rng;
+mod runner;
+mod stats;
+
+pub use chi2::{chi_square_gof, GofResult};
+pub use hist::Histogram;
+pub use rng::{task_rng, Seed};
+pub use runner::Runner;
+pub use stats::{BernoulliEstimate, Welford};

@@ -1,0 +1,239 @@
+//! Parallel trial runners.
+
+use crate::{BernoulliEstimate, Histogram, Seed, Welford};
+use rand::rngs::SmallRng;
+
+/// A deterministic, parallel Monte-Carlo runner.
+///
+/// Trials are split into per-thread chunks; each chunk derives its own RNG
+/// from the master [`Seed`] and the chunk index, so the aggregate result is
+/// identical for any thread count.
+///
+/// # Example
+///
+/// ```
+/// use montecarlo::{Runner, Seed};
+/// use rand::Rng;
+///
+/// let mean = Runner::new(Seed(1)).with_threads(4).mean(4_000, |rng| {
+///     rng.gen_range(0.0..1.0)
+/// });
+/// assert!((mean.mean() - 0.5).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Runner {
+    seed: Seed,
+    threads: usize,
+}
+
+impl Runner {
+    /// A runner with the given master seed, defaulting to the machine's
+    /// available parallelism.
+    #[must_use]
+    pub fn new(seed: Seed) -> Runner {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Runner { seed, threads }
+    }
+
+    /// Overrides the worker-thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Runner {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The master seed.
+    #[must_use]
+    pub fn seed(&self) -> Seed {
+        self.seed
+    }
+
+    /// The worker-thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `trials` independent trials, folding each chunk with `fold` from
+    /// `init` and merging chunk results with `merge`.
+    ///
+    /// This is the primitive the typed runners below are built on. Chunking
+    /// is by trial index, so the RNG stream consumed by trial `i` depends
+    /// only on `(seed, chunk(i))` — deterministic across thread counts
+    /// requires chunk boundaries to be fixed, so they are: trials are split
+    /// into exactly `threads` contiguous chunks.
+    pub fn fold<T, A: Send>(
+        &self,
+        trials: u64,
+        init: impl Fn() -> A + Sync,
+        trial: impl Fn(&mut SmallRng) -> T + Sync,
+        fold: impl Fn(&mut A, T) + Sync,
+        merge: impl Fn(&mut A, A),
+    ) -> A {
+        let chunks = chunk_sizes(trials, self.threads as u64);
+        let mut results: Vec<Option<A>> = Vec::new();
+        for _ in 0..chunks.len() {
+            results.push(None);
+        }
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (idx, (&count, slot)) in chunks.iter().zip(results.iter_mut()).enumerate() {
+                let seed = self.seed;
+                let (trial, fold, init) = (&trial, &fold, &init);
+                handles.push(scope.spawn(move |_| {
+                    let mut rng = crate::task_rng(seed, idx as u64);
+                    let mut acc = init();
+                    for _ in 0..count {
+                        fold(&mut acc, trial(&mut rng));
+                    }
+                    *slot = Some(acc);
+                }));
+            }
+            for h in handles {
+                h.join().expect("monte-carlo worker panicked");
+            }
+        })
+        .expect("monte-carlo scope panicked");
+
+        let mut out = init();
+        for r in results.into_iter().flatten() {
+            merge(&mut out, r);
+        }
+        out
+    }
+
+    /// Estimates a probability: `trial` returns whether the event occurred.
+    pub fn bernoulli(
+        &self,
+        trials: u64,
+        trial: impl Fn(&mut SmallRng) -> bool + Sync,
+    ) -> BernoulliEstimate {
+        self.fold(
+            trials,
+            BernoulliEstimate::new,
+            trial,
+            |acc, hit| acc.record(hit),
+            |a, b| a.merge(&b),
+        )
+    }
+
+    /// Estimates a mean: `trial` returns one observation.
+    pub fn mean(&self, trials: u64, trial: impl Fn(&mut SmallRng) -> f64 + Sync) -> Welford {
+        self.fold(
+            trials,
+            Welford::new,
+            trial,
+            |acc, x| acc.record(x),
+            |a, b| a.merge(&b),
+        )
+    }
+
+    /// Builds an empirical histogram: `trial` returns one integer sample.
+    pub fn histogram(
+        &self,
+        trials: u64,
+        trial: impl Fn(&mut SmallRng) -> u64 + Sync,
+    ) -> Histogram {
+        self.fold(
+            trials,
+            Histogram::new,
+            trial,
+            |acc, v| acc.record(v),
+            |a, b| a.merge(&b),
+        )
+    }
+}
+
+impl Default for Runner {
+    fn default() -> Runner {
+        Runner::new(Seed::default())
+    }
+}
+
+/// Splits `trials` into exactly `workers` contiguous chunk sizes (some may
+/// be zero when `trials < workers`).
+fn chunk_sizes(trials: u64, workers: u64) -> Vec<u64> {
+    let workers = workers.max(1);
+    let base = trials / workers;
+    let extra = trials % workers;
+    (0..workers)
+        .map(|i| base + u64::from(i < extra))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn chunks_cover_all_trials() {
+        for trials in [0u64, 1, 7, 100, 101] {
+            for workers in [1u64, 2, 3, 8] {
+                let c = chunk_sizes(trials, workers);
+                assert_eq!(c.len(), workers as usize);
+                assert_eq!(c.iter().sum::<u64>(), trials);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts_with_same_chunking() {
+        // Same thread count => identical results.
+        let a = Runner::new(Seed(5))
+            .with_threads(3)
+            .bernoulli(9_999, |rng| rng.gen_bool(0.3));
+        let b = Runner::new(Seed(5))
+            .with_threads(3)
+            .bernoulli(9_999, |rng| rng.gen_bool(0.3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bernoulli_estimates_probability() {
+        let est = Runner::new(Seed(6))
+            .with_threads(4)
+            .bernoulli(100_000, |rng| rng.gen_bool(0.25));
+        assert!(est.covers(0.25, 0.999), "{est}");
+    }
+
+    #[test]
+    fn mean_estimates_expectation() {
+        let w = Runner::new(Seed(7))
+            .with_threads(2)
+            .mean(50_000, |rng| f64::from(rng.gen_range(1..=6)));
+        assert!((w.mean() - 3.5).abs() < 0.05, "{w}");
+        assert_eq!(w.count(), 50_000);
+    }
+
+    #[test]
+    fn histogram_collects_all_samples() {
+        let h = Runner::new(Seed(8))
+            .with_threads(4)
+            .histogram(10_000, |rng| u64::from(rng.gen_range(0..4u32)));
+        assert_eq!(h.total(), 10_000);
+        for v in 0..4 {
+            assert!((h.pmf(v) - 0.25).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn zero_trials_yield_empty_accumulators() {
+        let est = Runner::new(Seed(9)).bernoulli(0, |_| true);
+        assert_eq!(est.trials(), 0);
+    }
+
+    #[test]
+    fn single_thread_matches_fold_by_hand() {
+        let runner = Runner::new(Seed(10)).with_threads(1);
+        let est = runner.bernoulli(1000, |rng| rng.gen_bool(0.5));
+        let mut rng = crate::task_rng(Seed(10), 0);
+        let mut manual = BernoulliEstimate::new();
+        for _ in 0..1000 {
+            manual.record(rng.gen_bool(0.5));
+        }
+        assert_eq!(est, manual);
+    }
+}

@@ -1,0 +1,353 @@
+//! Streaming statistics.
+
+use analytic::special::normal_cdf;
+use std::fmt;
+
+/// A Bernoulli (success/failure) estimate with confidence intervals.
+///
+/// # Example
+///
+/// ```
+/// use montecarlo::BernoulliEstimate;
+///
+/// let mut est = BernoulliEstimate::new();
+/// for i in 0..1000 { est.record(i % 4 == 0); }
+/// assert_eq!(est.point(), 0.25);
+/// let (lo, hi) = est.wilson_ci(0.95);
+/// assert!(lo < 0.25 && 0.25 < hi);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BernoulliEstimate {
+    successes: u64,
+    trials: u64,
+}
+
+impl BernoulliEstimate {
+    /// An empty estimate.
+    #[must_use]
+    pub fn new() -> BernoulliEstimate {
+        BernoulliEstimate::default()
+    }
+
+    /// Builds directly from counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `successes > trials`.
+    #[must_use]
+    pub fn from_counts(successes: u64, trials: u64) -> BernoulliEstimate {
+        assert!(successes <= trials, "successes exceed trials");
+        BernoulliEstimate { successes, trials }
+    }
+
+    /// Records one trial.
+    pub fn record(&mut self, success: bool) {
+        self.trials += 1;
+        self.successes += u64::from(success);
+    }
+
+    /// Merges another estimate (for parallel reduction).
+    pub fn merge(&mut self, other: &BernoulliEstimate) {
+        self.successes += other.successes;
+        self.trials += other.trials;
+    }
+
+    /// Number of successes.
+    #[must_use]
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Number of trials.
+    #[must_use]
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// The point estimate `successes / trials` (`NaN` with no trials).
+    #[must_use]
+    pub fn point(&self) -> f64 {
+        self.successes as f64 / self.trials as f64
+    }
+
+    /// The Wilson score interval at the given two-sided confidence level.
+    ///
+    /// Returns `(0, 1)` when no trials have been recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is not in `(0, 1)`.
+    #[must_use]
+    pub fn wilson_ci(&self, confidence: f64) -> (f64, f64) {
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0, 1)"
+        );
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let z = normal_quantile(0.5 + confidence / 2.0);
+        let n = self.trials as f64;
+        let p = self.point();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((centre - half).max(0.0), (centre + half).min(1.0))
+    }
+
+    /// Whether the Wilson interval at `confidence` covers `value`.
+    #[must_use]
+    pub fn covers(&self, value: f64, confidence: f64) -> bool {
+        let (lo, hi) = self.wilson_ci(confidence);
+        lo <= value && value <= hi
+    }
+}
+
+impl fmt::Display for BernoulliEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (lo, hi) = self.wilson_ci(0.95);
+        write!(
+            f,
+            "{:.6} [{:.6}, {:.6}] ({}/{})",
+            self.point(),
+            lo,
+            hi,
+            self.successes,
+            self.trials
+        )
+    }
+}
+
+/// Standard normal quantile via bisection on [`normal_cdf`].
+///
+/// Accurate to ~1e-12, ample for confidence intervals.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1)`.
+#[must_use]
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile requires p in (0, 1)");
+    let (mut lo, mut hi) = (-40.0f64, 40.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if normal_cdf(mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Welford's streaming mean/variance accumulator.
+///
+/// # Example
+///
+/// ```
+/// use montecarlo::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] { w.record(x); }
+/// assert_eq!(w.mean(), 2.5);
+/// assert!((w.sample_variance() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Welford {
+        Welford::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merges another accumulator (Chan's parallel formula).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2 + delta * delta * (self.count as f64) * (other.count as f64)
+            / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The sample mean (`NaN` when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// The unbiased sample variance (`NaN` with fewer than two samples).
+    #[must_use]
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn sem(&self) -> f64 {
+        (self.sample_variance() / self.count as f64).sqrt()
+    }
+
+    /// Normal-approximation CI for the mean at the given confidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is not in `(0, 1)`.
+    #[must_use]
+    pub fn ci(&self, confidence: f64) -> (f64, f64) {
+        let z = normal_quantile(0.5 + confidence / 2.0);
+        let half = z * self.sem();
+        (self.mean() - half, self.mean() + half)
+    }
+}
+
+impl fmt::Display for Welford {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6} ± {:.6} (n={})", self.mean(), self.sem(), self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bernoulli_point_and_counts() {
+        let est = BernoulliEstimate::from_counts(30, 100);
+        assert_eq!(est.point(), 0.3);
+        assert_eq!(est.successes(), 30);
+        assert_eq!(est.trials(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn bernoulli_rejects_inverted_counts() {
+        let _ = BernoulliEstimate::from_counts(5, 3);
+    }
+
+    #[test]
+    fn wilson_shrinks_with_samples() {
+        let narrow = BernoulliEstimate::from_counts(5_000, 10_000);
+        let wide = BernoulliEstimate::from_counts(50, 100);
+        let w = |e: &BernoulliEstimate| {
+            let (lo, hi) = e.wilson_ci(0.95);
+            hi - lo
+        };
+        assert!(w(&narrow) < w(&wide));
+    }
+
+    #[test]
+    fn wilson_stays_in_unit_interval() {
+        for (s, t) in [(0u64, 10u64), (10, 10), (1, 3)] {
+            let (lo, hi) = BernoulliEstimate::from_counts(s, t).wilson_ci(0.99);
+            assert!((0.0..=1.0).contains(&lo));
+            assert!((0.0..=1.0).contains(&hi));
+            assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn wilson_empty_is_vacuous() {
+        assert_eq!(BernoulliEstimate::new().wilson_ci(0.95), (0.0, 1.0));
+    }
+
+    #[test]
+    fn normal_quantile_known_values() {
+        assert!((normal_quantile(0.975) - 1.959_963_984_540_054).abs() < 1e-9);
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.841_344_746_068_543) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn welford_small_sample() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.record(x);
+        }
+        assert_eq!(w.mean(), 5.0);
+        assert!((w.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut w = Welford::new();
+        assert!(w.mean().is_nan());
+        w.record(3.0);
+        assert_eq!(w.mean(), 3.0);
+        assert!(w.sample_variance().is_nan());
+    }
+
+    proptest! {
+        #[test]
+        fn merge_equals_sequential(
+            xs in proptest::collection::vec(-100.0f64..100.0, 1..50),
+            split in 0usize..50,
+        ) {
+            let split = split.min(xs.len());
+            let mut whole = Welford::new();
+            for &x in &xs { whole.record(x); }
+            let (mut a, mut b) = (Welford::new(), Welford::new());
+            for &x in &xs[..split] { a.record(x); }
+            for &x in &xs[split..] { b.record(x); }
+            a.merge(&b);
+            prop_assert!((a.mean() - whole.mean()).abs() < 1e-9);
+            prop_assert_eq!(a.count(), whole.count());
+            if xs.len() >= 2 {
+                prop_assert!((a.sample_variance() - whole.sample_variance()).abs() < 1e-7);
+            }
+        }
+
+        #[test]
+        fn bernoulli_merge_adds_counts(s1 in 0u64..100, t1e in 0u64..100, s2 in 0u64..100, t2e in 0u64..100) {
+            let (t1, t2) = (s1 + t1e, s2 + t2e);
+            let mut a = BernoulliEstimate::from_counts(s1, t1);
+            a.merge(&BernoulliEstimate::from_counts(s2, t2));
+            prop_assert_eq!(a.successes(), s1 + s2);
+            prop_assert_eq!(a.trials(), t1 + t2);
+        }
+
+        #[test]
+        fn wilson_covers_truth_for_exact_p(t in 10u64..5000) {
+            // The interval at 99.9% around s = t/2 must cover 1/2.
+            let est = BernoulliEstimate::from_counts(t / 2, t);
+            prop_assert!(est.covers(0.5, 0.999));
+        }
+    }
+}

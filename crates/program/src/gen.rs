@@ -1,0 +1,198 @@
+//! Random program generation (§3.1.1).
+
+use crate::{Program, ProgramError};
+use memmodel::{OpType, CANONICAL_P};
+use rand::Rng;
+use std::fmt;
+
+/// Generator of random initial program orders.
+///
+/// Produces programs of `m` i.i.d. filler operations (`Pr[ST] = p`,
+/// `Pr[LD] = 1 − p`) followed by the critical load/store pair — the random
+/// process of §3.1.1. The paper's analysis sets `p = 1/2` and lets `m → ∞`;
+/// in simulation `m` is finite and the truncation error of every
+/// window-related quantity decays geometrically in `m` (each extra filler
+/// instruction is reachable by the critical load only through one more
+/// successful swap).
+///
+/// # Example
+///
+/// ```
+/// use progmodel::ProgramGenerator;
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(42);
+/// let gen = ProgramGenerator::new(32).with_store_probability(0.25).unwrap();
+/// let prog = gen.generate(&mut rng);
+/// assert_eq!(prog.m(), 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgramGenerator {
+    m: usize,
+    p: f64,
+}
+
+impl ProgramGenerator {
+    /// A generator of programs with `m` filler operations and the canonical
+    /// store probability `p = 1/2`.
+    #[must_use]
+    pub fn new(m: usize) -> ProgramGenerator {
+        ProgramGenerator { m, p: CANONICAL_P }
+    }
+
+    /// Replaces the store probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the invalid value if `p` is not in `[0, 1]`.
+    pub fn with_store_probability(mut self, p: f64) -> Result<ProgramGenerator, f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(p);
+        }
+        self.p = p;
+        Ok(self)
+    }
+
+    /// The number of filler operations `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The store probability `p`.
+    #[must_use]
+    pub fn store_probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Draws a random initial program order `S_0`.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Program {
+        let types: Vec<OpType> = (0..self.m)
+            .map(|_| {
+                if rng.gen_bool(self.p) {
+                    OpType::St
+                } else {
+                    OpType::Ld
+                }
+            })
+            .collect();
+        Program::from_filler_types(&types).expect("generated programs satisfy the model invariants")
+    }
+
+    /// Draws only the filler type sequence (no allocation of locations);
+    /// useful for analytic code that needs the type string alone.
+    pub fn generate_types<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<OpType> {
+        (0..self.m)
+            .map(|_| {
+                if rng.gen_bool(self.p) {
+                    OpType::St
+                } else {
+                    OpType::Ld
+                }
+            })
+            .collect()
+    }
+
+    /// The all-stores program of size `m` (a deterministic worst case for
+    /// TSO window growth: the critical load sits below a run of stores).
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`Program::from_filler_types`].
+    pub fn all_stores(m: usize) -> Result<Program, ProgramError> {
+        Program::from_filler_types(&vec![OpType::St; m])
+    }
+
+    /// The all-loads program of size `m` (TSO window growth is impossible:
+    /// the critical load stops immediately).
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`Program::from_filler_types`].
+    pub fn all_loads(m: usize) -> Result<Program, ProgramError> {
+        Program::from_filler_types(&vec![OpType::Ld; m])
+    }
+}
+
+impl fmt::Display for ProgramGenerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ProgramGenerator(m={}, p={})", self.m, self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_length() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for m in [0, 1, 5, 64] {
+            let p = ProgramGenerator::new(m).generate(&mut rng);
+            assert_eq!(p.m(), m);
+            assert_eq!(p.len(), m + 2);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ProgramGenerator::new(32).generate(&mut SmallRng::seed_from_u64(9));
+        let b = ProgramGenerator::new(32).generate(&mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extreme_store_probabilities() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let all_st = ProgramGenerator::new(50)
+            .with_store_probability(1.0)
+            .unwrap()
+            .generate(&mut rng);
+        assert_eq!(all_st.filler_store_count(), 50);
+        let all_ld = ProgramGenerator::new(50)
+            .with_store_probability(0.0)
+            .unwrap()
+            .generate(&mut rng);
+        assert_eq!(all_ld.filler_store_count(), 0);
+    }
+
+    #[test]
+    fn store_fraction_close_to_p() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let gen = ProgramGenerator::new(10_000)
+            .with_store_probability(0.3)
+            .unwrap();
+        let p = gen.generate(&mut rng);
+        let frac = p.filler_store_count() as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "store fraction {frac} far from 0.3");
+    }
+
+    #[test]
+    fn rejects_invalid_probability() {
+        assert_eq!(
+            ProgramGenerator::new(4).with_store_probability(1.5),
+            Err(1.5)
+        );
+    }
+
+    #[test]
+    fn deterministic_patterns() {
+        assert_eq!(
+            ProgramGenerator::all_stores(3).unwrap().filler_store_count(),
+            3
+        );
+        assert_eq!(
+            ProgramGenerator::all_loads(3).unwrap().filler_store_count(),
+            0
+        );
+    }
+
+    #[test]
+    fn generate_types_matches_length() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(ProgramGenerator::new(17).generate_types(&mut rng).len(), 17);
+    }
+}

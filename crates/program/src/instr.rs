@@ -1,0 +1,239 @@
+//! Instructions of the program model.
+
+use crate::Location;
+use memmodel::fence::FenceKind;
+use memmodel::OpType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What an instruction does: a memory access or a fence (§7 extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstrKind {
+    /// A load or store to [`Instruction::loc`].
+    Mem(OpType),
+    /// A fence; fences access no location and never settle.
+    Fence(FenceKind),
+}
+
+impl InstrKind {
+    /// The memory-operation type, if this is a memory access.
+    #[must_use]
+    pub const fn op_type(self) -> Option<OpType> {
+        match self {
+            InstrKind::Mem(t) => Some(t),
+            InstrKind::Fence(_) => None,
+        }
+    }
+
+    /// Whether this is a fence.
+    #[must_use]
+    pub const fn is_fence(self) -> bool {
+        matches!(self, InstrKind::Fence(_))
+    }
+}
+
+/// The role an instruction plays in the canonical atomicity violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// One of the `m` i.i.d. filler operations `x_1 … x_m`.
+    Filler,
+    /// The critical load `x_{m+1}` (Line 1 of the §2.2 bug).
+    CriticalLoad,
+    /// The critical store `x_{m+2}` (Line 3 of the §2.2 bug).
+    CriticalStore,
+    /// A fence inserted by the §7 extension.
+    Synchronization,
+}
+
+impl Role {
+    /// Whether this is one of the two critical instructions.
+    #[must_use]
+    pub const fn is_critical(self) -> bool {
+        matches!(self, Role::CriticalLoad | Role::CriticalStore)
+    }
+}
+
+/// A single instruction: kind, accessed location, and bug role.
+///
+/// # Example
+///
+/// ```
+/// use progmodel::{Instruction, Location, Role};
+/// use memmodel::OpType;
+///
+/// let i = Instruction::mem(OpType::Ld, Location::filler(3));
+/// assert_eq!(i.op_type(), Some(OpType::Ld));
+/// assert_eq!(i.role(), Role::Filler);
+/// assert!(!i.is_critical());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Instruction {
+    kind: InstrKind,
+    /// The accessed location; fences carry `None`.
+    loc: Option<Location>,
+    role: Role,
+}
+
+impl Instruction {
+    /// A filler memory access of type `ty` to `loc`.
+    #[must_use]
+    pub const fn mem(ty: OpType, loc: Location) -> Instruction {
+        Instruction {
+            kind: InstrKind::Mem(ty),
+            loc: Some(loc),
+            role: Role::Filler,
+        }
+    }
+
+    /// The critical load `x_{m+1}` (reads the shared location `X`).
+    #[must_use]
+    pub const fn critical_load() -> Instruction {
+        Instruction {
+            kind: InstrKind::Mem(OpType::Ld),
+            loc: Some(Location::SHARED),
+            role: Role::CriticalLoad,
+        }
+    }
+
+    /// The critical store `x_{m+2}` (writes the shared location `X`).
+    #[must_use]
+    pub const fn critical_store() -> Instruction {
+        Instruction {
+            kind: InstrKind::Mem(OpType::St),
+            loc: Some(Location::SHARED),
+            role: Role::CriticalStore,
+        }
+    }
+
+    /// A fence instruction of the given kind.
+    #[must_use]
+    pub const fn fence(kind: FenceKind) -> Instruction {
+        Instruction {
+            kind: InstrKind::Fence(kind),
+            loc: None,
+            role: Role::Synchronization,
+        }
+    }
+
+    /// The instruction kind.
+    #[must_use]
+    pub const fn kind(&self) -> InstrKind {
+        self.kind
+    }
+
+    /// The memory-operation type, if this is a memory access.
+    #[must_use]
+    pub const fn op_type(&self) -> Option<OpType> {
+        self.kind.op_type()
+    }
+
+    /// The accessed location (`None` for fences).
+    #[must_use]
+    pub const fn loc(&self) -> Option<Location> {
+        self.loc
+    }
+
+    /// The instruction's role in the canonical bug.
+    #[must_use]
+    pub const fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Whether this is the critical load or the critical store.
+    #[must_use]
+    pub const fn is_critical(&self) -> bool {
+        self.role.is_critical()
+    }
+
+    /// Whether this is a fence.
+    #[must_use]
+    pub const fn is_fence(&self) -> bool {
+        self.kind.is_fence()
+    }
+
+    /// Whether two instructions access the same memory location.
+    ///
+    /// Data-dependent instructions can never reorder ("If two instructions
+    /// access the same location, they cannot reorder", §3.1.1 fn. 2).
+    /// Fences conflict with nothing by this definition — their ordering
+    /// constraints are directional and handled separately.
+    #[must_use]
+    pub fn conflicts_with(&self, other: &Instruction) -> bool {
+        match (self.loc, other.loc) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.kind, self.loc) {
+            (InstrKind::Mem(t), Some(loc)) => {
+                write!(f, "{t} {loc}")?;
+                if self.is_critical() {
+                    f.write_str("*")?;
+                }
+                Ok(())
+            }
+            (InstrKind::Fence(k), _) => write!(f, "{k}"),
+            (InstrKind::Mem(t), None) => write!(f, "{t} ?"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_pair_shares_the_shared_location() {
+        let ld = Instruction::critical_load();
+        let st = Instruction::critical_store();
+        assert_eq!(ld.loc(), Some(Location::SHARED));
+        assert_eq!(st.loc(), Some(Location::SHARED));
+        assert!(ld.conflicts_with(&st));
+        assert_eq!(ld.op_type(), Some(OpType::Ld));
+        assert_eq!(st.op_type(), Some(OpType::St));
+        assert!(ld.is_critical() && st.is_critical());
+    }
+
+    #[test]
+    fn fillers_do_not_conflict_with_criticals() {
+        let f = Instruction::mem(OpType::St, Location::filler(0));
+        assert!(!f.conflicts_with(&Instruction::critical_load()));
+        assert!(!f.is_critical());
+        assert_eq!(f.role(), Role::Filler);
+    }
+
+    #[test]
+    fn conflict_is_symmetric_and_reflexive_for_mem_ops() {
+        let a = Instruction::mem(OpType::Ld, Location::filler(1));
+        let b = Instruction::mem(OpType::St, Location::filler(1));
+        assert!(a.conflicts_with(&b));
+        assert!(b.conflicts_with(&a));
+        assert!(a.conflicts_with(&a));
+    }
+
+    #[test]
+    fn fences_conflict_with_nothing() {
+        let fence = Instruction::fence(FenceKind::Full);
+        assert!(!fence.conflicts_with(&fence));
+        assert!(!fence.conflicts_with(&Instruction::critical_load()));
+        assert!(fence.is_fence());
+        assert_eq!(fence.op_type(), None);
+        assert_eq!(fence.loc(), None);
+        assert_eq!(fence.role(), Role::Synchronization);
+    }
+
+    #[test]
+    fn display_marks_critical_instructions() {
+        assert_eq!(Instruction::critical_load().to_string(), "LD X*");
+        assert_eq!(Instruction::critical_store().to_string(), "ST X*");
+        assert_eq!(
+            Instruction::mem(OpType::St, Location::filler(1)).to_string(),
+            "ST X2"
+        );
+        assert_eq!(Instruction::fence(FenceKind::Acquire).to_string(), "ACQ");
+    }
+}

@@ -1,0 +1,102 @@
+//! Memory locations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A memory location identifier.
+///
+/// Appendix A.1: each filler instruction `x_i` accesses a location `X_i`
+/// such that `X_i = X_j` only if `i = j`, and `X_i ≠ X` where `X` is the
+/// shared location of the critical load/store pair.
+///
+/// [`Location::SHARED`] is the distinguished shared location `X`; filler
+/// locations are produced by [`Location::filler`].
+///
+/// # Example
+///
+/// ```
+/// use progmodel::Location;
+///
+/// assert!(Location::SHARED.is_shared());
+/// assert_ne!(Location::filler(0), Location::SHARED);
+/// assert_ne!(Location::filler(0), Location::filler(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Location(u32);
+
+impl Location {
+    /// The shared location `X` accessed by both critical instructions.
+    pub const SHARED: Location = Location(0);
+
+    /// The `i`-th distinct filler location (`X_{i+1}` in the paper, 0-based
+    /// here). Always distinct from [`Location::SHARED`] and from every other
+    /// filler index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= u32::MAX as usize`, which would collide with the
+    /// shared location after wrapping.
+    #[must_use]
+    pub fn filler(i: usize) -> Location {
+        let i = u32::try_from(i).expect("filler index fits in u32");
+        assert!(i < u32::MAX, "filler index too large");
+        Location(i + 1)
+    }
+
+    /// Whether this is the shared location `X`.
+    #[must_use]
+    pub const fn is_shared(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw numeric identifier (0 is the shared location).
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_shared() {
+            f.write_str("X")
+        } else {
+            write!(f, "X{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_is_distinguished() {
+        assert!(Location::SHARED.is_shared());
+        assert_eq!(Location::SHARED.raw(), 0);
+    }
+
+    #[test]
+    fn fillers_are_distinct_and_never_shared() {
+        let locs: Vec<Location> = (0..100).map(Location::filler).collect();
+        for (i, a) in locs.iter().enumerate() {
+            assert!(!a.is_shared());
+            for b in &locs[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(Location::SHARED.to_string(), "X");
+        assert_eq!(Location::filler(0).to_string(), "X1");
+        assert_eq!(Location::filler(41).to_string(), "X42");
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn filler_rejects_wrapping_index() {
+        let _ = Location::filler(u32::MAX as usize);
+    }
+}

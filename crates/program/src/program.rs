@@ -1,0 +1,404 @@
+//! Whole-program construction and validation.
+
+use crate::{InstrKind, Instruction, Location, Role};
+use memmodel::fence::FenceKind;
+use memmodel::OpType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// An initial program order `S_0` (Appendix A.1).
+///
+/// Invariants (checked on construction):
+///
+/// * exactly one [`Role::CriticalLoad`] and one [`Role::CriticalStore`],
+///   with the load preceding the store;
+/// * the two critical instructions are the only accesses to
+///   [`Location::SHARED`];
+/// * filler memory accesses use pairwise-distinct locations.
+///
+/// # Example
+///
+/// ```
+/// use progmodel::Program;
+/// use memmodel::OpType::{Ld, St};
+///
+/// let prog = Program::from_filler_types(&[St, Ld, St]).expect("valid program");
+/// assert_eq!(prog.m(), 3);
+/// assert_eq!(prog.len(), 5);
+/// assert_eq!(prog[3].role(), progmodel::Role::CriticalLoad);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(try_from = "Vec<Instruction>", into = "Vec<Instruction>")]
+pub struct Program {
+    instrs: Vec<Instruction>,
+}
+
+impl TryFrom<Vec<Instruction>> for Program {
+    type Error = ProgramError;
+
+    /// Deserialization route: re-validates the model invariants, so a
+    /// corrupted or hand-edited serialized program cannot bypass
+    /// [`Program::new`].
+    fn try_from(instrs: Vec<Instruction>) -> Result<Program, ProgramError> {
+        Program::new(instrs)
+    }
+}
+
+impl From<Program> for Vec<Instruction> {
+    fn from(p: Program) -> Vec<Instruction> {
+        p.instrs
+    }
+}
+
+/// Error returned when a sequence of instructions violates the program-model
+/// invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// Not exactly one critical load / critical store, or out of order.
+    MalformedCriticalPair,
+    /// A non-critical instruction accesses the shared location.
+    FillerTouchesShared {
+        /// Index of the offending instruction.
+        index: usize,
+    },
+    /// Two filler instructions share a location.
+    DuplicateFillerLocation {
+        /// Indices of the two clashing instructions.
+        first: usize,
+        /// Second clashing index.
+        second: usize,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::MalformedCriticalPair => f.write_str(
+                "program must contain exactly one critical LD followed by one critical ST",
+            ),
+            ProgramError::FillerTouchesShared { index } => write!(
+                f,
+                "non-critical instruction at index {index} accesses the shared location"
+            ),
+            ProgramError::DuplicateFillerLocation { first, second } => write!(
+                f,
+                "filler instructions at indices {first} and {second} share a location"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl Program {
+    /// Builds a program from raw instructions, validating the model
+    /// invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] describing the first violated invariant.
+    pub fn new(instrs: Vec<Instruction>) -> Result<Program, ProgramError> {
+        let loads: Vec<usize> = instrs
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.role() == Role::CriticalLoad)
+            .map(|(idx, _)| idx)
+            .collect();
+        let stores: Vec<usize> = instrs
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.role() == Role::CriticalStore)
+            .map(|(idx, _)| idx)
+            .collect();
+        if loads.len() != 1 || stores.len() != 1 || loads[0] >= stores[0] {
+            return Err(ProgramError::MalformedCriticalPair);
+        }
+
+        let mut seen: Vec<(Location, usize)> = Vec::new();
+        for (idx, ins) in instrs.iter().enumerate() {
+            if ins.is_critical() {
+                continue;
+            }
+            if let Some(loc) = ins.loc() {
+                if loc.is_shared() {
+                    return Err(ProgramError::FillerTouchesShared { index: idx });
+                }
+                if let Some(&(_, first)) = seen.iter().find(|(l, _)| *l == loc) {
+                    return Err(ProgramError::DuplicateFillerLocation { first, second: idx });
+                }
+                seen.push((loc, idx));
+            }
+        }
+        Ok(Program { instrs })
+    }
+
+    /// The canonical program shape of Appendix A.1: `m` filler operations of
+    /// the given types (assigned distinct locations in order), followed by
+    /// the critical load and critical store.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for this constructor's inputs in practice; the `Result`
+    /// mirrors [`Program::new`] for uniformity.
+    pub fn from_filler_types(types: &[OpType]) -> Result<Program, ProgramError> {
+        let mut instrs: Vec<Instruction> = types
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Instruction::mem(t, Location::filler(i)))
+            .collect();
+        instrs.push(Instruction::critical_load());
+        instrs.push(Instruction::critical_store());
+        Program::new(instrs)
+    }
+
+    /// Number of filler instructions `m`.
+    ///
+    /// For canonical programs (critical pair at the end, no fences) this is
+    /// `len() - 2`; in general it counts non-critical instructions.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.instrs.iter().filter(|i| !i.is_critical()).count()
+    }
+
+    /// Total number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program has no instructions (never true for valid
+    /// programs, which contain the critical pair).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Index of the critical load in initial program order.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for programs built through the validated constructors.
+    #[must_use]
+    pub fn critical_load_index(&self) -> usize {
+        self.instrs
+            .iter()
+            .position(|i| i.role() == Role::CriticalLoad)
+            .expect("validated program contains a critical load")
+    }
+
+    /// Index of the critical store in initial program order.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for programs built through the validated constructors.
+    #[must_use]
+    pub fn critical_store_index(&self) -> usize {
+        self.instrs
+            .iter()
+            .position(|i| i.role() == Role::CriticalStore)
+            .expect("validated program contains a critical store")
+    }
+
+    /// The instructions in initial program order.
+    #[must_use]
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
+    /// Iterates over the instructions in initial program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.instrs.iter()
+    }
+
+    /// Returns a copy of the program with `fence` inserted at `pos`
+    /// (subsequent instructions shift down by one).
+    ///
+    /// This supports the §7 fence extension: e.g. inserting an
+    /// [`FenceKind::Acquire`] immediately before the critical load prevents
+    /// the load from settling upward at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos > len()`.
+    #[must_use]
+    pub fn with_fence_at(&self, pos: usize, fence: FenceKind) -> Program {
+        assert!(pos <= self.len(), "fence position {pos} out of bounds");
+        let mut instrs = self.instrs.clone();
+        instrs.insert(pos, Instruction::fence(fence));
+        Program { instrs }
+    }
+
+    /// Returns a copy with an acquire fence just before the critical load —
+    /// the minimal synchronisation that pins the critical window to its SC
+    /// size under any memory model.
+    #[must_use]
+    pub fn with_acquire_before_critical(&self) -> Program {
+        self.with_fence_at(self.critical_load_index(), FenceKind::Acquire)
+    }
+
+    /// The sequence of filler operation types, in program order.
+    #[must_use]
+    pub fn filler_types(&self) -> Vec<OpType> {
+        self.instrs
+            .iter()
+            .filter(|i| !i.is_critical())
+            .filter_map(|i| i.op_type())
+            .collect()
+    }
+
+    /// Number of stores among the filler instructions.
+    #[must_use]
+    pub fn filler_store_count(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| !i.is_critical())
+            .filter(|i| matches!(i.kind(), InstrKind::Mem(OpType::St)))
+            .count()
+    }
+}
+
+impl Index<usize> for Program {
+    type Output = Instruction;
+
+    fn index(&self, index: usize) -> &Instruction {
+        &self.instrs[index]
+    }
+}
+
+impl<'a> IntoIterator for &'a Program {
+    type Item = &'a Instruction;
+    type IntoIter = std::slice::Iter<'a, Instruction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.instrs.iter()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, ins) in self.instrs.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            write!(f, "{ins}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use OpType::{Ld, St};
+
+    #[test]
+    fn from_filler_types_builds_canonical_shape() {
+        let p = Program::from_filler_types(&[St, Ld, St, St]).unwrap();
+        assert_eq!(p.m(), 4);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.critical_load_index(), 4);
+        assert_eq!(p.critical_store_index(), 5);
+        assert_eq!(p.filler_types(), vec![St, Ld, St, St]);
+        assert_eq!(p.filler_store_count(), 3);
+    }
+
+    #[test]
+    fn empty_filler_is_allowed() {
+        let p = Program::from_filler_types(&[]).unwrap();
+        assert_eq!(p.m(), 0);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn rejects_missing_critical_pair() {
+        let err = Program::new(vec![Instruction::mem(Ld, Location::filler(0))]).unwrap_err();
+        assert_eq!(err, ProgramError::MalformedCriticalPair);
+    }
+
+    #[test]
+    fn rejects_reversed_critical_pair() {
+        let err = Program::new(vec![
+            Instruction::critical_store(),
+            Instruction::critical_load(),
+        ])
+        .unwrap_err();
+        assert_eq!(err, ProgramError::MalformedCriticalPair);
+    }
+
+    #[test]
+    fn rejects_duplicate_criticals() {
+        let err = Program::new(vec![
+            Instruction::critical_load(),
+            Instruction::critical_load(),
+            Instruction::critical_store(),
+        ])
+        .unwrap_err();
+        assert_eq!(err, ProgramError::MalformedCriticalPair);
+    }
+
+    #[test]
+    fn rejects_filler_on_shared_location() {
+        let err = Program::new(vec![
+            Instruction::mem(St, Location::SHARED),
+            Instruction::critical_load(),
+            Instruction::critical_store(),
+        ])
+        .unwrap_err();
+        assert_eq!(err, ProgramError::FillerTouchesShared { index: 0 });
+    }
+
+    #[test]
+    fn rejects_duplicate_filler_locations() {
+        let err = Program::new(vec![
+            Instruction::mem(St, Location::filler(7)),
+            Instruction::mem(Ld, Location::filler(7)),
+            Instruction::critical_load(),
+            Instruction::critical_store(),
+        ])
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ProgramError::DuplicateFillerLocation {
+                first: 0,
+                second: 1
+            }
+        );
+    }
+
+    #[test]
+    fn fence_insertion_shifts_criticals() {
+        let p = Program::from_filler_types(&[St, St]).unwrap();
+        let fenced = p.with_acquire_before_critical();
+        assert_eq!(fenced.len(), 5);
+        assert!(fenced[2].is_fence());
+        assert_eq!(fenced.critical_load_index(), 3);
+        assert_eq!(fenced.critical_store_index(), 4);
+        // m counts non-critical instructions, including the fence.
+        assert_eq!(fenced.m(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn fence_position_is_bounds_checked() {
+        let p = Program::from_filler_types(&[]).unwrap();
+        let _ = p.with_fence_at(3, FenceKind::Full);
+    }
+
+    #[test]
+    fn display_joins_instructions() {
+        let p = Program::from_filler_types(&[St]).unwrap();
+        assert_eq!(p.to_string(), "ST X1; LD X*; ST X*");
+    }
+
+    #[test]
+    fn indexing_and_iteration_agree() {
+        let p = Program::from_filler_types(&[Ld, St]).unwrap();
+        let collected: Vec<Instruction> = p.iter().copied().collect();
+        for (i, ins) in collected.iter().enumerate() {
+            assert_eq!(&p[i], ins);
+        }
+        assert_eq!((&p).into_iter().count(), p.len());
+    }
+}

@@ -1,0 +1,146 @@
+//! Observables of intermediate settling orders — the random events the
+//! paper's Section 4 proof machinery is built on.
+//!
+//! * [`observe_l_mu`] — the `L_µ` variable of Lemma 4.2: how many contiguous
+//!   STs sit immediately above the critical LD in `S_m` (just before the
+//!   critical LD settles).
+//! * [`observe_bottom_store`] — the `S_{ST,i}(i)` event of Claim 4.3: whether
+//!   the bottom instruction of the settled prefix is a ST.
+
+use crate::Settler;
+use memmodel::OpType;
+use progmodel::Program;
+use rand::Rng;
+
+/// Samples `L_µ`: settles the first `m` instructions of `program` (all the
+/// fillers) and counts the contiguous STs directly above the critical LD.
+///
+/// The critical LD has not yet settled, so it still sits at its initial
+/// position; the count walks upward from there through the settled prefix.
+///
+/// # Panics
+///
+/// Panics if `program`'s critical load is not preceded only by fillers
+/// (e.g. a fence between the fillers and the critical pair is fine — it
+/// just terminates the ST run).
+pub fn observe_l_mu<R: Rng + ?Sized>(
+    settler: &Settler,
+    program: &Program,
+    rng: &mut R,
+) -> u64 {
+    let m = program.critical_load_index();
+    let settled = settler.settle_rounds(program, m, rng);
+    let mut count = 0;
+    for pos in (0..m).rev() {
+        let instr = program[settled.permutation().at_position(pos)];
+        if instr.op_type() == Some(OpType::St) {
+            count += 1;
+        } else {
+            break;
+        }
+    }
+    count
+}
+
+/// Samples the Claim 4.3 event: settles the first `i` instructions and
+/// reports whether the instruction at the bottom of the settled prefix
+/// (position `i − 1`) is a ST.
+///
+/// # Panics
+///
+/// Panics if `i == 0` or `i > program.len()`.
+pub fn observe_bottom_store<R: Rng + ?Sized>(
+    settler: &Settler,
+    program: &Program,
+    i: usize,
+    rng: &mut R,
+) -> bool {
+    assert!(i >= 1, "the bottom of an empty prefix is undefined");
+    let settled = settler.settle_rounds(program, i, rng);
+    let instr = program[settled.permutation().at_position(i - 1)];
+    instr.op_type() == Some(OpType::St)
+}
+
+/// Samples the full per-thread observable vector used by the joined model:
+/// settles everything and returns `(γ, Γ)`.
+pub fn observe_window<R: Rng + ?Sized>(
+    settler: &Settler,
+    program: &Program,
+    rng: &mut R,
+) -> (u64, u64) {
+    let s = settler.settle(program, rng);
+    (s.gamma(), s.window_len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memmodel::MemoryModel;
+    use memmodel::OpType::{Ld, St};
+    use progmodel::ProgramGenerator;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn l_mu_under_sc_counts_initial_trailing_stores() {
+        // SC never reorders, so L_µ is just the run of STs at the end of the
+        // initial filler sequence.
+        let settler = Settler::for_model(MemoryModel::Sc);
+        let p = Program::from_filler_types(&[Ld, St, Ld, St, St]).unwrap();
+        assert_eq!(observe_l_mu(&settler, &p, &mut rng(0)), 2);
+        let p = Program::from_filler_types(&[St, St, St]).unwrap();
+        assert_eq!(observe_l_mu(&settler, &p, &mut rng(0)), 3);
+        let p = Program::from_filler_types(&[St, Ld]).unwrap();
+        assert_eq!(observe_l_mu(&settler, &p, &mut rng(0)), 0);
+        let p = Program::from_filler_types(&[]).unwrap();
+        assert_eq!(observe_l_mu(&settler, &p, &mut rng(0)), 0);
+    }
+
+    #[test]
+    fn bottom_store_under_sc_is_the_initial_type() {
+        let settler = Settler::for_model(MemoryModel::Sc);
+        let p = Program::from_filler_types(&[St, Ld, St]).unwrap();
+        assert!(observe_bottom_store(&settler, &p, 1, &mut rng(0)));
+        assert!(!observe_bottom_store(&settler, &p, 2, &mut rng(0)));
+        assert!(observe_bottom_store(&settler, &p, 3, &mut rng(0)));
+    }
+
+    #[test]
+    fn tso_l_mu_is_at_least_the_initial_run() {
+        // Under TSO, LDs can only leave the bottom region (never enter it),
+        // so the contiguous ST run above the critical LD can only grow
+        // relative to SC... for the *same* realisation it is ≥ the initial
+        // trailing-store run.
+        let settler = Settler::for_model(MemoryModel::Tso);
+        for seed in 0..40u64 {
+            let p = ProgramGenerator::new(20).generate(&mut rng(seed));
+            let types = p.filler_types();
+            let initial_run = types.iter().rev().take_while(|&&t| t == St).count() as u64;
+            let observed = observe_l_mu(&settler, &p, &mut rng(seed + 500));
+            assert!(
+                observed >= initial_run,
+                "seed {seed}: observed {observed} < initial run {initial_run}"
+            );
+        }
+    }
+
+    #[test]
+    fn observe_window_consistent_with_settle() {
+        let settler = Settler::for_model(MemoryModel::Wo);
+        let p = ProgramGenerator::new(24).generate(&mut rng(1));
+        let (gamma, len) = observe_window(&settler, &p, &mut rng(2));
+        assert_eq!(len, gamma + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty prefix")]
+    fn bottom_store_rejects_zero_prefix() {
+        let settler = Settler::for_model(MemoryModel::Sc);
+        let p = Program::from_filler_types(&[St]).unwrap();
+        let _ = observe_bottom_store(&settler, &p, 0, &mut rng(0));
+    }
+}

@@ -1,0 +1,56 @@
+//! The settling process (§3.1.2 / Appendix A.2): randomized instruction
+//! reordering under a memory consistency model.
+//!
+//! Settling proceeds in one round per instruction, in program order. In
+//! round `r`, instruction `x_r` repeatedly swaps with the instruction
+//! directly before it in the current order; each swap succeeds with the
+//! model's pair probability (`0` when the model forbids the reordering,
+//! `s = 1/2` canonically otherwise), and always fails between instructions
+//! that access the same location — in particular between the critical store
+//! and the critical load.
+//!
+//! The crate provides:
+//!
+//! * [`Settler`] — the process itself, configurable by [`memmodel`] matrix,
+//!   per-pair probabilities, and fence pass-probability;
+//! * [`Settled`] — the resulting permutation with critical-window accessors;
+//! * [`SettleTrace`] — a round-by-round trace (reproduces the paper's
+//!   Figure 1);
+//! * [`events`] — observables of the intermediate order `S_m` used by
+//!   Lemma 4.2 and Claim 4.3;
+//! * [`exact`] — exhaustive finite-`m` settling distributions for small
+//!   programs (a third, fully exact evaluation route);
+//! * [`beta`] — the single-round insertion-point distribution of
+//!   Appendix A.2, Definition 2.
+//!
+//! # Example
+//!
+//! ```
+//! use memmodel::MemoryModel;
+//! use progmodel::ProgramGenerator;
+//! use settle::Settler;
+//! use rand::SeedableRng;
+//! use rand::rngs::SmallRng;
+//!
+//! let mut rng = SmallRng::seed_from_u64(1);
+//! let program = ProgramGenerator::new(32).generate(&mut rng);
+//! let settler = Settler::for_model(MemoryModel::Tso);
+//! let settled = settler.settle(&program, &mut rng);
+//! // The critical pair stays ordered, whatever happened in between.
+//! assert!(settled.position_of(program.critical_load_index())
+//!     < settled.position_of(program.critical_store_index()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beta;
+pub mod events;
+pub mod exact;
+mod perm;
+mod process;
+mod trace;
+
+pub use perm::{NotAPermutation, Permutation};
+pub use process::{Settled, Settler};
+pub use trace::{SettleTrace, TraceRound};

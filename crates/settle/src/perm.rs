@@ -1,0 +1,216 @@
+//! Permutations between initial and settled program order.
+
+use std::fmt;
+
+/// A permutation `π` mapping initial positions to settled positions
+/// (the paper's `π(i)`, 0-based here).
+///
+/// # Example
+///
+/// ```
+/// use settle::Permutation;
+///
+/// let pi = Permutation::from_settled_order(&[1, 0, 2]).unwrap();
+/// assert_eq!(pi.position_of(1), 0); // instruction 1 settled to the top
+/// assert_eq!(pi.at_position(2), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Permutation {
+    /// `pos[i]` = settled position of the instruction initially at `i`.
+    pos: Vec<usize>,
+    /// `order[p]` = initial index of the instruction settled at position `p`.
+    order: Vec<usize>,
+}
+
+/// Error returned when a claimed settled order is not a permutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotAPermutation {
+    /// The offending value (out of range or duplicated).
+    pub value: usize,
+}
+
+impl fmt::Display for NotAPermutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "value {} is out of range or duplicated", self.value)
+    }
+}
+
+impl std::error::Error for NotAPermutation {}
+
+impl Permutation {
+    /// The identity permutation on `len` elements.
+    #[must_use]
+    pub fn identity(len: usize) -> Permutation {
+        Permutation {
+            pos: (0..len).collect(),
+            order: (0..len).collect(),
+        }
+    }
+
+    /// Builds from a settled order: `order[p]` is the initial index of the
+    /// instruction at settled position `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotAPermutation`] if `order` contains an out-of-range or
+    /// duplicate index.
+    pub fn from_settled_order(order: &[usize]) -> Result<Permutation, NotAPermutation> {
+        let mut pos = vec![usize::MAX; order.len()];
+        for (p, &i) in order.iter().enumerate() {
+            if i >= order.len() || pos[i] != usize::MAX {
+                return Err(NotAPermutation { value: i });
+            }
+            pos[i] = p;
+        }
+        Ok(Permutation {
+            pos,
+            order: order.to_vec(),
+        })
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Whether the permutation is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// The settled position of the instruction initially at `i` (`π(i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn position_of(&self, i: usize) -> usize {
+        self.pos[i]
+    }
+
+    /// The initial index of the instruction at settled position `p`
+    /// (`π⁻¹(p)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn at_position(&self, p: usize) -> usize {
+        self.order[p]
+    }
+
+    /// The settled order as a slice of initial indices.
+    #[must_use]
+    pub fn settled_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Whether this is the identity.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.order.iter().enumerate().all(|(p, &i)| p == i)
+    }
+
+    /// Number of inversions (pairs settled out of their initial order) — a
+    /// measure of how much reordering occurred.
+    #[must_use]
+    pub fn inversions(&self) -> u64 {
+        let mut count = 0;
+        for a in 0..self.order.len() {
+            for b in a + 1..self.order.len() {
+                if self.order[a] > self.order[b] {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+}
+
+impl fmt::Display for Permutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (p, &i) in self.order.iter().enumerate() {
+            if p > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{i}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_properties() {
+        let id = Permutation::identity(5);
+        assert!(id.is_identity());
+        assert_eq!(id.len(), 5);
+        assert_eq!(id.inversions(), 0);
+        for i in 0..5 {
+            assert_eq!(id.position_of(i), i);
+            assert_eq!(id.at_position(i), i);
+        }
+    }
+
+    #[test]
+    fn from_order_round_trips() {
+        let p = Permutation::from_settled_order(&[2, 0, 1]).unwrap();
+        assert_eq!(p.position_of(2), 0);
+        assert_eq!(p.position_of(0), 1);
+        assert_eq!(p.position_of(1), 2);
+        assert_eq!(p.settled_order(), &[2, 0, 1]);
+        assert!(!p.is_identity());
+        assert_eq!(p.inversions(), 2);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_out_of_range() {
+        assert_eq!(
+            Permutation::from_settled_order(&[0, 0, 1]),
+            Err(NotAPermutation { value: 0 })
+        );
+        assert_eq!(
+            Permutation::from_settled_order(&[0, 3]),
+            Err(NotAPermutation { value: 3 })
+        );
+    }
+
+    #[test]
+    fn empty_permutation() {
+        let p = Permutation::identity(0);
+        assert!(p.is_empty());
+        assert!(p.is_identity());
+    }
+
+    #[test]
+    fn display_lists_order() {
+        let p = Permutation::from_settled_order(&[1, 0]).unwrap();
+        assert_eq!(p.to_string(), "[1 0]");
+    }
+
+    proptest! {
+        #[test]
+        fn position_and_at_position_are_inverse(len in 1usize..30, seed in 0u64..1000) {
+            // Build a pseudorandom permutation by repeated swaps.
+            let mut order: Vec<usize> = (0..len).collect();
+            let mut state = seed;
+            for i in (1..len).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let j = (state >> 33) as usize % (i + 1);
+                order.swap(i, j);
+            }
+            let p = Permutation::from_settled_order(&order).unwrap();
+            for i in 0..len {
+                prop_assert_eq!(p.at_position(p.position_of(i)), i);
+                prop_assert_eq!(p.position_of(p.at_position(i)), i);
+            }
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! The settling process itself.
+
+use crate::Permutation;
+use memmodel::{MemoryModel, ReorderMatrix, SettleProbs};
+use progmodel::{InstrKind, Instruction, Program};
+use rand::Rng;
+use std::fmt;
+
+/// The settling process for a given memory model.
+///
+/// Configured by a relaxation matrix, per-pair swap probabilities, and the
+/// probability of hoisting past a release fence (the §7 extension; default
+/// `1/2`, matching the canonical `s`).
+///
+/// # Example
+///
+/// ```
+/// use memmodel::MemoryModel;
+/// use progmodel::Program;
+/// use settle::Settler;
+/// use memmodel::OpType::St;
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+///
+/// let program = Program::from_filler_types(&[St, St, St]).unwrap();
+/// let sc = Settler::for_model(MemoryModel::Sc);
+/// let settled = sc.settle(&program, &mut SmallRng::seed_from_u64(0));
+/// assert!(settled.permutation().is_identity()); // SC never reorders
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Settler {
+    matrix: ReorderMatrix,
+    probs: SettleProbs,
+    fence_pass_probability: f64,
+}
+
+impl Settler {
+    /// The canonical settler for a named model (`s = 1/2` on relaxed pairs).
+    #[must_use]
+    pub fn for_model(model: MemoryModel) -> Settler {
+        Settler {
+            matrix: model.matrix(),
+            probs: SettleProbs::canonical(),
+            fence_pass_probability: 0.5,
+        }
+    }
+
+    /// A settler with an explicit matrix and probabilities (the generalised
+    /// model of footnote 3).
+    #[must_use]
+    pub fn new(matrix: ReorderMatrix, probs: SettleProbs) -> Settler {
+        Settler {
+            matrix,
+            probs,
+            fence_pass_probability: 0.5,
+        }
+    }
+
+    /// Replaces the probability of hoisting past a release fence.
+    ///
+    /// # Errors
+    ///
+    /// Returns the invalid value if `p` is not in `[0, 1]`.
+    pub fn with_fence_pass_probability(mut self, p: f64) -> Result<Settler, f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(p);
+        }
+        self.fence_pass_probability = p;
+        Ok(self)
+    }
+
+    /// The relaxation matrix in force.
+    #[must_use]
+    pub fn matrix(&self) -> ReorderMatrix {
+        self.matrix
+    }
+
+    /// The per-pair swap probabilities in force.
+    #[must_use]
+    pub fn probs(&self) -> SettleProbs {
+        self.probs
+    }
+
+    /// The probability that one settling swap of `mover` past `above`
+    /// succeeds.
+    ///
+    /// Zero when the two conflict (same location — the critical pair), when
+    /// either is a non-passable fence, when the mover is itself a fence
+    /// (fences never settle), or when the matrix forbids the pair.
+    #[must_use]
+    pub fn swap_probability(&self, above: &Instruction, mover: &Instruction) -> f64 {
+        if mover.conflicts_with(above) {
+            return 0.0;
+        }
+        match (above.kind(), mover.kind()) {
+            (_, InstrKind::Fence(_)) => 0.0,
+            (InstrKind::Fence(k), InstrKind::Mem(_)) => {
+                if k.permits_hoist_above() {
+                    self.fence_pass_probability
+                } else {
+                    0.0
+                }
+            }
+            (InstrKind::Mem(earlier), InstrKind::Mem(later)) => {
+                self.probs.effective(&self.matrix, earlier, later)
+            }
+        }
+    }
+
+    /// Runs the full settling process (all `len` rounds) on `program`.
+    pub fn settle<R: Rng + ?Sized>(&self, program: &Program, rng: &mut R) -> Settled {
+        self.settle_rounds(program, program.len(), rng)
+    }
+
+    /// Runs only the first `rounds` rounds — the paper's intermediate order
+    /// `S_r`. Instructions not yet settled remain at their initial positions
+    /// below the settled prefix (exactly as in Appendix A.2, where round `i`
+    /// inserts `x_i` into the permuted prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds > program.len()`.
+    pub fn settle_rounds<R: Rng + ?Sized>(
+        &self,
+        program: &Program,
+        rounds: usize,
+        rng: &mut R,
+    ) -> Settled {
+        assert!(
+            rounds <= program.len(),
+            "cannot settle {rounds} rounds of a {}-instruction program",
+            program.len()
+        );
+        let mut order: Vec<usize> = (0..program.len()).collect();
+        for r in 0..rounds {
+            self.settle_one(program, &mut order, r, rng);
+        }
+        let permutation =
+            Permutation::from_settled_order(&order).expect("swaps preserve the permutation");
+        Settled {
+            program: program.clone(),
+            permutation,
+        }
+    }
+
+    /// Settles the instruction currently at position `start` upward by
+    /// repeated swaps. `order` maps positions to initial indices.
+    pub(crate) fn settle_one<R: Rng + ?Sized>(
+        &self,
+        program: &Program,
+        order: &mut [usize],
+        start: usize,
+        rng: &mut R,
+    ) {
+        let mut pos = start;
+        while pos > 0 {
+            let mover = &program[order[pos]];
+            let above = &program[order[pos - 1]];
+            let p = self.swap_probability(above, mover);
+            if p <= 0.0 || !rng.gen_bool(p) {
+                break;
+            }
+            order.swap(pos - 1, pos);
+            pos -= 1;
+        }
+    }
+
+    /// Samples the critical-window growth `γ` (the paper's `B_γ` variable):
+    /// the number of instructions strictly between the settled critical LD
+    /// and critical ST.
+    pub fn sample_gamma<R: Rng + ?Sized>(&self, program: &Program, rng: &mut R) -> u64 {
+        self.settle(program, rng).gamma()
+    }
+}
+
+impl fmt::Display for Settler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Settler[{}]", self.matrix)
+    }
+}
+
+/// The outcome of a settling run: the program plus the final permutation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Settled {
+    program: Program,
+    permutation: Permutation,
+}
+
+impl Settled {
+    /// Assembles a `Settled` from already-validated parts (used by the
+    /// tracer).
+    pub(crate) fn from_parts(program: Program, permutation: Permutation) -> Settled {
+        debug_assert_eq!(program.len(), permutation.len());
+        Settled {
+            program,
+            permutation,
+        }
+    }
+
+    /// The settled permutation `π`.
+    #[must_use]
+    pub fn permutation(&self) -> &Permutation {
+        &self.permutation
+    }
+
+    /// The program that was settled.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Settled position of the instruction initially at `i`.
+    #[must_use]
+    pub fn position_of(&self, i: usize) -> usize {
+        self.permutation.position_of(i)
+    }
+
+    /// The instructions in settled order.
+    #[must_use]
+    pub fn settled_instructions(&self) -> Vec<Instruction> {
+        self.permutation
+            .settled_order()
+            .iter()
+            .map(|&i| self.program[i])
+            .collect()
+    }
+
+    /// The window growth `γ`: instructions strictly between the critical LD
+    /// and critical ST in the settled order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the critical store settled above the critical load, which
+    /// the process makes impossible (same-location swaps always fail).
+    #[must_use]
+    pub fn gamma(&self) -> u64 {
+        let ld = self.position_of(self.program.critical_load_index());
+        let st = self.position_of(self.program.critical_store_index());
+        assert!(st > ld, "critical store settled above critical load");
+        (st - ld - 1) as u64
+    }
+
+    /// The critical-window length `Γ = γ + 2` (both critical instructions
+    /// included) — the segment length fed to the shift process.
+    #[must_use]
+    pub fn window_len(&self) -> u64 {
+        self.gamma() + 2
+    }
+
+    /// The settled positions spanned by the critical window, inclusive
+    /// (the paper's `W_k`).
+    #[must_use]
+    pub fn window_span(&self) -> std::ops::RangeInclusive<usize> {
+        let ld = self.position_of(self.program.critical_load_index());
+        let st = self.position_of(self.program.critical_store_index());
+        ld..=st
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memmodel::fence::FenceKind;
+    use memmodel::OpType::{Ld, St};
+    use progmodel::ProgramGenerator;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    fn program(m: usize, seed: u64) -> Program {
+        ProgramGenerator::new(m).generate(&mut rng(seed))
+    }
+
+    #[test]
+    fn sc_settling_is_identity() {
+        let settler = Settler::for_model(MemoryModel::Sc);
+        for seed in 0..20 {
+            let p = program(32, seed);
+            let s = settler.settle(&p, &mut rng(seed + 100));
+            assert!(s.permutation().is_identity());
+            assert_eq!(s.gamma(), 0);
+            assert_eq!(s.window_len(), 2);
+        }
+    }
+
+    #[test]
+    fn critical_pair_never_reorders_in_any_model() {
+        for model in MemoryModel::NAMED {
+            let settler = Settler::for_model(model);
+            for seed in 0..50 {
+                let p = program(24, seed);
+                let s = settler.settle(&p, &mut rng(seed * 7 + 1));
+                let ld = s.position_of(p.critical_load_index());
+                let st = s.position_of(p.critical_store_index());
+                assert!(ld < st, "{model}: critical pair reordered");
+            }
+        }
+    }
+
+    #[test]
+    fn tso_preserves_relative_store_order() {
+        let settler = Settler::for_model(MemoryModel::Tso);
+        for seed in 0..50 {
+            let p = program(24, seed);
+            let s = settler.settle(&p, &mut rng(seed * 13 + 3));
+            let store_positions: Vec<usize> = (0..p.len())
+                .filter(|&i| p[i].op_type() == Some(St))
+                .map(|i| s.position_of(i))
+                .collect();
+            assert!(
+                store_positions.windows(2).all(|w| w[0] < w[1]),
+                "TSO reordered two stores (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn tso_preserves_relative_load_order() {
+        let settler = Settler::for_model(MemoryModel::Tso);
+        for seed in 0..50 {
+            let p = program(24, seed);
+            let s = settler.settle(&p, &mut rng(seed * 17 + 5));
+            let load_positions: Vec<usize> = (0..p.len())
+                .filter(|&i| p[i].op_type() == Some(Ld))
+                .map(|i| s.position_of(i))
+                .collect();
+            assert!(
+                load_positions.windows(2).all(|w| w[0] < w[1]),
+                "TSO reordered two loads (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn certain_swaps_climb_all_the_way() {
+        // With s = 1 under WO, each instruction climbs to the top (blocked
+        // only by same-location conflicts), reversing the filler order.
+        let settler = Settler::new(
+            ReorderMatrix::all(),
+            SettleProbs::uniform(1.0).unwrap(),
+        );
+        let p = Program::from_filler_types(&[St, Ld, St]).unwrap();
+        let s = settler.settle(&p, &mut rng(0));
+        // Every round sends the new instruction straight to the top, so the
+        // critical LD ends at the top and the critical ST directly below it
+        // (blocked by the same-location rule).
+        assert_eq!(s.position_of(p.critical_load_index()), 0);
+        assert_eq!(s.position_of(p.critical_store_index()), 1);
+        assert_eq!(s.gamma(), 0);
+        // Fillers are fully reversed below the critical pair.
+        assert_eq!(s.position_of(0), 4);
+        assert_eq!(s.position_of(1), 3);
+        assert_eq!(s.position_of(2), 2);
+    }
+
+    #[test]
+    fn zero_probability_means_identity_even_when_relaxed() {
+        let settler = Settler::new(ReorderMatrix::all(), SettleProbs::uniform(0.0).unwrap());
+        let p = program(16, 9);
+        let s = settler.settle(&p, &mut rng(10));
+        assert!(s.permutation().is_identity());
+    }
+
+    #[test]
+    fn settle_rounds_prefix_only_moves_prefix() {
+        let settler = Settler::for_model(MemoryModel::Wo);
+        let p = program(16, 11);
+        let s = settler.settle_rounds(&p, 8, &mut rng(12));
+        // Instructions 8.. have not settled; they must still be in initial
+        // relative order at the bottom... in fact at their exact positions,
+        // because settling rounds 0..8 only permutes positions 0..8.
+        for i in 8..p.len() {
+            assert_eq!(s.position_of(i), i, "unsettled instruction {i} moved");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot settle")]
+    fn settle_rounds_bounds_checked() {
+        let p = program(4, 0);
+        let _ = Settler::for_model(MemoryModel::Sc).settle_rounds(&p, 7, &mut rng(0));
+    }
+
+    #[test]
+    fn acquire_fence_pins_the_critical_load() {
+        // An acquire fence directly above the critical LD prevents any
+        // window growth in every model.
+        for model in MemoryModel::NAMED {
+            let settler = Settler::for_model(model);
+            for seed in 0..20 {
+                let p = program(16, seed).with_acquire_before_critical();
+                let s = settler.settle(&p, &mut rng(seed + 40));
+                assert_eq!(s.gamma(), 0, "{model}: fence failed to pin window");
+            }
+        }
+    }
+
+    #[test]
+    fn release_fence_can_be_hoisted_past() {
+        // A release fence permits hoisting: under WO with s = 1 an
+        // instruction below it climbs past.
+        let settler = Settler::new(ReorderMatrix::all(), SettleProbs::uniform(1.0).unwrap())
+            .with_fence_pass_probability(1.0)
+            .unwrap();
+        let p = Program::from_filler_types(&[St])
+            .unwrap()
+            .with_fence_at(1, FenceKind::Release);
+        // Order: ST, REL, LD*, ST*. The critical LD climbs past REL and ST.
+        let s = settler.settle(&p, &mut rng(0));
+        assert_eq!(s.position_of(p.critical_load_index()), 0);
+    }
+
+    #[test]
+    fn full_fence_blocks_everything() {
+        let settler = Settler::new(ReorderMatrix::all(), SettleProbs::uniform(1.0).unwrap());
+        let p = Program::from_filler_types(&[St])
+            .unwrap()
+            .with_fence_at(1, FenceKind::Full);
+        let s = settler.settle(&p, &mut rng(0));
+        // The critical LD climbs to just below the fence (position 2's LD
+        // cannot pass the FENCE at position 1).
+        assert_eq!(s.position_of(p.critical_load_index()), 2);
+    }
+
+    #[test]
+    fn fences_themselves_never_settle() {
+        let settler = Settler::new(ReorderMatrix::all(), SettleProbs::uniform(1.0).unwrap());
+        let p = Program::from_filler_types(&[St, St])
+            .unwrap()
+            .with_fence_at(2, FenceKind::Release);
+        let s = settler.settle(&p, &mut rng(0));
+        // The fence is at initial index 2; nothing it can do moves it up.
+        // (Later instructions may push it down by climbing past.)
+        let fence_initial = 2;
+        assert!(p[fence_initial].is_fence());
+        // All instructions that were above it stay above... the fence can
+        // only move down; verify it did not move up.
+        assert!(s.position_of(fence_initial) >= 2);
+    }
+
+    #[test]
+    fn swap_probability_matrix_gating() {
+        let tso = Settler::for_model(MemoryModel::Tso);
+        let st = Instruction::mem(St, progmodel::Location::filler(0));
+        let ld = Instruction::mem(Ld, progmodel::Location::filler(1));
+        assert_eq!(tso.swap_probability(&st, &ld), 0.5); // ST then LD: relaxed
+        assert_eq!(tso.swap_probability(&ld, &st), 0.0);
+        assert_eq!(tso.swap_probability(&st, &st), 0.0);
+        assert_eq!(tso.swap_probability(&ld, &ld), 0.0);
+    }
+
+    #[test]
+    fn swap_probability_same_location_is_zero() {
+        let wo = Settler::for_model(MemoryModel::Wo);
+        let a = Instruction::mem(St, progmodel::Location::filler(3));
+        let b = Instruction::mem(Ld, progmodel::Location::filler(3));
+        assert_eq!(wo.swap_probability(&a, &b), 0.0);
+        assert_eq!(
+            wo.swap_probability(
+                &Instruction::critical_load(),
+                &Instruction::critical_store()
+            ),
+            0.0
+        );
+    }
+
+    #[test]
+    fn invalid_fence_probability_rejected() {
+        assert!(Settler::for_model(MemoryModel::Wo)
+            .with_fence_pass_probability(1.5)
+            .is_err());
+    }
+
+    #[test]
+    fn settle_is_deterministic_given_rng() {
+        let settler = Settler::for_model(MemoryModel::Wo);
+        let p = program(32, 5);
+        let a = settler.settle(&p, &mut rng(77));
+        let b = settler.settle(&p, &mut rng(77));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sample_gamma_matches_settle() {
+        let settler = Settler::for_model(MemoryModel::Tso);
+        let p = program(32, 6);
+        assert_eq!(
+            settler.sample_gamma(&p, &mut rng(88)),
+            settler.settle(&p, &mut rng(88)).gamma()
+        );
+    }
+}

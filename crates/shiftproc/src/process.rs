@@ -1,0 +1,183 @@
+//! Monte-Carlo simulation of the shift process.
+
+use crate::Segment;
+use rand::Rng;
+use std::fmt;
+
+/// The shift process: i.i.d. geometric translations of segments.
+///
+/// The canonical process uses success probability `1/2`
+/// (`Pr[s = k] = 2^-(k+1)`), matching Appendix A.3's per-thread shift
+/// distribution.
+///
+/// # Example
+///
+/// ```
+/// use shiftproc::ShiftProcess;
+/// use rand::SeedableRng;
+/// use rand::rngs::SmallRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(9);
+/// let proc = ShiftProcess::canonical();
+/// let segments = proc.shift(&[2, 2, 3], &mut rng);
+/// assert_eq!(segments.len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShiftProcess {
+    q: f64,
+}
+
+impl ShiftProcess {
+    /// The paper's canonical process (`q = 1/2`).
+    #[must_use]
+    pub fn canonical() -> ShiftProcess {
+        ShiftProcess { q: 0.5 }
+    }
+
+    /// A process with geometric success probability `q ∈ (0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the invalid value if `q` is outside `(0, 1]`.
+    pub fn with_q(q: f64) -> Result<ShiftProcess, f64> {
+        if q > 0.0 && q <= 1.0 {
+            Ok(ShiftProcess { q })
+        } else {
+            Err(q)
+        }
+    }
+
+    /// The geometric success probability.
+    #[must_use]
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Draws one geometric shift (`Pr[s = k] = q(1−q)^k`).
+    pub fn sample_shift<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let mut k = 0;
+        while !rng.gen_bool(self.q) {
+            k += 1;
+        }
+        k
+    }
+
+    /// Shifts segments of the given lengths, returning them in input order.
+    pub fn shift<R: Rng + ?Sized>(&self, lengths: &[u64], rng: &mut R) -> Vec<Segment> {
+        lengths
+            .iter()
+            .map(|&len| Segment::new(self.sample_shift(rng), len))
+            .collect()
+    }
+
+    /// Simulates one realisation of the disjointness event `A(γ̄)`.
+    pub fn simulate_disjoint<R: Rng + ?Sized>(&self, lengths: &[u64], rng: &mut R) -> bool {
+        // Incremental check: keep shifted segments sorted insertion-free by
+        // testing against all previous (n is small in practice).
+        let mut placed: Vec<Segment> = Vec::with_capacity(lengths.len());
+        for &len in lengths {
+            let seg = Segment::new(self.sample_shift(rng), len);
+            if placed.iter().any(|p| p.overlaps(&seg)) {
+                // Still consume the remaining shifts? Not needed for the
+                // event; early exit keeps the estimator unbiased because
+                // remaining shifts are independent of the outcome.
+                return false;
+            }
+            placed.push(seg);
+        }
+        true
+    }
+}
+
+impl Default for ShiftProcess {
+    fn default() -> ShiftProcess {
+        ShiftProcess::canonical()
+    }
+}
+
+impl fmt::Display for ShiftProcess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ShiftProcess(q={})", self.q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn rejects_bad_q() {
+        assert!(ShiftProcess::with_q(0.0).is_err());
+        assert!(ShiftProcess::with_q(1.1).is_err());
+        assert!(ShiftProcess::with_q(1.0).is_ok());
+    }
+
+    #[test]
+    fn q_one_never_shifts() {
+        let p = ShiftProcess::with_q(1.0).unwrap();
+        let mut r = rng(0);
+        for _ in 0..50 {
+            assert_eq!(p.sample_shift(&mut r), 0);
+        }
+        // All segments at origin: always overlapping for n ≥ 2.
+        assert!(!p.simulate_disjoint(&[2, 2], &mut r));
+    }
+
+    #[test]
+    fn shift_distribution_matches_geometric() {
+        let p = ShiftProcess::canonical();
+        let mut r = rng(1);
+        let n = 200_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..n {
+            let s = p.sample_shift(&mut r);
+            if (s as usize) < counts.len() {
+                counts[s as usize] += 1;
+            }
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            let expect = 2f64.powi(-(k as i32) - 1);
+            let got = c as f64 / n as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "k={k}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_segment_always_disjoint() {
+        let p = ShiftProcess::canonical();
+        let mut r = rng(2);
+        for _ in 0..100 {
+            assert!(p.simulate_disjoint(&[5], &mut r));
+            assert!(p.simulate_disjoint(&[], &mut r));
+        }
+    }
+
+    #[test]
+    fn shift_preserves_lengths_and_order() {
+        let p = ShiftProcess::canonical();
+        let segs = p.shift(&[1, 2, 3], &mut rng(3));
+        assert_eq!(segs.iter().map(Segment::len).collect::<Vec<_>>(), [1, 2, 3]);
+    }
+
+    #[test]
+    fn longer_segments_are_less_likely_disjoint() {
+        let p = ShiftProcess::canonical();
+        let trials = 100_000;
+        let count = |lens: &[u64], seed: u64| {
+            let mut r = rng(seed);
+            (0..trials).filter(|_| p.simulate_disjoint(lens, &mut r)).count()
+        };
+        let short = count(&[2, 2], 4);
+        let long = count(&[6, 6], 5);
+        assert!(long < short, "long {long} >= short {short}");
+    }
+}

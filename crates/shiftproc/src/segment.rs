@@ -1,0 +1,154 @@
+//! Shifted line segments.
+
+use std::fmt;
+
+/// A closed integer segment `[start, start + len]` on the (reversed-time)
+/// number line — one thread's critical window after shifting.
+///
+/// # Example
+///
+/// ```
+/// use shiftproc::Segment;
+///
+/// let a = Segment::new(0, 2); // covers {0, 1, 2}
+/// let b = Segment::new(2, 3); // covers {2, 3, 4, 5}
+/// assert!(a.overlaps(&b));    // they share the point 2
+/// assert!(!a.overlaps(&Segment::new(3, 1)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Segment {
+    start: u64,
+    len: u64,
+}
+
+impl Segment {
+    /// A segment covering `[start, start + len]` (that is, `len + 1` integer
+    /// points; the paper's "segment of length γ").
+    #[must_use]
+    pub const fn new(start: u64, len: u64) -> Segment {
+        Segment { start, len }
+    }
+
+    /// The left endpoint (the shift `s_i`).
+    #[must_use]
+    pub const fn start(&self) -> u64 {
+        self.start
+    }
+
+    /// The segment length `γ_i`.
+    #[must_use]
+    pub const fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` only for the degenerate zero-length segment, which still
+    /// covers one point — kept for API symmetry, always `false` in the
+    /// joined model where lengths are at least 2.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The right endpoint `start + len` (inclusive).
+    #[must_use]
+    pub const fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// Whether two closed segments share at least one integer point.
+    #[must_use]
+    pub const fn overlaps(&self, other: &Segment) -> bool {
+        self.start <= other.end() && other.start <= self.end()
+    }
+
+    /// Whether every segment in the slice is pairwise disjoint — the event
+    /// `A(γ̄)` after shifting.
+    #[must_use]
+    pub fn all_disjoint(segments: &[Segment]) -> bool {
+        for (i, a) in segments.iter().enumerate() {
+            for b in &segments[i + 1..] {
+                if a.overlaps(b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn endpoints() {
+        let s = Segment::new(3, 5);
+        assert_eq!(s.start(), 3);
+        assert_eq!(s.end(), 8);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.to_string(), "[3, 8]");
+    }
+
+    #[test]
+    fn touching_counts_as_overlap() {
+        let a = Segment::new(0, 3);
+        assert!(a.overlaps(&Segment::new(3, 2)));
+        assert!(!a.overlaps(&Segment::new(4, 2)));
+    }
+
+    #[test]
+    fn zero_length_segment_is_a_point() {
+        let p = Segment::new(5, 0);
+        assert!(p.overlaps(&Segment::new(5, 0)));
+        assert!(p.overlaps(&Segment::new(3, 2)));
+        assert!(!p.overlaps(&Segment::new(6, 0)));
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn figure_2_instantiation() {
+        // Figure 2: γ̄ = (3, 2, 5). Under Definition 1's closed-interval
+        // convention (which all the paper's constants use), the drawn shift
+        // (8, 0, 2) leaves segments 2 and 3 touching at point 2 — an
+        // overlap; one more step of separation restores disjointness.
+        let drawn = [Segment::new(8, 3), Segment::new(0, 2), Segment::new(2, 5)];
+        assert!(!Segment::all_disjoint(&drawn));
+        let separated = [Segment::new(8, 3), Segment::new(0, 2), Segment::new(3, 5)];
+        assert!(!Segment::all_disjoint(&separated)); // [3,8] still touches [8,11]
+        let fully = [Segment::new(9, 3), Segment::new(0, 2), Segment::new(3, 5)];
+        assert!(Segment::all_disjoint(&fully));
+    }
+
+    #[test]
+    fn all_disjoint_detects_any_pairwise_overlap() {
+        let segs = [Segment::new(0, 2), Segment::new(10, 2), Segment::new(11, 1)];
+        assert!(!Segment::all_disjoint(&segs));
+        assert!(Segment::all_disjoint(&segs[..2]));
+        assert!(Segment::all_disjoint(&[]));
+        assert!(Segment::all_disjoint(&segs[..1]));
+    }
+
+    proptest! {
+        #[test]
+        fn overlap_is_symmetric(a in 0u64..50, la in 0u64..10, b in 0u64..50, lb in 0u64..10) {
+            let (x, y) = (Segment::new(a, la), Segment::new(b, lb));
+            prop_assert_eq!(x.overlaps(&y), y.overlaps(&x));
+        }
+
+        #[test]
+        fn overlap_matches_point_set_intersection(
+            a in 0u64..30, la in 0u64..8, b in 0u64..30, lb in 0u64..8,
+        ) {
+            let (x, y) = (Segment::new(a, la), Segment::new(b, lb));
+            let brute = (x.start()..=x.end()).any(|p| (y.start()..=y.end()).contains(&p));
+            prop_assert_eq!(x.overlaps(&y), brute);
+        }
+    }
+}

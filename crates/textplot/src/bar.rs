@@ -1,0 +1,101 @@
+//! Labelled horizontal bar charts.
+
+use std::fmt::Write as _;
+
+/// A horizontal bar chart with one labelled row per entry.
+///
+/// # Example
+///
+/// ```
+/// use textplot::BarChart;
+///
+/// let mut b = BarChart::new(20);
+/// b.bar("SC", 0.1666).bar("WO", 0.1296);
+/// let out = b.render();
+/// assert!(out.lines().count() == 2);
+/// assert!(out.contains("SC"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BarChart {
+    width: usize,
+    bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// A bar chart whose longest bar spans `width` characters (minimum 1).
+    #[must_use]
+    pub fn new(width: usize) -> BarChart {
+        BarChart {
+            width: width.max(1),
+            bars: Vec::new(),
+        }
+    }
+
+    /// Appends a labelled bar (builder style). Negative values clamp to 0.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) -> &mut BarChart {
+        self.bars.push((label.into(), value.max(0.0)));
+        self
+    }
+
+    /// Renders the chart; bars scale relative to the maximum value.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let label_w = self.bars.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let max = self
+            .bars
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let mut out = String::new();
+        for (label, value) in &self.bars {
+            let filled = ((value / max) * self.width as f64).round() as usize;
+            let _ = writeln!(
+                out,
+                "{label:<label_w$} |{}{} {value:.6}",
+                "█".repeat(filled),
+                " ".repeat(self.width - filled),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longest_bar_fills_width() {
+        let mut b = BarChart::new(10);
+        b.bar("big", 2.0).bar("half", 1.0);
+        let out = b.render();
+        let big = out.lines().next().unwrap();
+        let half = out.lines().nth(1).unwrap();
+        assert_eq!(big.matches('█').count(), 10);
+        assert_eq!(half.matches('█').count(), 5);
+    }
+
+    #[test]
+    fn empty_chart_renders_nothing() {
+        assert_eq!(BarChart::new(10).render(), "");
+    }
+
+    #[test]
+    fn zero_and_negative_values_are_flat() {
+        let mut b = BarChart::new(8);
+        b.bar("zero", 0.0).bar("neg", -3.0).bar("one", 1.0);
+        let out = b.render();
+        assert_eq!(out.lines().next().unwrap().matches('█').count(), 0);
+        assert_eq!(out.lines().nth(1).unwrap().matches('█').count(), 0);
+    }
+
+    #[test]
+    fn labels_align() {
+        let mut b = BarChart::new(4);
+        b.bar("a", 1.0).bar("abc", 1.0);
+        let out = b.render();
+        let pipes: Vec<usize> = out.lines().map(|l| l.find('|').unwrap()).collect();
+        assert_eq!(pipes[0], pipes[1]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Dependency-free ASCII and SVG chart rendering.
+//!
+//! The offline crate allowlist contains no plotting library (the
+//! `repro_why` note for this reproduction calls out the "less convenient
+//! numeric plotting ecosystem"), so this small substrate renders the
+//! paper's figures and the experiment sweeps as monospace text — and,
+//! optionally, standalone SVG — suitable for terminals, logs, and
+//! `EXPERIMENTS.md`.
+//!
+//! * [`Chart`] — multi-series scatter/line charts with axes and legends;
+//! * [`BarChart`] — labelled horizontal bars;
+//! * [`Heatmap`] — two-parameter sweep grids;
+//! * [`Table`] — aligned text tables;
+//! * [`sparkline`] — one-line distribution summaries;
+//! * [`svg`] — SVG export of a [`Chart`].
+//!
+//! # Example
+//!
+//! ```
+//! use textplot::Chart;
+//!
+//! let mut chart = Chart::new(40, 10);
+//! chart.series("x^2", (0..10).map(|x| (x as f64, (x * x) as f64)));
+//! let text = chart.render();
+//! assert!(text.contains("x^2"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bar;
+mod chart;
+mod heatmap;
+mod spark;
+pub mod svg;
+mod table;
+
+pub use bar::BarChart;
+pub use chart::Chart;
+pub use heatmap::Heatmap;
+pub use spark::sparkline;
+pub use table::Table;

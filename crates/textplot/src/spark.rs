@@ -1,0 +1,75 @@
+//! One-line sparklines.
+
+const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders values as a one-line sparkline, scaled to the data range.
+///
+/// Non-finite values render as spaces; an empty slice yields an empty
+/// string.
+///
+/// # Example
+///
+/// ```
+/// let s = textplot::sparkline(&[0.0, 0.5, 1.0]);
+/// assert_eq!(s.chars().count(), 3);
+/// assert!(s.ends_with('█'));
+/// ```
+#[must_use]
+pub fn sparkline(values: &[f64]) -> String {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        // No scale to draw against: every slot renders blank.
+        return values.iter().map(|_| ' ').collect();
+    }
+    let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let range = if max > min { max - min } else { 1.0 };
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                return ' ';
+            }
+            let level = ((v - min) / range * (LEVELS.len() - 1) as f64).round() as usize;
+            LEVELS[level.min(LEVELS.len() - 1)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[f64::NAN]), " ");
+    }
+
+    #[test]
+    fn monotone_data_is_monotone_glyphs() {
+        let s: Vec<char> = sparkline(&[1.0, 2.0, 3.0, 4.0]).chars().collect();
+        let ranks: Vec<usize> = s
+            .iter()
+            .map(|c| LEVELS.iter().position(|l| l == c).unwrap())
+            .collect();
+        assert!(ranks.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*ranks.first().unwrap(), 0);
+        assert_eq!(*ranks.last().unwrap(), LEVELS.len() - 1);
+    }
+
+    #[test]
+    fn constant_data_is_flat() {
+        let s = sparkline(&[5.0, 5.0, 5.0]);
+        let first = s.chars().next().unwrap();
+        assert!(s.chars().all(|c| c == first));
+    }
+
+    #[test]
+    fn nan_becomes_space_without_skew() {
+        let s: Vec<char> = sparkline(&[0.0, f64::NAN, 1.0]).chars().collect();
+        assert_eq!(s[1], ' ');
+        assert_eq!(s[0], LEVELS[0]);
+        assert_eq!(s[2], LEVELS[7]);
+    }
+}

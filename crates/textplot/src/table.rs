@@ -1,0 +1,141 @@
+//! Aligned text tables.
+
+use std::fmt::Write as _;
+
+/// A simple aligned table: a header row plus data rows, columns padded to
+/// the widest cell.
+///
+/// # Example
+///
+/// ```
+/// use textplot::Table;
+///
+/// let mut t = Table::new(vec!["model", "Pr[A]"]);
+/// t.row(vec!["SC".into(), "0.1667".into()]);
+/// t.row(vec!["WO".into(), "0.1296".into()]);
+/// let out = t.render();
+/// assert_eq!(out.lines().count(), 4); // header, rule, two rows
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    #[must_use]
+    pub fn new(header: Vec<impl Into<String>>) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has a different number of cells than the header.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Convenience: a row of displayable values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has a different number of cells than the header.
+    pub fn row_display(&mut self, cells: &[&dyn std::fmt::Display]) -> &mut Table {
+        self.row(cells.iter().map(|c| c.to_string()).collect())
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a rule under the header.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let sep = if i + 1 == cols { "\n" } else { "  " };
+                let _ = write!(out, "{cell:<w$}{sep}", w = widths[i]);
+            }
+        };
+        emit(&mut out, &self.header);
+        let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        emit(&mut out, &rule);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["wiiiiiiide".into(), "x".into()]);
+        t.row(vec!["y".into(), "z".into()]);
+        let out = t.render();
+        assert_eq!(out.lines().count(), 4);
+        // The second column starts at the same byte offset on every line:
+        // first-column width (10) plus the two-space separator.
+        let col2_start = "wiiiiiiide".len() + 2;
+        let seconds: Vec<&str> = out.lines().map(|l| &l[col2_start..]).collect();
+        assert_eq!(seconds[0].trim_end(), "long-header");
+        assert_eq!(seconds[2].trim_end(), "x");
+        assert_eq!(seconds[3].trim_end(), "z");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["one"]);
+        t.row(vec!["a".into(), "b".into()]);
+    }
+
+    #[test]
+    fn row_display_formats_values() {
+        let mut t = Table::new(vec!["n", "value"]);
+        t.row_display(&[&2, &0.25]);
+        assert!(t.render().contains("0.25"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn header_only_renders_rule() {
+        let t = Table::new(vec!["x"]);
+        let out = t.render();
+        assert_eq!(out.lines().count(), 2);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! Figure 1 live: a random settling run rendered round by round.
+//!
+//! ```text
+//! cargo run --release --example settling_trace [model] [m] [seed]
+//! ```
+//!
+//! e.g. `cargo run --example settling_trace tso 8 5`
+
+use memmodel::MemoryModel;
+use progmodel::ProgramGenerator;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use settle::SettleTrace;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let model: MemoryModel = args
+        .next()
+        .map(|s| s.parse().expect("sc, tso, pso, or wo"))
+        .unwrap_or(MemoryModel::Tso);
+    let m: usize = args.next().map(|s| s.parse().expect("m")).unwrap_or(6);
+    let seed: u64 = args.next().map(|s| s.parse().expect("seed")).unwrap_or(11);
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let program = ProgramGenerator::new(m).generate(&mut rng);
+    println!("model {model}, m = {m}, seed = {seed}");
+    println!("initial program order: {program}\n");
+
+    let trace = SettleTrace::run(model, &program, &mut rng);
+
+    // Header: S_0 then one column per settling round.
+    print!("{:>8}", "S_0");
+    for r in trace.rounds() {
+        print!("{:>8}", format!("S_{}", r.settling + 1));
+    }
+    println!();
+
+    for pos in 0..program.len() {
+        print!("{:>8}", label(&program, pos));
+        for r in trace.rounds() {
+            print!("{:>8}", label(&program, r.order[pos]));
+        }
+        println!();
+    }
+
+    println!("\nclimb per round:");
+    for r in trace.rounds() {
+        if r.climbed > 0 {
+            println!(
+                "  round {:>2}: {} climbed {} position(s)",
+                r.settling + 1,
+                label(&program, r.settling),
+                r.climbed
+            );
+        }
+    }
+    let settled = trace.final_settled();
+    println!(
+        "\nfinal critical window: gamma = {} (window length Gamma = {})",
+        settled.gamma(),
+        settled.window_len()
+    );
+    println!(
+        "the bottom {} instruction(s) of the final order form the critical window",
+        settled.window_len()
+    );
+}
+
+fn label(program: &progmodel::Program, idx: usize) -> String {
+    let instr = program[idx];
+    match instr.op_type() {
+        Some(t) if instr.is_critical() => format!("{t}*"),
+        Some(t) => t.to_string(),
+        None => instr.to_string(),
+    }
+}

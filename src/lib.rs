@@ -1,0 +1,51 @@
+//! `mmreliab` — a reproduction of *The Impact of Memory Models on Software
+//! Reliability in Multiprocessors* (Jaffe, Moscibroda, Effinger-Dean, Ceze,
+//! Strauss; PODC 2011).
+//!
+//! This facade crate re-exports the workspace layers:
+//!
+//! | layer | crate | contents |
+//! |---|---|---|
+//! | models | [`memmodel`] | SC/TSO/PSO/WO reorder matrices, settle probabilities, fences |
+//! | programs | [`progmodel`] | random LD/ST programs with the canonical atomicity bug |
+//! | reordering | [`settle`] | the settling process, traces, Lemma 4.2 observables |
+//! | interleaving | [`shiftproc`] | the shift process, exact `Pr[A(γ̄)]`, Theorem 6.1 |
+//! | mathematics | [`analytic`] | big rationals, partitions, every closed form in the paper |
+//! | simulation | [`montecarlo`] | seeded parallel runners, CIs, chi-square GoF |
+//! | hardware | [`execsim`] | operational multiprocessor (store buffers, OoO windows) |
+//! | plotting | [`textplot`] | ASCII/SVG rendering of figures and sweeps |
+//! | joined model | [`mmr_core`] | [`ReliabilityModel`]: end-to-end survival probabilities |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mmreliab::{MemoryModel, ReliabilityModel};
+//!
+//! // How likely is the canonical atomicity bug to *not* manifest with two
+//! // threads under Total Store Order?
+//! let model = ReliabilityModel::new(MemoryModel::Tso, 2);
+//! let (lo, hi) = model.log2_survival_bounds().expect("named model");
+//! assert!(2f64.powf(lo) > 0.13 && 2f64.powf(hi) < 0.14);
+//!
+//! let measured = model.simulate_survival(10_000, 1).point();
+//! assert!(measured > 0.11 && measured < 0.16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use analytic;
+pub use execsim;
+pub use memmodel;
+pub use mmr_core;
+pub use montecarlo;
+pub use progmodel;
+pub use settle;
+pub use shiftproc;
+pub use textplot;
+
+pub use memmodel::{MemoryModel, OpType, ReorderMatrix, SettleProbs};
+pub use mmr_core::{ModelComparison, ReliabilityModel, ScalingPoint};
+pub use progmodel::{Program, ProgramGenerator};
+pub use settle::Settler;
+pub use shiftproc::ShiftProcess;

@@ -1,0 +1,276 @@
+//! `mmreliab` — command-line interface to the reliability model.
+//!
+//! ```text
+//! mmreliab table1
+//! mmreliab survival --model tso --threads 2 [--trials N] [--seed S]
+//! mmreliab windows  --model wo  [--trials N] [--seed S]
+//! mmreliab trace    --model tso [--m M] [--seed S]
+//! mmreliab opsim    [--threads N] [--trials N] [--seed S]
+//! mmreliab litmus   [--trials N] [--seed S]
+//! mmreliab sweep    --param s|p|q [--trials N] [--seed S]
+//! ```
+
+use memmodel::MemoryModel;
+use mmreliab::analytic::general::{GeneralWindowLaws, Params};
+use mmreliab::settle;
+use mmreliab::analytic::window_law::WindowLaws;
+use mmreliab::montecarlo::{task_rng, Runner, Seed};
+use mmreliab::{ModelComparison, ProgramGenerator, ReliabilityModel};
+use textplot::{sparkline, BarChart, Chart, Heatmap, Table};
+
+#[derive(Debug)]
+struct Args {
+    command: String,
+    model: MemoryModel,
+    threads: usize,
+    trials: u64,
+    seed: u64,
+    m: usize,
+    param: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        command: String::new(),
+        model: MemoryModel::Tso,
+        threads: 2,
+        trials: 100_000,
+        seed: 7,
+        m: 8,
+        param: "s".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    args.command = it.next().ok_or_else(usage)?;
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--model" => args.model = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => args.threads = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--trials" => args.trials = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--m" => args.m = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--param" => args.param = value()?,
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn usage() -> String {
+    String::from(
+        "usage: mmreliab <table1|survival|windows|trace|opsim|litmus|sweep> \
+         [--model sc|tso|pso|wo] [--threads N] [--trials N] [--seed S] [--m M] [--param s|p|q]",
+    )
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match args.command.as_str() {
+        "table1" => cmd_table1(),
+        "survival" => cmd_survival(&args),
+        "windows" => cmd_windows(&args),
+        "trace" => cmd_trace(&args),
+        "opsim" => cmd_opsim(&args),
+        "litmus" => cmd_litmus(&args),
+        "sweep" => cmd_sweep(&args),
+        other => {
+            eprintln!("unknown command {other}\n{}", usage());
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_table1() {
+    print!("{}", memmodel::render_table1());
+}
+
+fn cmd_survival(args: &Args) {
+    let rm = ReliabilityModel::new(args.model, args.threads);
+    println!(
+        "survival Pr[A] for {} threads under {}:\n",
+        args.threads, args.model
+    );
+    if let Some((lo, hi)) = rm.log2_survival_bounds() {
+        if (hi - lo).abs() < 1e-12 {
+            println!("  paper (exact):       {:.6e}", 2f64.powf(lo));
+        } else {
+            println!(
+                "  paper bounds:        ({:.6e}, {:.6e})",
+                2f64.powf(lo),
+                2f64.powf(hi)
+            );
+        }
+    }
+    let rb = rm.estimate_survival_rb(args.trials, args.seed);
+    println!(
+        "  Rao-Blackwellised:   {:.6e}   (log2 = {:.2}, {} samples)",
+        rb.survival(),
+        rb.log2_survival,
+        rb.samples
+    );
+    if args.threads <= 3 {
+        let direct = rm.simulate_survival(args.trials, args.seed ^ 1);
+        println!("  direct simulation:   {direct}");
+    } else {
+        println!("  direct simulation:   skipped (Pr[A] ~ e^-n^2 is below MC reach)");
+    }
+    if args.threads == 2 {
+        println!("\nall models at n = 2:\n");
+        print!("{}", ModelComparison::run(2, args.trials, args.seed));
+    }
+}
+
+fn cmd_windows(args: &Args) {
+    let rm = ReliabilityModel::new(args.model, 2);
+    let h = rm.window_histogram(args.trials, args.seed);
+    let laws = WindowLaws::new();
+    println!(
+        "critical-window growth gamma under {} ({} samples):\n",
+        args.model, args.trials
+    );
+    let mut table = Table::new(vec!["gamma", "measured", "paper law"]);
+    for gamma in 0..=8u64 {
+        let paper = laws
+            .pmf(args.model, gamma)
+            .map(|p| format!("{p:.6}"))
+            .unwrap_or_else(|| "-".into());
+        table.row(vec![
+            gamma.to_string(),
+            format!("{:.6}", h.pmf(gamma)),
+            paper,
+        ]);
+    }
+    print!("{}", table.render());
+    let pmf: Vec<f64> = (0..=12).map(|g| h.pmf(g)).collect();
+    println!("\nshape: {}", sparkline(&pmf));
+    println!("mean gamma: {:.4}", h.mean());
+}
+
+fn cmd_trace(args: &Args) {
+    let mut rng = task_rng(Seed(args.seed), 0);
+    let program = ProgramGenerator::new(args.m).generate(&mut rng);
+    println!("initial program: {program}\n");
+    let trace = settle::SettleTrace::run(args.model, &program, &mut rng);
+    for round in trace.rounds() {
+        let labels: Vec<String> = round
+            .order
+            .iter()
+            .map(|&i| {
+                let instr = program[i];
+                match instr.op_type() {
+                    Some(t) if instr.is_critical() => format!("{t}*"),
+                    Some(t) => t.to_string(),
+                    None => instr.to_string(),
+                }
+            })
+            .collect();
+        println!(
+            "after round {:>2} (x{} climbed {}): {}",
+            round.settling + 1,
+            round.settling + 1,
+            round.climbed,
+            labels.join(" ")
+        );
+    }
+    let settled = trace.final_settled();
+    println!(
+        "\ngamma = {}, window length = {}",
+        settled.gamma(),
+        settled.window_len()
+    );
+}
+
+fn cmd_opsim(args: &Args) {
+    use execsim::{run_increment_trial, SimParams};
+    println!(
+        "operational bug rate, {} cores, canonical increment ({} trials):\n",
+        args.threads, args.trials
+    );
+    let mut bars = BarChart::new(40);
+    for model in MemoryModel::NAMED {
+        let params = SimParams::for_model(model);
+        let n = args.threads;
+        let est = Runner::new(Seed(args.seed)).bernoulli(args.trials, move |rng| {
+            run_increment_trial(n, 8, params, rng)
+        });
+        bars.bar(model.short_name(), est.point());
+    }
+    print!("{}", bars.render());
+}
+
+fn cmd_litmus(args: &Args) {
+    use execsim::litmus;
+    use execsim::SimParams;
+    println!("relaxed-outcome frequency ({} runs each):\n", args.trials);
+    let mut table = Table::new(vec!["test", "SC", "TSO", "PSO", "WO"]);
+    for test in litmus::all() {
+        let mut row = vec![test.name.to_string()];
+        for model in MemoryModel::NAMED {
+            let params = SimParams::for_model(model).without_stagger();
+            let mut rng = task_rng(Seed(args.seed), u64::from(model.matrix().relaxation_count() as u32));
+            let count = test.relaxed_outcome_count(params, args.trials, &mut rng);
+            row.push(format!("{:.4}", count as f64 / args.trials as f64));
+        }
+        table.row(row);
+    }
+    print!("{}", table.render());
+}
+
+fn cmd_sweep(args: &Args) {
+    if args.param == "grid" {
+        return cmd_sweep_grid(args);
+    }
+    let values = [0.1f64, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+    println!(
+        "two-thread survival vs {} (analytic general laws):\n",
+        args.param
+    );
+    let mut chart = Chart::new(60, 14);
+    chart.title(format!("Pr[A] vs {}", args.param));
+    for model in MemoryModel::NAMED {
+        let series: Vec<(f64, f64)> = values
+            .iter()
+            .map(|&v| {
+                let params = match args.param.as_str() {
+                    "s" => Params::new(0.5, v, 0.5),
+                    "p" => Params::new(v, 0.5, 0.5),
+                    "q" => Params::new(0.5, 0.5, v),
+                    other => {
+                        eprintln!("unknown sweep parameter {other} (expected s, p, q, or grid)");
+                        std::process::exit(2);
+                    }
+                }
+                .expect("grid values are valid");
+                let laws = GeneralWindowLaws::new(params);
+                (v, laws.two_thread_survival(model).expect("named model"))
+            })
+            .collect();
+        chart.series(model.short_name(), series);
+    }
+    print!("{}", chart.render());
+    println!("note the TSO/WO crossover as s grows — see EXPERIMENTS.md (EXP-GENERAL).");
+}
+
+fn cmd_sweep_grid(args: &Args) {
+    // A (p, s) heatmap of the chosen model's two-thread survival.
+    let axis = [0.1f64, 0.3, 0.5, 0.7, 0.9];
+    println!(
+        "two-thread survival Pr[A] over (p rows, s columns) under {}:\n",
+        args.model
+    );
+    let mut h = Heatmap::new(axis.to_vec(), axis.to_vec());
+    for (i, &p) in axis.iter().enumerate() {
+        for (j, &s) in axis.iter().enumerate() {
+            let laws = GeneralWindowLaws::new(Params::new(p, s, 0.5).expect("grid values valid"));
+            h.set(i, j, laws.two_thread_survival(args.model).expect("named model"));
+        }
+    }
+    print!("{}", h.render());
+    println!("(SC is flat at 1/6 — its window ignores p and s; weak models dim as s grows)");
+}

@@ -1,0 +1,75 @@
+//! Smoke tests for the `mmreliab` CLI binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mmreliab"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn table1_prints_all_models() {
+    let (ok, stdout, _) = run(&["table1"]);
+    assert!(ok);
+    for name in [
+        "Sequential Consistency",
+        "Total Store Order",
+        "Partial Store Order",
+        "Weak Ordering",
+    ] {
+        assert!(stdout.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn survival_reports_bounds_and_estimates() {
+    let (ok, stdout, _) = run(&["survival", "--model", "tso", "--trials", "4000", "--seed", "1"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("paper bounds"));
+    assert!(stdout.contains("Rao-Blackwellised"));
+    assert!(stdout.contains("direct simulation"));
+}
+
+#[test]
+fn windows_shows_law_comparison() {
+    let (ok, stdout, _) = run(&["windows", "--model", "wo", "--trials", "4000"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("paper law"));
+    assert!(stdout.contains("mean gamma"));
+}
+
+#[test]
+fn sweep_grid_renders_heatmap() {
+    let (ok, stdout, _) = run(&["sweep", "--param", "grid", "--model", "tso"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("scale:"));
+}
+
+#[test]
+fn trace_renders_rounds() {
+    let (ok, stdout, _) = run(&["trace", "--model", "tso", "--m", "5", "--seed", "2"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("after round"));
+    assert!(stdout.contains("gamma ="));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn missing_flag_value_fails() {
+    let (ok, _, stderr) = run(&["survival", "--model"]);
+    assert!(!ok);
+    assert!(stderr.contains("--model needs a value"));
+}

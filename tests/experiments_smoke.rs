@@ -1,0 +1,23 @@
+//! Smoke test: every registered experiment runs in quick mode and reports
+//! REPRODUCED with no MISMATCH — i.e. `EXPERIMENTS.md` is regenerable from
+//! a clean checkout.
+
+use mmr_bench::{registry, Ctx};
+
+#[test]
+fn every_experiment_reproduces_in_quick_mode() {
+    let ctx = Ctx::quick();
+    for e in registry() {
+        let out = (e.run)(&ctx);
+        assert!(
+            out.contains("REPRODUCED"),
+            "{}: no REPRODUCED verdict\n{out}",
+            e.id
+        );
+        assert!(
+            !out.contains("MISMATCH"),
+            "{}: MISMATCH in quick mode\n{out}",
+            e.id
+        );
+    }
+}

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Tier-1 gate: build, full test suite, and lints (warnings are errors).
+set -eux
+
+cargo build --release --offline
+cargo test -q --offline --workspace
+cargo clippy --all-targets --offline --workspace -- -D warnings

@@ -1,90 +1,199 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--quick] [--trials N] [--seed S] [--out FILE] [ids…]
+//! experiments [--quick] [--trials N] [--seed S] [--out FILE] [--json FILE]
+//!             [--checkpoint FILE] [--list] [ids…]
 //! ```
 //!
 //! With no ids, all experiments run in DESIGN.md §4 order. The default
 //! (standard) context is what produced `EXPERIMENTS.md`.
+//!
+//! Every experiment runs behind an unwind boundary, so one panicking
+//! experiment reports `MISMATCH` instead of killing the batch. With
+//! `--checkpoint FILE`, each completed experiment is persisted atomically
+//! and a restart skips everything already done under the same context.
 
-use mmr_bench::{registry, run_experiments, run_experiments_structured, Ctx};
-use std::io::Write as _;
+use mmr_bench::{checkpoint, registry, run_one_isolated, write_atomic, Ctx, RunResult};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn main() {
-    let mut ctx = Ctx::standard();
-    let mut ids: Vec<String> = Vec::new();
-    let mut out_path: Option<String> = None;
-    let mut json_path: Option<String> = None;
+const USAGE: &str = "usage: experiments [--quick] [--trials N] [--seed S] [--out FILE] [--json FILE] [--checkpoint FILE] [--list] [ids...]";
 
-    let mut args = std::env::args().skip(1);
+struct Args {
+    ctx: Ctx,
+    ids: Vec<String>,
+    out_path: Option<PathBuf>,
+    json_path: Option<PathBuf>,
+    checkpoint_path: Option<PathBuf>,
+    list: bool,
+    help: bool,
+}
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut parsed = Args {
+        ctx: Ctx::standard(),
+        ids: Vec::new(),
+        out_path: None,
+        json_path: None,
+        checkpoint_path: None,
+        list: false,
+        help: false,
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--quick" => ctx = Ctx::quick(),
+            "--quick" => parsed.ctx = Ctx::quick(),
             "--trials" => {
-                let v = args.next().expect("--trials needs a value");
-                ctx.trials = v.parse().expect("--trials takes an integer");
+                let v = args.next().ok_or("--trials needs a value")?;
+                parsed.ctx.trials = v
+                    .parse()
+                    .map_err(|_| format!("--trials takes a positive integer, got {v:?}"))?;
+                if parsed.ctx.trials == 0 {
+                    return Err("--trials must be at least 1".into());
+                }
             }
             "--seed" => {
-                let v = args.next().expect("--seed needs a value");
-                ctx.seed = v.parse().expect("--seed takes an integer");
+                let v = args.next().ok_or("--seed needs a value")?;
+                parsed.ctx.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed takes an integer, got {v:?}"))?;
             }
-            "--out" => out_path = Some(args.next().expect("--out needs a path")),
-            "--json" => json_path = Some(args.next().expect("--json needs a path")),
-            "--list" => {
-                for e in registry() {
-                    println!("{:<8} {}", e.id, e.artifact);
-                }
-                return;
+            "--out" => parsed.out_path = Some(args.next().ok_or("--out needs a path")?.into()),
+            "--json" => parsed.json_path = Some(args.next().ok_or("--json needs a path")?.into()),
+            "--checkpoint" => {
+                parsed.checkpoint_path = Some(args.next().ok_or("--checkpoint needs a path")?.into());
             }
-            "--help" | "-h" => {
-                println!(
-                    "usage: experiments [--quick] [--trials N] [--seed S] [--out FILE] [--json FILE] [--list] [ids...]"
-                );
-                return;
-            }
-            other => ids.push(other.to_owned()),
+            "--list" => parsed.list = true,
+            "--help" | "-h" => parsed.help = true,
+            other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
+            other => parsed.ids.push(other.to_owned()),
         }
     }
+    Ok(parsed)
+}
 
-    if let Some(path) = &json_path {
-        let res = run_experiments_structured(&ids, &ctx);
-        let json = serde_json::to_string_pretty(&res).expect("serializable results");
-        std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        let mismatched: usize = res.experiments.iter().map(|e| e.mismatched).sum();
-        eprintln!("structured results written to {path}");
-        if mismatched > 0 {
-            std::process::exit(1);
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
         }
-        return;
+    };
+
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.list {
+        for e in registry() {
+            println!("{:<8} {}", e.id, e.artifact);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<ExitCode, mmr_bench::Error> {
+    let registry = registry();
+    let selected = mmr_bench::select(&registry, &args.ids)?;
+
+    // Resume from a checkpoint recorded under the same context, if any.
+    let mut done: Vec<mmr_bench::ExperimentResult> = Vec::new();
+    if let Some(path) = &args.checkpoint_path {
+        if let Some(prev) = checkpoint::load(path)? {
+            if checkpoint::matches_ctx(&prev, &args.ctx) {
+                done = prev.experiments;
+            } else {
+                eprintln!(
+                    "checkpoint {} was recorded with trials = {}, seed = {}; \
+                     ignoring it (current trials = {}, seed = {})",
+                    path.display(),
+                    prev.trials,
+                    prev.seed,
+                    args.ctx.trials,
+                    args.ctx.seed
+                );
+            }
+        }
     }
 
     let started = std::time::Instant::now();
+    let mut state = RunResult {
+        trials: args.ctx.trials,
+        seed: args.ctx.seed,
+        experiments: done,
+    };
+    let mut ordered = Vec::with_capacity(selected.len());
+    for e in selected {
+        if let Some(prev) = state.experiments.iter().find(|r| r.id == e.id) {
+            eprintln!("checkpoint: skipping {} (already complete)", e.id);
+            ordered.push(prev.clone());
+            continue;
+        }
+        let result = run_one_isolated(e, &args.ctx);
+        state.experiments.push(result.clone());
+        if let Some(path) = &args.checkpoint_path {
+            checkpoint::save(path, &state)?;
+        }
+        ordered.push(result);
+    }
+
     let mut report = String::new();
     report.push_str("# Experiment report — PODC 2011 memory-model reliability reproduction\n\n");
-    report.push_str(&format!(
+    let _ = write!(
+        report,
         "context: trials = {}, seed = {}\n\n",
-        ctx.trials, ctx.seed
-    ));
-    report.push_str(&run_experiments(&ids, &ctx));
-    report.push_str(&format!(
+        args.ctx.trials, args.ctx.seed
+    );
+    for r in &ordered {
+        let _ = write!(
+            report,
+            "## {} — {}\n\n{}\n",
+            r.id.to_uppercase(),
+            r.artifact,
+            r.report
+        );
+    }
+    let _ = write!(
+        report,
         "\ntotal wall time: {:.1}s\n",
         started.elapsed().as_secs_f64()
-    ));
+    );
 
-    match out_path {
+    if let Some(path) = &args.json_path {
+        let result = RunResult {
+            trials: args.ctx.trials,
+            seed: args.ctx.seed,
+            experiments: ordered.clone(),
+        };
+        let json = serde_json::to_string_pretty(&result).expect("serializable results");
+        write_atomic(path, &json)?;
+        eprintln!("structured results written to {}", path.display());
+    }
+    match &args.out_path {
         Some(path) => {
-            let mut f = std::fs::File::create(&path)
-                .unwrap_or_else(|e| panic!("cannot create {path}: {e}"));
-            f.write_all(report.as_bytes()).expect("write report");
-            eprintln!("report written to {path}");
+            write_atomic(path, &report)?;
+            eprintln!("report written to {}", path.display());
         }
-        None => print!("{report}"),
+        None if args.json_path.is_none() => print!("{report}"),
+        None => {}
     }
 
-    let reproduced = report.matches("REPRODUCED").count();
-    let mismatched = report.matches("MISMATCH").count();
+    let reproduced: usize = ordered.iter().map(|r| r.reproduced).sum();
+    let mismatched: usize = ordered.iter().map(|r| r.mismatched).sum();
     eprintln!("\n{reproduced} checks REPRODUCED, {mismatched} MISMATCH");
-    if mismatched > 0 {
-        std::process::exit(1);
-    }
+    Ok(if mismatched > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }

@@ -11,8 +11,59 @@
 
 pub mod exp;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Failure modes of the experiment harness.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An experiment id that is not in the [`registry`].
+    UnknownExperiment {
+        /// The offending id.
+        id: String,
+    },
+    /// A filesystem operation failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A checkpoint file exists but cannot be understood.
+    BadCheckpoint {
+        /// The checkpoint file.
+        path: PathBuf,
+        /// Why it was rejected.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::UnknownExperiment { id } => {
+                write!(f, "unknown experiment id {id:?} (try --list)")
+            }
+            Error::Io { path, source } => {
+                write!(f, "cannot access {}: {source}", path.display())
+            }
+            Error::BadCheckpoint { path, detail } => {
+                write!(f, "bad checkpoint {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// Shared experiment context.
 #[derive(Debug, Clone, Copy)]
@@ -50,6 +101,7 @@ impl Default for Ctx {
 }
 
 /// One experiment: id, paper artifact, and runner.
+#[derive(Debug)]
 pub struct Experiment {
     /// Short id (`t1`, `thm62`, …) used on the command line.
     pub id: &'static str,
@@ -82,6 +134,42 @@ pub fn registry() -> Vec<Experiment> {
     ]
 }
 
+/// Resolves experiment ids against a registry, keeping request order.
+/// An empty id list selects everything.
+///
+/// # Errors
+///
+/// [`Error::UnknownExperiment`] for any id not in `registry`.
+pub fn select<'r>(registry: &'r [Experiment], ids: &[String]) -> Result<Vec<&'r Experiment>, Error> {
+    if ids.is_empty() {
+        return Ok(registry.iter().collect());
+    }
+    ids.iter()
+        .map(|id| {
+            registry
+                .iter()
+                .find(|e| e.id == id)
+                .ok_or_else(|| Error::UnknownExperiment { id: id.clone() })
+        })
+        .collect()
+}
+
+/// Runs a set of experiment ids (all when empty), concatenating sections.
+///
+/// # Errors
+///
+/// [`Error::UnknownExperiment`] for any unknown id.
+pub fn try_run_experiments(ids: &[String], ctx: &Ctx) -> Result<String, Error> {
+    let registry = registry();
+    let mut out = String::new();
+    for e in select(&registry, ids)? {
+        let _ = writeln!(out, "## {} — {}\n", e.id.to_uppercase(), e.artifact);
+        out.push_str(&(e.run)(ctx));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
 /// Runs a set of experiment ids (all when empty), concatenating sections.
 ///
 /// # Panics
@@ -89,26 +177,7 @@ pub fn registry() -> Vec<Experiment> {
 /// Panics on an unknown id.
 #[must_use]
 pub fn run_experiments(ids: &[String], ctx: &Ctx) -> String {
-    let registry = registry();
-    let selected: Vec<&Experiment> = if ids.is_empty() {
-        registry.iter().collect()
-    } else {
-        ids.iter()
-            .map(|id| {
-                registry
-                    .iter()
-                    .find(|e| e.id == id)
-                    .unwrap_or_else(|| panic!("unknown experiment id {id:?}"))
-            })
-            .collect()
-    };
-    let mut out = String::new();
-    for e in selected {
-        let _ = writeln!(out, "## {} — {}\n", e.id.to_uppercase(), e.artifact);
-        out.push_str(&(e.run)(ctx));
-        out.push('\n');
-    }
-    out
+    try_run_experiments(ids, ctx).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Formats a paper-vs-measured verdict line.
@@ -122,7 +191,7 @@ pub fn verdict(ok: bool) -> &'static str {
 }
 
 /// Machine-readable result of one experiment run.
-#[derive(Debug, Clone, Serialize, PartialEq, Eq)]
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
 pub struct ExperimentResult {
     /// Experiment id.
     pub id: String,
@@ -136,8 +205,9 @@ pub struct ExperimentResult {
     pub report: String,
 }
 
-/// Machine-readable result of a whole run (the `--json` output).
-#[derive(Debug, Clone, Serialize, PartialEq, Eq)]
+/// Machine-readable result of a whole run (the `--json` output and the
+/// `--checkpoint` on-disk format).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
 pub struct RunResult {
     /// Trial count of the context.
     pub trials: u64,
@@ -147,6 +217,54 @@ pub struct RunResult {
     pub experiments: Vec<ExperimentResult>,
 }
 
+/// Runs one experiment behind an unwind boundary.
+///
+/// A panicking experiment becomes a result with one `MISMATCH` and a
+/// report recording the panic, so one broken experiment cannot take down
+/// the rest of a long batch (or a checkpointed run's accumulated state).
+#[must_use]
+pub fn run_one_isolated(e: &Experiment, ctx: &Ctx) -> ExperimentResult {
+    let run = e.run;
+    let outcome = std::panic::catch_unwind(move || run(ctx));
+    let report = match outcome {
+        Ok(report) => report,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            format!("experiment PANICKED: {msg}\n\noverall: MISMATCH\n")
+        }
+    };
+    ExperimentResult {
+        id: e.id.to_owned(),
+        artifact: e.artifact.to_owned(),
+        reproduced: report.matches("REPRODUCED").count(),
+        mismatched: report.matches("MISMATCH").count(),
+        report,
+    }
+}
+
+/// Runs experiments and collects structured results (the `--json` path),
+/// isolating each experiment behind an unwind boundary.
+///
+/// # Errors
+///
+/// [`Error::UnknownExperiment`] for any unknown id.
+pub fn try_run_experiments_structured(ids: &[String], ctx: &Ctx) -> Result<RunResult, Error> {
+    let registry = registry();
+    let experiments = select(&registry, ids)?
+        .into_iter()
+        .map(|e| run_one_isolated(e, ctx))
+        .collect();
+    Ok(RunResult {
+        trials: ctx.trials,
+        seed: ctx.seed,
+        experiments,
+    })
+}
+
 /// Runs experiments and collects structured results (the `--json` path).
 ///
 /// # Panics
@@ -154,36 +272,84 @@ pub struct RunResult {
 /// Panics on an unknown id.
 #[must_use]
 pub fn run_experiments_structured(ids: &[String], ctx: &Ctx) -> RunResult {
-    let registry = registry();
-    let selected: Vec<&Experiment> = if ids.is_empty() {
-        registry.iter().collect()
-    } else {
-        ids.iter()
-            .map(|id| {
-                registry
-                    .iter()
-                    .find(|e| e.id == id)
-                    .unwrap_or_else(|| panic!("unknown experiment id {id:?}"))
-            })
-            .collect()
-    };
-    let experiments = selected
-        .into_iter()
-        .map(|e| {
-            let report = (e.run)(ctx);
-            ExperimentResult {
-                id: e.id.to_owned(),
-                artifact: e.artifact.to_owned(),
-                reproduced: report.matches("REPRODUCED").count(),
-                mismatched: report.matches("MISMATCH").count(),
-                report,
+    try_run_experiments_structured(ids, ctx).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in a sibling
+/// `*.tmp` file which is then renamed over the target, so a crash mid-write
+/// can never leave a truncated report, JSON dump, or checkpoint behind.
+///
+/// # Errors
+///
+/// [`Error::Io`] when the temporary file cannot be written or renamed.
+pub fn write_atomic(path: &Path, contents: &str) -> Result<(), Error> {
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "out".into());
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    std::fs::write(&tmp, contents).map_err(|source| Error::Io {
+        path: tmp.clone(),
+        source,
+    })?;
+    std::fs::rename(&tmp, path).map_err(|source| Error::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// Checkpoint persistence for long experiment batches.
+///
+/// The on-disk format is the same JSON as `--json` output: a [`RunResult`]
+/// whose `experiments` list grows as experiments complete. A restart loads
+/// it, verifies the context matches, and skips everything already present.
+pub mod checkpoint {
+    use super::{Ctx, Error, RunResult};
+    use std::path::Path;
+
+    /// Loads a checkpoint; `Ok(None)` when `path` does not exist.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on read failure, [`Error::BadCheckpoint`] when the
+    /// file is not a valid checkpoint JSON.
+    pub fn load(path: &Path) -> Result<Option<RunResult>, Error> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(source) => {
+                return Err(Error::Io {
+                    path: path.to_path_buf(),
+                    source,
+                })
             }
-        })
-        .collect();
-    RunResult {
-        trials: ctx.trials,
-        seed: ctx.seed,
-        experiments,
+        };
+        serde_json::from_str(&text)
+            .map(Some)
+            .map_err(|e| Error::BadCheckpoint {
+                path: path.to_path_buf(),
+                detail: e.to_string(),
+            })
+    }
+
+    /// Whether a loaded checkpoint belongs to this run context; resuming
+    /// under a different trial count or seed would silently mix
+    /// incompatible estimates.
+    #[must_use]
+    pub fn matches_ctx(prev: &RunResult, ctx: &Ctx) -> bool {
+        prev.trials == ctx.trials && prev.seed == ctx.seed
+    }
+
+    /// Persists the checkpoint atomically (see [`super::write_atomic`]).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the file cannot be written.
+    pub fn save(path: &Path, state: &RunResult) -> Result<(), Error> {
+        let json = serde_json::to_string_pretty(state)
+            .expect("RunResult serialization is infallible");
+        super::write_atomic(path, &json)
     }
 }
 
@@ -222,5 +388,103 @@ mod tests {
         assert!(res.experiments.iter().all(|e| e.reproduced >= 1));
         let json = serde_json::to_string_pretty(&res).unwrap();
         assert!(json.contains("\"id\": \"t1\""));
+    }
+
+    #[test]
+    fn select_reports_unknown_ids() {
+        let reg = registry();
+        let err = select(&reg, &["t1".into(), "bogus".into()]).unwrap_err();
+        match &err {
+            Error::UnknownExperiment { id } => assert_eq!(id, "bogus"),
+            other => panic!("unexpected error: {other}"),
+        }
+        assert!(err.to_string().contains("\"bogus\""));
+    }
+
+    #[test]
+    fn run_one_isolated_contains_panics() {
+        fn explodes(_: &Ctx) -> String {
+            panic!("synthetic experiment failure")
+        }
+        let e = Experiment {
+            id: "boom",
+            artifact: "none",
+            run: explodes,
+        };
+        let res = run_one_isolated(&e, &Ctx::quick());
+        assert_eq!(res.id, "boom");
+        assert_eq!(res.reproduced, 0);
+        assert_eq!(res.mismatched, 1);
+        assert!(res.report.contains("PANICKED"), "{}", res.report);
+        assert!(res.report.contains("synthetic experiment failure"));
+    }
+
+    #[test]
+    fn structured_results_roundtrip_through_json() {
+        let res = run_experiments_structured(&["t1".into()], &Ctx::quick());
+        let json = serde_json::to_string(&res).unwrap();
+        let back: RunResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, res);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_ctx_guard() {
+        let dir = std::env::temp_dir().join(format!(
+            "mmr-bench-ckpt-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+
+        assert!(checkpoint::load(&path).unwrap().is_none(), "no file yet");
+
+        let ctx = Ctx::quick();
+        let state = run_experiments_structured(&["t1".into()], &ctx);
+        checkpoint::save(&path, &state).unwrap();
+        let loaded = checkpoint::load(&path).unwrap().expect("file exists");
+        assert_eq!(loaded, state);
+        assert!(checkpoint::matches_ctx(&loaded, &ctx));
+        assert!(!checkpoint::matches_ctx(&loaded, &Ctx::standard()));
+
+        // No stray temporary file remains after an atomic save.
+        assert!(!dir.join("state.json.tmp").exists());
+
+        std::fs::write(&path, "{ not json").unwrap();
+        let err = checkpoint::load(&path).unwrap_err();
+        assert!(
+            matches!(err, Error::BadCheckpoint { .. }),
+            "unexpected error: {err}"
+        );
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_replaces_existing_content() {
+        let dir = std::env::temp_dir().join(format!(
+            "mmr-bench-atomic-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.md");
+        write_atomic(&path, "first").unwrap();
+        write_atomic(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        assert!(!dir.join("report.md.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let io = Error::Io {
+            path: PathBuf::from("/nope/x.json"),
+            source: std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        };
+        assert!(io.to_string().contains("/nope/x.json"));
+        assert!(std::error::Error::source(&io).is_some());
+        let unk = Error::UnknownExperiment { id: "zz".into() };
+        assert!(std::error::Error::source(&unk).is_none());
     }
 }

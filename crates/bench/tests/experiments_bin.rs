@@ -1,0 +1,142 @@
+//! Black-box tests of the `experiments` binary: argument validation,
+//! atomic output, and checkpoint write → resume → skip.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn experiments(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .output()
+        .expect("spawn experiments binary")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("experiments-bin-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn rejects_zero_trials() {
+    let out = experiments(&["--trials", "0", "t1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--trials must be at least 1"), "{stderr}");
+}
+
+#[test]
+fn rejects_malformed_trials_and_seed() {
+    let out = experiments(&["--trials", "many", "t1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trials takes a positive integer"));
+
+    let out = experiments(&["--seed", "0x12", "t1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--seed takes an integer"));
+
+    let out = experiments(&["--trials"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trials needs a value"));
+}
+
+#[test]
+fn rejects_unknown_flag_and_unknown_experiment() {
+    let out = experiments(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+
+    let out = experiments(&["--quick", "not-an-experiment"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown experiment id"));
+}
+
+#[test]
+fn list_and_help_succeed() {
+    let out = experiments(&["--list"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("thm62"));
+
+    let out = experiments(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("--checkpoint"));
+}
+
+#[test]
+fn checkpoint_write_resume_skip_roundtrip() {
+    let dir = temp_dir("ckpt");
+    let ckpt = dir.join("state.json");
+    let ckpt_s = ckpt.to_str().unwrap();
+
+    // First run completes t1 and writes the checkpoint.
+    let out = experiments(&["--quick", "--checkpoint", ckpt_s, "t1"]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(ckpt.exists());
+    let state = std::fs::read_to_string(&ckpt).unwrap();
+    assert!(state.contains("\"id\": \"t1\""));
+
+    // Second run over a superset skips t1 and completes f2.
+    let out = experiments(&["--quick", "--checkpoint", ckpt_s, "t1", "f2"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("skipping t1"), "{stderr}");
+    assert!(!stderr.contains("skipping f2"), "{stderr}");
+    let state = std::fs::read_to_string(&ckpt).unwrap();
+    assert!(state.contains("\"id\": \"t1\"") && state.contains("\"id\": \"f2\""));
+
+    // Both skipped results still land in the report, in request order.
+    let out = experiments(&["--quick", "--checkpoint", ckpt_s, "t1", "f2"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("skipping t1") && stderr.contains("skipping f2"));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let t1 = stdout.find("## T1").expect("t1 section");
+    let f2 = stdout.find("## F2").expect("f2 section");
+    assert!(t1 < f2);
+
+    // A context change invalidates the checkpoint instead of mixing runs.
+    let out = experiments(&["--quick", "--seed", "99", "--checkpoint", ckpt_s, "t1"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("ignoring it"), "{stderr}");
+    assert!(!stderr.contains("skipping t1"), "{stderr}");
+
+    // A corrupt checkpoint is a hard error, not silent data loss.
+    std::fs::write(&ckpt, "{ definitely not json").unwrap();
+    let out = experiments(&["--quick", "--checkpoint", ckpt_s, "t1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad checkpoint"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn out_and_json_are_written_atomically_together() {
+    let dir = temp_dir("out");
+    let report = dir.join("report.md");
+    let json = dir.join("results.json");
+
+    let out = experiments(&[
+        "--quick",
+        "--out",
+        report.to_str().unwrap(),
+        "--json",
+        json.to_str().unwrap(),
+        "t1",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&report).unwrap();
+    assert!(text.starts_with("# Experiment report"));
+    assert!(text.contains("## T1"));
+    assert!(text.contains("total wall time"));
+
+    let parsed: serde_json::Value = serde_json::from_str(&std::fs::read_to_string(&json).unwrap())
+        .expect("valid json output");
+    drop(parsed);
+
+    assert!(!dir.join("report.md.tmp").exists());
+    assert!(!dir.join("results.json.tmp").exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,96 @@
+//! Typed errors for the Monte-Carlo runner.
+
+use crate::Seed;
+use std::fmt;
+
+/// Failure modes of a [`Runner`](crate::Runner) invocation.
+///
+/// Everything a worker can do wrong is reported through this enum rather
+/// than by tearing down the process; see the `try_*` entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A worker chunk panicked on every attempt (initial run plus
+    /// retries). The chunk's RNG stream is a pure function of
+    /// `(seed, chunk)`, so the failure is reproducible from this record.
+    WorkerPanicked {
+        /// Index of the failing chunk.
+        chunk: u64,
+        /// Master seed of the run.
+        seed: Seed,
+        /// Number of attempts made (1 initial + retries).
+        attempts: u32,
+        /// Stringified panic payload of the last attempt.
+        payload: String,
+    },
+    /// `with_min_trials` demanded a floor larger than the requested
+    /// trial count, which could never be satisfied.
+    MinTrialsExceedRequested {
+        /// The configured floor.
+        min_trials: u64,
+        /// The trial count passed to the run.
+        requested: u64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::WorkerPanicked {
+                chunk,
+                seed,
+                attempts,
+                payload,
+            } => write!(
+                f,
+                "monte-carlo chunk {chunk} (seed {}) panicked on all {attempts} attempts: {payload}",
+                seed.0
+            ),
+            Error::MinTrialsExceedRequested {
+                min_trials,
+                requested,
+            } => write!(
+                f,
+                "minimum trial floor {min_trials} exceeds the {requested} trials requested"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        let e = Error::WorkerPanicked {
+            chunk: 3,
+            seed: Seed(17),
+            attempts: 2,
+            payload: "index out of bounds".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("chunk 3"), "{msg}");
+        assert!(msg.contains("seed 17"), "{msg}");
+        assert!(msg.contains("2 attempts"), "{msg}");
+        assert!(msg.contains("index out of bounds"), "{msg}");
+
+        let e = Error::MinTrialsExceedRequested {
+            min_trials: 500,
+            requested: 100,
+        };
+        assert!(e.to_string().contains("500"));
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(Error::MinTrialsExceedRequested {
+            min_trials: 2,
+            requested: 1,
+        });
+        assert!(e.source().is_none());
+    }
+}

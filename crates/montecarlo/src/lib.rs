@@ -24,13 +24,17 @@
 #![warn(missing_docs)]
 
 mod chi2;
+mod error;
+#[cfg(any(test, feature = "fault-inject"))]
+pub mod fault;
 mod hist;
 mod rng;
 mod runner;
 mod stats;
 
 pub use chi2::{chi_square_gof, GofResult};
+pub use error::Error;
 pub use hist::Histogram;
 pub use rng::{task_rng, Seed};
-pub use runner::Runner;
+pub use runner::{RunReport, Runner};
 pub use stats::{BernoulliEstimate, Welford};

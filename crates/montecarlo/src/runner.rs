@@ -1,13 +1,30 @@
 //! Parallel trial runners.
 
-use crate::{BernoulliEstimate, Histogram, Seed, Welford};
+use crate::{BernoulliEstimate, Error, Histogram, Seed, Welford};
 use rand::rngs::SmallRng;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Trials run between cancellation/deadline checks. Large enough that the
+/// per-batch atomics and `Instant::now` are noise even for sub-microsecond
+/// trials, small enough that deadline overshoot stays bounded.
+const BATCH: u64 = 256;
 
 /// A deterministic, parallel Monte-Carlo runner.
 ///
 /// Trials are split into per-thread chunks; each chunk derives its own RNG
 /// from the master [`Seed`] and the chunk index, so the aggregate result is
-/// identical for any thread count.
+/// identical for any run with the same thread count.
+///
+/// The runner is fault-tolerant: a panicking chunk is caught and retried
+/// from its chunk seed (bounded by [`with_max_chunk_retries`]
+/// (Runner::with_max_chunk_retries)), and a wall-clock deadline
+/// ([`with_deadline`](Runner::with_deadline)) degrades a run to an honest
+/// partial estimate instead of aborting it. The `try_*` entry points
+/// surface irrecoverable failures as [`Error`]; the plain entry points
+/// keep the original panicking contract.
 ///
 /// # Example
 ///
@@ -24,23 +41,103 @@ use rand::rngs::SmallRng;
 pub struct Runner {
     seed: Seed,
     threads: usize,
+    deadline: Option<Duration>,
+    min_trials: u64,
+    max_chunk_retries: u32,
+}
+
+/// The outcome of a `try_*` run: the folded value plus the metadata needed
+/// to interpret it honestly.
+///
+/// When a deadline truncates a run, `value` aggregates only the
+/// `trials_completed` trials that actually ran, so downstream statistics
+/// (Wilson intervals, standard errors) are automatically computed at the
+/// reduced — honest, wider — sample size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport<A> {
+    /// The merged accumulator over all completed trials.
+    pub value: A,
+    /// Trials the caller asked for.
+    pub trials_requested: u64,
+    /// Trials that actually contributed to `value`.
+    pub trials_completed: u64,
+    /// True when a deadline stopped the run before `trials_requested`.
+    pub truncated: bool,
+    /// Number of chunk attempts that panicked and were retried.
+    pub retried_chunks: u64,
+}
+
+impl<A> RunReport<A> {
+    /// Unwraps the accumulator, discarding the run metadata.
+    pub fn into_value(self) -> A {
+        self.value
+    }
+}
+
+/// What one worker chunk reports back to the coordinator.
+enum ChunkOutcome<A> {
+    Done { acc: A, ran: u64 },
+    Failed { attempts: u32, payload: String },
 }
 
 impl Runner {
     /// A runner with the given master seed, defaulting to the machine's
-    /// available parallelism.
+    /// available parallelism, no deadline, and 2 chunk retries.
     #[must_use]
     pub fn new(seed: Seed) -> Runner {
         let threads = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1);
-        Runner { seed, threads }
+        Runner {
+            seed,
+            threads,
+            deadline: None,
+            min_trials: 0,
+            max_chunk_retries: 2,
+        }
     }
 
     /// Overrides the worker-thread count (clamped to at least 1).
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Runner {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets a wall-clock budget for each run.
+    ///
+    /// Once the budget is spent, workers stop at the next batch boundary
+    /// and the run returns a [`RunReport`] marked `truncated` with the
+    /// trials completed so far — it does not abort. Combine with
+    /// [`with_min_trials`](Runner::with_min_trials) to guarantee a
+    /// statistical floor. Truncated runs are *not* deterministic across
+    /// invocations (where they stop depends on timing); full runs are.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Runner {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a floor on completed trials that a deadline may not cut below.
+    ///
+    /// Workers keep running past an expired deadline until at least this
+    /// many trials have completed in aggregate, so a too-tight budget
+    /// degrades to "slow but valid" rather than "fast but meaningless".
+    #[must_use]
+    pub fn with_min_trials(mut self, min_trials: u64) -> Runner {
+        self.min_trials = min_trials;
+        self
+    }
+
+    /// Sets how many times a panicked chunk is re-run before the run
+    /// fails with [`Error::WorkerPanicked`].
+    ///
+    /// A chunk's trial stream is a pure function of `(seed, chunk)`, so a
+    /// retry replays exactly the trials the failed attempt would have run
+    /// and the aggregate stays bit-for-bit identical to a panic-free run.
+    #[must_use]
+    pub fn with_max_chunk_retries(mut self, retries: u32) -> Runner {
+        self.max_chunk_retries = retries;
         self
     }
 
@@ -56,61 +153,180 @@ impl Runner {
         self.threads
     }
 
-    /// Runs `trials` independent trials, folding each chunk with `fold` from
-    /// `init` and merging chunk results with `merge`.
+    /// The wall-clock budget, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The completed-trials floor a deadline cannot cut below.
+    #[must_use]
+    pub fn min_trials(&self) -> u64 {
+        self.min_trials
+    }
+
+    /// How many times a panicked chunk is retried.
+    #[must_use]
+    pub fn max_chunk_retries(&self) -> u32 {
+        self.max_chunk_retries
+    }
+
+    /// Runs `trials` independent trials, folding each chunk with `fold`
+    /// from `init` and merging chunk results with `merge`.
     ///
-    /// This is the primitive the typed runners below are built on. Chunking
-    /// is by trial index, so the RNG stream consumed by trial `i` depends
-    /// only on `(seed, chunk(i))` — deterministic across thread counts
-    /// requires chunk boundaries to be fixed, so they are: trials are split
-    /// into exactly `threads` contiguous chunks.
-    pub fn fold<T, A: Send>(
+    /// This is the primitive the typed runners below are built on.
+    /// Chunking is by trial index, so the RNG stream consumed by trial `i`
+    /// depends only on `(seed, chunk(i))` — deterministic across runs
+    /// requires chunk boundaries to be fixed, so they are: trials are
+    /// split into exactly `threads` contiguous chunks.
+    ///
+    /// Each chunk executes under `catch_unwind`; a panicking chunk is
+    /// rebuilt from `init()` and replayed from its chunk seed up to
+    /// [`max_chunk_retries`](Runner::max_chunk_retries) times before the
+    /// whole run fails.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::WorkerPanicked`] when a chunk panics on every attempt;
+    /// [`Error::MinTrialsExceedRequested`] when the configured floor can
+    /// never be met.
+    pub fn try_fold<T, A: Send>(
         &self,
         trials: u64,
         init: impl Fn() -> A + Sync,
         trial: impl Fn(&mut SmallRng) -> T + Sync,
         fold: impl Fn(&mut A, T) + Sync,
         merge: impl Fn(&mut A, A),
-    ) -> A {
+    ) -> Result<RunReport<A>, Error> {
+        if self.min_trials > trials {
+            return Err(Error::MinTrialsExceedRequested {
+                min_trials: self.min_trials,
+                requested: trials,
+            });
+        }
         let chunks = chunk_sizes(trials, self.threads as u64);
-        let mut results: Vec<Option<A>> = Vec::new();
-        for _ in 0..chunks.len() {
-            results.push(None);
-        }
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (idx, (&count, slot)) in chunks.iter().zip(results.iter_mut()).enumerate() {
-                let seed = self.seed;
-                let (trial, fold, init) = (&trial, &fold, &init);
-                handles.push(scope.spawn(move |_| {
-                    let mut rng = crate::task_rng(seed, idx as u64);
-                    let mut acc = init();
-                    for _ in 0..count {
-                        fold(&mut acc, trial(&mut rng));
-                    }
-                    *slot = Some(acc);
-                }));
-            }
-            for h in handles {
-                h.join().expect("monte-carlo worker panicked");
-            }
-        })
-        .expect("monte-carlo scope panicked");
+        let completed = AtomicU64::new(0);
+        let cancel = AtomicBool::new(false);
+        let retried = AtomicU64::new(0);
+        let start = Instant::now();
+        let mut slots: Vec<Option<ChunkOutcome<A>>> =
+            (0..chunks.len()).map(|_| None).collect();
 
-        let mut out = init();
-        for r in results.into_iter().flatten() {
-            merge(&mut out, r);
+        std::thread::scope(|scope| {
+            for (idx, (&count, slot)) in chunks.iter().zip(slots.iter_mut()).enumerate() {
+                let (init, trial, fold) = (&init, &trial, &fold);
+                let (completed, cancel, retried) = (&completed, &cancel, &retried);
+                let runner = *self;
+                scope.spawn(move || {
+                    *slot = Some(runner.run_chunk(
+                        idx as u64, count, init, trial, fold, start, completed, cancel, retried,
+                    ));
+                });
+            }
+        });
+
+        let mut value = init();
+        let mut trials_completed = 0u64;
+        for (idx, slot) in slots.into_iter().enumerate() {
+            match slot.expect("every worker reports an outcome") {
+                ChunkOutcome::Done { acc, ran } => {
+                    trials_completed += ran;
+                    merge(&mut value, acc);
+                }
+                ChunkOutcome::Failed { attempts, payload } => {
+                    return Err(Error::WorkerPanicked {
+                        chunk: idx as u64,
+                        seed: self.seed,
+                        attempts,
+                        payload,
+                    });
+                }
+            }
         }
-        out
+        Ok(RunReport {
+            value,
+            trials_requested: trials,
+            trials_completed,
+            truncated: trials_completed < trials,
+            retried_chunks: retried.load(Ordering::Relaxed),
+        })
     }
 
-    /// Estimates a probability: `trial` returns whether the event occurred.
-    pub fn bernoulli(
+    /// One chunk's retry loop; runs on a worker thread.
+    #[allow(clippy::too_many_arguments)]
+    fn run_chunk<T, A>(
+        &self,
+        idx: u64,
+        count: u64,
+        init: &(impl Fn() -> A + Sync),
+        trial: &(impl Fn(&mut SmallRng) -> T + Sync),
+        fold: &(impl Fn(&mut A, T) + Sync),
+        start: Instant,
+        completed: &AtomicU64,
+        cancel: &AtomicBool,
+        retried: &AtomicU64,
+    ) -> ChunkOutcome<A> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            // Trials this attempt has added to the global counter, kept
+            // outside the unwind boundary so a panic can roll them back.
+            let counted = Cell::new(0u64);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut rng = crate::task_rng(self.seed, idx);
+                let mut acc = init();
+                let mut ran = 0u64;
+                while ran < count {
+                    if cancel.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let batch = BATCH.min(count - ran);
+                    for _ in 0..batch {
+                        fold(&mut acc, trial(&mut rng));
+                    }
+                    ran += batch;
+                    counted.set(counted.get() + batch);
+                    let total = completed.fetch_add(batch, Ordering::Relaxed) + batch;
+                    if let Some(limit) = self.deadline {
+                        if total >= self.min_trials && start.elapsed() >= limit {
+                            cancel.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+                (acc, ran)
+            }));
+            match outcome {
+                Ok((acc, ran)) => return ChunkOutcome::Done { acc, ran },
+                Err(payload) => {
+                    // Roll back this attempt's contribution so neither a
+                    // retry nor the final report double-counts trials.
+                    completed.fetch_sub(counted.get(), Ordering::Relaxed);
+                    if attempt > self.max_chunk_retries {
+                        return ChunkOutcome::Failed {
+                            attempts: attempt,
+                            payload: payload_to_string(&*payload),
+                        };
+                    }
+                    retried.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Estimates a probability: `trial` returns whether the event
+    /// occurred. See [`try_fold`](Runner::try_fold) for the error and
+    /// truncation contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`try_fold`](Runner::try_fold)'s errors.
+    pub fn try_bernoulli(
         &self,
         trials: u64,
         trial: impl Fn(&mut SmallRng) -> bool + Sync,
-    ) -> BernoulliEstimate {
-        self.fold(
+    ) -> Result<RunReport<BernoulliEstimate>, Error> {
+        self.try_fold(
             trials,
             BernoulliEstimate::new,
             trial,
@@ -120,8 +336,16 @@ impl Runner {
     }
 
     /// Estimates a mean: `trial` returns one observation.
-    pub fn mean(&self, trials: u64, trial: impl Fn(&mut SmallRng) -> f64 + Sync) -> Welford {
-        self.fold(
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`try_fold`](Runner::try_fold)'s errors.
+    pub fn try_mean(
+        &self,
+        trials: u64,
+        trial: impl Fn(&mut SmallRng) -> f64 + Sync,
+    ) -> Result<RunReport<Welford>, Error> {
+        self.try_fold(
             trials,
             Welford::new,
             trial,
@@ -131,12 +355,16 @@ impl Runner {
     }
 
     /// Builds an empirical histogram: `trial` returns one integer sample.
-    pub fn histogram(
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`try_fold`](Runner::try_fold)'s errors.
+    pub fn try_histogram(
         &self,
         trials: u64,
         trial: impl Fn(&mut SmallRng) -> u64 + Sync,
-    ) -> Histogram {
-        self.fold(
+    ) -> Result<RunReport<Histogram>, Error> {
+        self.try_fold(
             trials,
             Histogram::new,
             trial,
@@ -144,11 +372,70 @@ impl Runner {
             |a, b| a.merge(&b),
         )
     }
+
+    /// Infallible [`try_fold`](Runner::try_fold): panics if a chunk fails
+    /// every retry, matching the crate's original contract.
+    pub fn fold<T, A: Send>(
+        &self,
+        trials: u64,
+        init: impl Fn() -> A + Sync,
+        trial: impl Fn(&mut SmallRng) -> T + Sync,
+        fold: impl Fn(&mut A, T) + Sync,
+        merge: impl Fn(&mut A, A),
+    ) -> A {
+        match self.try_fold(trials, init, trial, fold, merge) {
+            Ok(report) => report.value,
+            Err(e) => panic!("monte-carlo worker panicked: {e}"),
+        }
+    }
+
+    /// Estimates a probability: `trial` returns whether the event occurred.
+    pub fn bernoulli(
+        &self,
+        trials: u64,
+        trial: impl Fn(&mut SmallRng) -> bool + Sync,
+    ) -> BernoulliEstimate {
+        match self.try_bernoulli(trials, trial) {
+            Ok(report) => report.value,
+            Err(e) => panic!("monte-carlo worker panicked: {e}"),
+        }
+    }
+
+    /// Estimates a mean: `trial` returns one observation.
+    pub fn mean(&self, trials: u64, trial: impl Fn(&mut SmallRng) -> f64 + Sync) -> Welford {
+        match self.try_mean(trials, trial) {
+            Ok(report) => report.value,
+            Err(e) => panic!("monte-carlo worker panicked: {e}"),
+        }
+    }
+
+    /// Builds an empirical histogram: `trial` returns one integer sample.
+    pub fn histogram(
+        &self,
+        trials: u64,
+        trial: impl Fn(&mut SmallRng) -> u64 + Sync,
+    ) -> Histogram {
+        match self.try_histogram(trials, trial) {
+            Ok(report) => report.value,
+            Err(e) => panic!("monte-carlo worker panicked: {e}"),
+        }
+    }
 }
 
 impl Default for Runner {
     fn default() -> Runner {
         Runner::new(Seed::default())
+    }
+}
+
+/// Renders a `catch_unwind` payload for error reports.
+fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -166,6 +453,7 @@ fn chunk_sizes(trials: u64, workers: u64) -> Vec<u64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultInjector, FaultMode};
     use rand::Rng;
 
     #[test]
@@ -235,5 +523,143 @@ mod tests {
             manual.record(rng.gen_bool(0.5));
         }
         assert_eq!(est, manual);
+    }
+
+    #[test]
+    fn full_run_report_is_not_truncated() {
+        let report = Runner::new(Seed(11))
+            .with_threads(2)
+            .try_bernoulli(5_000, |rng| rng.gen_bool(0.4))
+            .unwrap();
+        assert_eq!(report.trials_requested, 5_000);
+        assert_eq!(report.trials_completed, 5_000);
+        assert!(!report.truncated);
+        assert_eq!(report.retried_chunks, 0);
+        assert_eq!(report.value.trials(), 5_000);
+    }
+
+    #[test]
+    fn injected_panic_recovers_bit_for_bit() {
+        let runner = Runner::new(Seed(12)).with_threads(3);
+        let clean = runner.try_bernoulli(9_000, |rng| rng.gen_bool(0.3)).unwrap();
+
+        let inj = FaultInjector::new(FaultMode::PanicOnce { trial: 4_321 });
+        let faulty = runner
+            .try_bernoulli(9_000, |rng| {
+                inj.perturb();
+                rng.gen_bool(0.3)
+            })
+            .unwrap();
+
+        assert!(inj.has_fired());
+        assert_eq!(faulty.retried_chunks, 1);
+        assert_eq!(faulty.trials_completed, 9_000);
+        assert!(!faulty.truncated);
+        // The retried chunk replays its exact trial stream, so the merged
+        // estimate is identical to the panic-free run.
+        assert_eq!(faulty.value, clean.value);
+    }
+
+    #[test]
+    fn persistent_panic_exhausts_retries() {
+        let runner = Runner::new(Seed(13)).with_threads(2).with_max_chunk_retries(1);
+        let inj = FaultInjector::new(FaultMode::PanicAlways);
+        let err = runner
+            .try_bernoulli(100, |rng| {
+                inj.perturb();
+                rng.gen_bool(0.5)
+            })
+            .unwrap_err();
+        match err {
+            Error::WorkerPanicked {
+                seed,
+                attempts,
+                payload,
+                ..
+            } => {
+                assert_eq!(seed, Seed(13));
+                assert_eq!(attempts, 2, "1 initial + 1 retry");
+                assert!(payload.contains("injected fault"), "{payload}");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn infallible_entry_point_still_panics_on_exhaustion() {
+        let result = std::panic::catch_unwind(|| {
+            Runner::new(Seed(14))
+                .with_threads(1)
+                .with_max_chunk_retries(0)
+                .bernoulli(10, |_| panic!("hard fault"))
+        });
+        let msg = payload_to_string(&*result.unwrap_err());
+        assert!(msg.contains("monte-carlo worker panicked"), "{msg}");
+        assert!(msg.contains("hard fault"), "{msg}");
+    }
+
+    #[test]
+    fn deadline_truncates_instead_of_aborting() {
+        // Trials sleep, so the requested count can never finish inside
+        // the budget; the run must degrade, not hang or crash.
+        let report = Runner::new(Seed(15))
+            .with_threads(2)
+            .with_deadline(Duration::from_millis(30))
+            .try_bernoulli(1_000_000, |rng| {
+                std::thread::sleep(Duration::from_micros(50));
+                rng.gen_bool(0.5)
+            })
+            .unwrap();
+        assert!(report.truncated);
+        assert!(report.trials_completed < 1_000_000);
+        assert_eq!(report.value.trials(), report.trials_completed);
+        // The truncated estimate still carries a valid (wider) CI.
+        let (lo, hi) = report.value.wilson_ci(0.99);
+        assert!((0.0..=1.0).contains(&lo) && lo <= hi && hi <= 1.0);
+    }
+
+    #[test]
+    fn min_trials_floor_survives_expired_deadline() {
+        let report = Runner::new(Seed(16))
+            .with_threads(2)
+            .with_deadline(Duration::ZERO)
+            .with_min_trials(3_000)
+            .try_bernoulli(100_000, |rng| rng.gen_bool(0.5))
+            .unwrap();
+        assert!(report.trials_completed >= 3_000, "{}", report.trials_completed);
+        assert!(report.trials_completed <= 100_000);
+    }
+
+    #[test]
+    fn min_trials_above_requested_is_rejected() {
+        let err = Runner::new(Seed(17))
+            .with_min_trials(200)
+            .try_bernoulli(100, |_| true)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            Error::MinTrialsExceedRequested {
+                min_trials: 200,
+                requested: 100
+            }
+        );
+    }
+
+    #[test]
+    fn stalled_trial_delays_but_does_not_kill_the_run() {
+        let inj = FaultInjector::new(FaultMode::StallOnce {
+            trial: 10,
+            stall: Duration::from_millis(20),
+        });
+        let report = Runner::new(Seed(18))
+            .with_threads(2)
+            .with_deadline(Duration::from_millis(5))
+            .try_bernoulli(10_000_000, |rng| {
+                inj.perturb();
+                rng.gen_bool(0.5)
+            })
+            .unwrap();
+        assert!(report.truncated);
+        assert!(report.trials_completed > 0);
     }
 }

@@ -4,7 +4,11 @@
 use montecarlo::{Runner, Seed};
 use shiftproc::{exact, ShiftProcess};
 
-const TRIALS: u64 = if cfg!(debug_assertions) { 40_000 } else { 300_000 };
+// Debug builds still need enough trials for the 99.9% CI check to have
+// power on the rarest events tested here (Pr ~ 1e-6): at 40k trials a
+// single lucky hit puts the Wilson interval entirely above the exact
+// value, and typical-seed noise sits within one interval width of it.
+const TRIALS: u64 = if cfg!(debug_assertions) { 200_000 } else { 300_000 };
 
 fn check(lengths: &'static [u64], seed: u64) {
     let expect = exact::pr_disjoint(lengths);

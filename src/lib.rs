@@ -49,3 +49,68 @@ pub use mmr_core::{ModelComparison, ReliabilityModel, ScalingPoint};
 pub use progmodel::{Program, ProgramGenerator};
 pub use settle::Settler;
 pub use shiftproc::ShiftProcess;
+
+/// Top-level error for the `mmreliab` facade and its CLI.
+///
+/// Wraps the layer-specific errors so binaries can report one type:
+/// configuration problems stay [`Error::InvalidArgs`] (conventionally exit
+/// code 2), while runtime failures from the simulation layer arrive as
+/// [`Error::Simulation`] (exit code 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Command-line arguments or configuration were rejected before any
+    /// work started. The message is ready to print to stderr.
+    InvalidArgs(String),
+    /// The monte-carlo layer failed at runtime (for example, a worker
+    /// panicked on every retry).
+    Simulation(montecarlo::Error),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::InvalidArgs(msg) => f.write_str(msg),
+            Error::Simulation(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::InvalidArgs(_) => None,
+            Error::Simulation(e) => Some(e),
+        }
+    }
+}
+
+impl From<montecarlo::Error> for Error {
+    fn from(e: montecarlo::Error) -> Error {
+        Error::Simulation(e)
+    }
+}
+
+#[cfg(test)]
+mod error_tests {
+    use super::Error;
+
+    #[test]
+    fn invalid_args_displays_bare_message() {
+        let e = Error::InvalidArgs("--trials must be at least 1".into());
+        assert_eq!(e.to_string(), "--trials must be at least 1");
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn simulation_error_chains_source() {
+        let inner = montecarlo::Error::MinTrialsExceedRequested {
+            min_trials: 10,
+            requested: 5,
+        };
+        let e = Error::from(inner.clone());
+        assert!(e.to_string().starts_with("simulation failed:"));
+        let src = std::error::Error::source(&e).expect("has source");
+        assert_eq!(src.to_string(), inner.to_string());
+    }
+}

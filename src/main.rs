@@ -29,7 +29,7 @@ struct Args {
     param: String,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Args, mmreliab::Error> {
     let mut args = Args {
         command: String::new(),
         model: MemoryModel::Tso,
@@ -39,19 +39,29 @@ fn parse_args() -> Result<Args, String> {
         m: 8,
         param: "s".into(),
     };
+    let invalid = mmreliab::Error::InvalidArgs;
     let mut it = std::env::args().skip(1);
-    args.command = it.next().ok_or_else(usage)?;
+    args.command = it.next().ok_or_else(|| invalid(usage()))?;
     while let Some(flag) = it.next() {
-        let mut value = || it.next().ok_or(format!("{flag} needs a value"));
+        let mut value = || it.next().ok_or(invalid(format!("{flag} needs a value")));
         match flag.as_str() {
-            "--model" => args.model = value()?.parse().map_err(|e| format!("{e}"))?,
-            "--threads" => args.threads = value()?.parse().map_err(|e| format!("{e}"))?,
-            "--trials" => args.trials = value()?.parse().map_err(|e| format!("{e}"))?,
-            "--seed" => args.seed = value()?.parse().map_err(|e| format!("{e}"))?,
-            "--m" => args.m = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--model" => args.model = value()?.parse().map_err(|e| invalid(format!("{e}")))?,
+            "--threads" => args.threads = value()?.parse().map_err(|e| invalid(format!("{e}")))?,
+            "--trials" => args.trials = value()?.parse().map_err(|e| invalid(format!("{e}")))?,
+            "--seed" => args.seed = value()?.parse().map_err(|e| invalid(format!("{e}")))?,
+            "--m" => args.m = value()?.parse().map_err(|e| invalid(format!("{e}")))?,
             "--param" => args.param = value()?,
-            other => return Err(format!("unknown flag {other}\n{}", usage())),
+            other => return Err(invalid(format!("unknown flag {other}\n{}", usage()))),
         }
+    }
+    if args.trials == 0 {
+        return Err(invalid("--trials must be at least 1".into()));
+    }
+    if args.threads == 0 {
+        return Err(invalid("--threads must be at least 1".into()));
+    }
+    if args.m == 0 {
+        return Err(invalid("--m must be at least 1".into()));
     }
     Ok(args)
 }
@@ -71,18 +81,40 @@ fn main() {
             std::process::exit(2);
         }
     };
-    match args.command.as_str() {
-        "table1" => cmd_table1(),
-        "survival" => cmd_survival(&args),
-        "windows" => cmd_windows(&args),
-        "trace" => cmd_trace(&args),
+    let result = match args.command.as_str() {
+        "table1" => {
+            cmd_table1();
+            Ok(())
+        }
+        "survival" => {
+            cmd_survival(&args);
+            Ok(())
+        }
+        "windows" => {
+            cmd_windows(&args);
+            Ok(())
+        }
+        "trace" => {
+            cmd_trace(&args);
+            Ok(())
+        }
         "opsim" => cmd_opsim(&args),
-        "litmus" => cmd_litmus(&args),
-        "sweep" => cmd_sweep(&args),
+        "litmus" => {
+            cmd_litmus(&args);
+            Ok(())
+        }
+        "sweep" => {
+            cmd_sweep(&args);
+            Ok(())
+        }
         other => {
             eprintln!("unknown command {other}\n{}", usage());
             std::process::exit(2);
         }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
 }
 
@@ -186,7 +218,7 @@ fn cmd_trace(args: &Args) {
     );
 }
 
-fn cmd_opsim(args: &Args) {
+fn cmd_opsim(args: &Args) -> Result<(), mmreliab::Error> {
     use execsim::{run_increment_trial, SimParams};
     println!(
         "operational bug rate, {} cores, canonical increment ({} trials):\n",
@@ -196,12 +228,13 @@ fn cmd_opsim(args: &Args) {
     for model in MemoryModel::NAMED {
         let params = SimParams::for_model(model);
         let n = args.threads;
-        let est = Runner::new(Seed(args.seed)).bernoulli(args.trials, move |rng| {
+        let report = Runner::new(Seed(args.seed)).try_bernoulli(args.trials, move |rng| {
             run_increment_trial(n, 8, params, rng)
-        });
-        bars.bar(model.short_name(), est.point());
+        })?;
+        bars.bar(model.short_name(), report.value.point());
     }
     print!("{}", bars.render());
+    Ok(())
 }
 
 fn cmd_litmus(args: &Args) {

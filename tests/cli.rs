@@ -73,3 +73,25 @@ fn missing_flag_value_fails() {
     assert!(!ok);
     assert!(stderr.contains("--model needs a value"));
 }
+
+#[test]
+fn zero_trials_rejected() {
+    let (ok, _, stderr) = run(&["opsim", "--trials", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--trials must be at least 1"), "{stderr}");
+}
+
+#[test]
+fn zero_threads_rejected() {
+    let (ok, _, stderr) = run(&["opsim", "--threads", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--threads must be at least 1"), "{stderr}");
+}
+
+#[test]
+fn unknown_flag_fails_with_usage() {
+    let (ok, _, stderr) = run(&["survival", "--bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag"));
+    assert!(stderr.contains("usage:"));
+}

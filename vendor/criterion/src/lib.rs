@@ -1,0 +1,208 @@
+//! Offline shim for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Supports the definition surface this workspace's benches use —
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros — and reports a simple mean wall-clock time
+//! per benchmark instead of criterion's statistical analysis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Instant;
+
+/// How many timed iterations the shim runs per benchmark.
+const ITERATIONS: u32 = 10;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to bench closures; its [`iter`](Bencher::iter) method times the
+/// workload.
+pub struct Bencher {
+    nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its return value alive so the optimiser
+    /// cannot delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up run.
+        let _ = routine();
+        let start = Instant::now();
+        for _ in 0..ITERATIONS {
+            let _keep = routine();
+        }
+        let total = start.elapsed();
+        self.nanos_per_iter = total.as_nanos() as f64 / f64::from(ITERATIONS);
+    }
+}
+
+fn run_bench(group: &str, label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        nanos_per_iter: f64::NAN,
+    };
+    f(&mut bencher);
+    let name = if group.is_empty() {
+        label.to_string()
+    } else {
+        format!("{group}/{label}")
+    };
+    if bencher.nanos_per_iter.is_nan() {
+        println!("bench {name:<50} (no iter() call)");
+    } else {
+        println!(
+            "bench {name:<50} {:>14.1} ns/iter",
+            bencher.nanos_per_iter
+        );
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark identified by a plain name.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&self.name, &id.into().label, f);
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_bench(&self.name, &id.label, |b| f(b, input));
+        self
+    }
+
+    /// End the group (a no-op in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Run an ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_bench("", &name.into().label, f);
+        self
+    }
+}
+
+/// Bundles bench functions under one group-runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group passed to it.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_timing() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        let mut calls = 0u32;
+        group.bench_with_input(BenchmarkId::new("count", 4), &4u32, |b, &n| {
+            b.iter(|| {
+                calls += 1;
+                n * 2
+            });
+        });
+        group.finish();
+        // warm-up + ITERATIONS timed runs
+        assert_eq!(calls, 1 + ITERATIONS);
+    }
+
+    criterion_group!(example_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_expands() {
+        example_group();
+    }
+}

@@ -1,0 +1,329 @@
+//! Offline shim for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no network access and no
+//! crates-io cache, so the workspace `[patch.crates-io]` section substitutes
+//! this shim. It implements exactly the subset of the rand 0.8 API the
+//! workspace uses:
+//!
+//! * [`rngs::SmallRng`] — xoshiro256++ (the same algorithm rand 0.8 uses for
+//!   `SmallRng` on 64-bit targets), seeded through the SplitMix64 expansion
+//!   of [`SeedableRng::seed_from_u64`], matching upstream bit-for-bit;
+//! * [`Rng::gen`], [`Rng::gen_bool`], [`Rng::gen_range`] over integer and
+//!   float ranges (unbiased via Lemire rejection sampling).
+//!
+//! The statistical contracts (uniformity, independence of streams) match
+//! upstream; exact bit-streams of the derived methods are not guaranteed to
+//! match upstream, which is fine because every consumer in this workspace
+//! asserts statistics against analytic laws, not golden RNG outputs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Random number generators.
+pub mod rngs {
+    /// A small, fast RNG: xoshiro256++.
+    ///
+    /// This is the same generator rand 0.8 selects for `SmallRng` on 64-bit
+    /// platforms. Not cryptographically secure.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        pub(crate) fn from_state(s: [u64; 4]) -> SmallRng {
+            SmallRng { s }
+        }
+    }
+
+    impl crate::RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl crate::SeedableRng for SmallRng {
+        fn seed_from_u64(mut state: u64) -> SmallRng {
+            // SplitMix64 expansion, as in rand_core's default seed_from_u64.
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *word = z ^ (z >> 31);
+            }
+            // xoshiro256++ must not start from the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng::from_state(s)
+        }
+    }
+}
+
+/// The core of a random number generator: a source of random `u64`s.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32` (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+}
+
+/// A seedable RNG (the subset of the upstream trait this workspace uses).
+pub trait SeedableRng: Sized {
+    /// Creates an RNG from a `u64` seed via SplitMix64 state expansion.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-level random value generation, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Returns a random value of a [`Standard`]-sampleable type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} is outside range [0, 1]");
+        // 53 random bits against the probability; p == 1.0 must always hit.
+        if p >= 1.0 {
+            return true;
+        }
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Returns a uniformly random value in the given range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(&mut dyn_rng(self))
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+fn dyn_rng<R: RngCore + ?Sized>(rng: &mut R) -> impl RngCore + '_ {
+    struct Wrap<'a, R: ?Sized>(&'a mut R);
+    impl<R: RngCore + ?Sized> RngCore for Wrap<'_, R> {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+    Wrap(rng)
+}
+
+/// Maps a random `u64` to a uniform `f64` in `[0, 1)` using 53 bits.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform sampling of `[0, span)` by Lemire's unbiased rejection method.
+fn sample_below(rng: &mut impl RngCore, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let m = u128::from(rng.next_u64()) * u128::from(span);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Types sampleable uniformly over their whole domain (`rng.gen()`).
+pub trait Standard {
+    /// Samples one value.
+    fn sample_standard(rng: &mut impl RngCore) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard(rng: &mut impl RngCore) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard(rng: &mut impl RngCore) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard(rng: &mut impl RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard(rng: &mut impl RngCore) -> f64 {
+        unit_f64(rng.next_u64())
+    }
+}
+
+/// Types with uniform range sampling support (`rng.gen_range(..)`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[lo, hi)`; `hi` is exclusive.
+    fn sample_exclusive(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self;
+    /// Samples uniformly from `[lo, hi]`; `hi` is inclusive.
+    fn sample_inclusive(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($ty:ty => $unsigned:ty),* $(,)?) => {$(
+        impl SampleUniform for $ty {
+            fn sample_exclusive(rng: &mut impl RngCore, lo: $ty, hi: $ty) -> $ty {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as $unsigned).wrapping_sub(lo as $unsigned) as u64;
+                lo.wrapping_add(sample_below(rng, span) as $ty)
+            }
+            fn sample_inclusive(rng: &mut impl RngCore, lo: $ty, hi: $ty) -> $ty {
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as $unsigned).wrapping_sub(lo as $unsigned) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                lo.wrapping_add(sample_below(rng, span + 1) as $ty)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+);
+
+impl SampleUniform for f64 {
+    fn sample_exclusive(rng: &mut impl RngCore, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "cannot sample empty range");
+        let v = lo + unit_f64(rng.next_u64()) * (hi - lo);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
+    }
+    fn sample_inclusive(rng: &mut impl RngCore, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+/// Range arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_from(self, rng: &mut impl RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from(self, rng: &mut impl RngCore) -> T {
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from(self, rng: &mut impl RngCore) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn xoshiro_matches_reference_vector() {
+        // Reference: seed_from_u64(0) expands through SplitMix64 to the
+        // state used by upstream rand 0.8; first output of xoshiro256++.
+        let mut r = SmallRng::seed_from_u64(0);
+        let first = r.gen::<u64>();
+        let mut s = [0u64; 4];
+        let mut state = 0u64;
+        for w in &mut s {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *w = z ^ (z >> 31);
+        }
+        let expect = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        assert_eq!(first, expect);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&w));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.3).abs() < 0.01, "p = {p}");
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+    }
+
+    #[test]
+    fn uniform_int_is_unbiased_across_span() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut counts = [0u32; 6];
+        for _ in 0..60_000 {
+            counts[r.gen_range(0usize..6)] += 1;
+        }
+        for c in counts {
+            assert!((c as i64 - 10_000).abs() < 600, "{counts:?}");
+        }
+    }
+}

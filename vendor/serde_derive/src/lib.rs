@@ -1,0 +1,448 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls for the JSON-value data model
+//! of the sibling `serde` shim, producing the same external JSON shapes as
+//! upstream serde for the item shapes this workspace uses: named-field
+//! structs, tuple/newtype structs, enums with unit and tuple variants, and
+//! the `#[serde(try_from = "T", into = "T")]` container attributes.
+//!
+//! Parsing is hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote`
+//! available offline). Unsupported shapes (generics, struct variants) fail
+//! loudly at compile time rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (shim data model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` (shim data model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render_deserialize(&item).parse().expect("generated impl parses")
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+    /// `#[serde(try_from = "T")]` payload, if any.
+    try_from: Option<String>,
+    /// `#[serde(into = "T")]` payload, if any.
+    into: Option<String>,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    /// Tuple struct with the given field count (1 = newtype).
+    TupleStruct(usize),
+    UnitStruct,
+    /// Variants as `(name, arity)`; arity 0 is a unit variant.
+    Enum(Vec<(String, usize)>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tts: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    let mut try_from = None;
+    let mut into = None;
+    while is_punct(tts.get(i), '#') {
+        if let Some(TokenTree::Group(g)) = tts.get(i + 1) {
+            parse_serde_attr(&g.stream(), &mut try_from, &mut into);
+        }
+        i += 2;
+    }
+
+    if is_ident(tts.get(i), "pub") {
+        i += 1;
+        if matches!(tts.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let kw = expect_ident(tts.get(i));
+    i += 1;
+    let name = expect_ident(tts.get(i));
+    i += 1;
+    assert!(
+        !is_punct(tts.get(i), '<'),
+        "serde shim derive: generic type `{name}` is unsupported"
+    );
+
+    let kind = match kw.as_str() {
+        "struct" => match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(&g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(&g.stream(), &name))
+            }
+            other => panic!("serde shim derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    };
+
+    Item {
+        name,
+        kind,
+        try_from,
+        into,
+    }
+}
+
+fn is_punct(tt: Option<&TokenTree>, ch: char) -> bool {
+    matches!(tt, Some(TokenTree::Punct(p)) if p.as_char() == ch)
+}
+
+fn is_ident(tt: Option<&TokenTree>, name: &str) -> bool {
+    matches!(tt, Some(TokenTree::Ident(id)) if id.to_string() == name)
+}
+
+fn expect_ident(tt: Option<&TokenTree>) -> String {
+    match tt {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Extracts `try_from`/`into` from a `serde(...)` attribute body, if the
+/// given attribute is a serde attribute at all.
+fn parse_serde_attr(attr: &TokenStream, try_from: &mut Option<String>, into: &mut Option<String>) {
+    let tts: Vec<TokenTree> = attr.clone().into_iter().collect();
+    if !is_ident(tts.first(), "serde") {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = tts.get(1) else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        let key = expect_ident(args.get(j));
+        assert!(
+            is_punct(args.get(j + 1), '='),
+            "serde shim derive: unsupported serde attribute `{key}` (expected `{key} = \"...\"`)"
+        );
+        let lit = match args.get(j + 2) {
+            Some(TokenTree::Literal(l)) => l.to_string(),
+            other => panic!("serde shim derive: expected string literal, found {other:?}"),
+        };
+        let value = lit.trim_matches('"').to_string();
+        match key.as_str() {
+            "try_from" => *try_from = Some(value),
+            "into" => *into = Some(value),
+            other => panic!("serde shim derive: unsupported serde attribute `{other}`"),
+        }
+        j += 3;
+        if is_punct(args.get(j), ',') {
+            j += 1;
+        }
+    }
+}
+
+/// Skips `#[...]` attribute pairs starting at `*i`.
+fn skip_attrs(tts: &[TokenTree], i: &mut usize) {
+    while is_punct(tts.get(*i), '#') {
+        *i += 2;
+    }
+}
+
+/// Skips a `pub` / `pub(...)` visibility marker starting at `*i`.
+fn skip_vis(tts: &[TokenTree], i: &mut usize) {
+    if is_ident(tts.get(*i), "pub") {
+        *i += 1;
+        if matches!(tts.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Skips type tokens until a comma at angle-bracket depth zero.
+fn skip_type(tts: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < tts.len() {
+        match &tts[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: &TokenStream) -> Vec<String> {
+    let tts: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tts.len() {
+        skip_attrs(&tts, &mut i);
+        if i >= tts.len() {
+            break;
+        }
+        skip_vis(&tts, &mut i);
+        fields.push(expect_ident(tts.get(i)));
+        i += 1;
+        assert!(is_punct(tts.get(i), ':'), "serde shim derive: expected `:`");
+        i += 1;
+        skip_type(&tts, &mut i);
+    }
+    fields
+}
+
+fn count_tuple_fields(body: &TokenStream) -> usize {
+    let tts: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < tts.len() {
+        skip_attrs(&tts, &mut i);
+        if i >= tts.len() {
+            break;
+        }
+        skip_vis(&tts, &mut i);
+        if i >= tts.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tts, &mut i);
+    }
+    count
+}
+
+fn parse_variants(body: &TokenStream, enum_name: &str) -> Vec<(String, usize)> {
+    let tts: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tts.len() {
+        skip_attrs(&tts, &mut i);
+        if i >= tts.len() {
+            break;
+        }
+        let vname = expect_ident(tts.get(i));
+        i += 1;
+        let arity = match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                count_tuple_fields(&g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => panic!(
+                "serde shim derive: struct variant `{enum_name}::{vname}` is unsupported"
+            ),
+            _ => 0,
+        };
+        variants.push((vname, arity));
+        if is_punct(tts.get(i), ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn bindings(arity: usize) -> Vec<String> {
+    (0..arity).map(|k| format!("__f{k}")).collect()
+}
+
+fn render_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(proxy) = &item.into {
+        format!(
+            "let __proxy: {proxy} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__proxy)"
+        )
+    } else {
+        match &item.kind {
+            Kind::UnitStruct => "::serde::Value::Null".to_string(),
+            Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Kind::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            }
+            Kind::NamedStruct(fields) => {
+                let pairs: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Object(::std::vec![{}])", pairs.join(", "))
+            }
+            Kind::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|(v, arity)| match arity {
+                        0 => format!(
+                            "{name}::{v} => \
+                             ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+                        ),
+                        1 => format!(
+                            "{name}::{v}(__f0) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        n => {
+                            let binds = bindings(*n).join(", ");
+                            let items: Vec<String> = bindings(*n)
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{v}({binds}) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{v}\"), \
+                                 ::serde::Value::Array(::std::vec![{}]))]),",
+                                items.join(", ")
+                            )
+                        }
+                    })
+                    .collect();
+                format!("match self {{\n{}\n}}", arms.join("\n"))
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn render_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(proxy) = &item.try_from {
+        format!(
+            "let __proxy: {proxy} = ::serde::Deserialize::from_value(value)?;\n\
+             ::std::convert::TryFrom::try_from(__proxy)\
+             .map_err(::serde::Error::custom)"
+        )
+    } else {
+        match &item.kind {
+            Kind::UnitStruct => format!(
+                "match value {{\n\
+                     ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                     other => ::std::result::Result::Err(::serde::Error::expected(\"null\", other)),\n\
+                 }}"
+            ),
+            Kind::TupleStruct(1) => {
+                format!("::std::result::Result::map(::serde::Deserialize::from_value(value), {name})")
+            }
+            Kind::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                    .collect();
+                format!(
+                    "match value {{\n\
+                         ::serde::Value::Array(__items) if __items.len() == {n} => \
+                             ::std::result::Result::Ok({name}({})),\n\
+                         other => ::std::result::Result::Err(\
+                             ::serde::Error::expected(\"array of length {n}\", other)),\n\
+                     }}",
+                    items.join(", ")
+                )
+            }
+            Kind::NamedStruct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::Value::field(__fields, \"{f}\"))\
+                             .map_err(|e| ::serde::Error::custom(\
+                             ::std::format!(\"field `{f}`: {{e}}\")))?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "match value {{\n\
+                         ::serde::Value::Object(__fields) => \
+                             ::std::result::Result::Ok({name} {{ {} }}),\n\
+                         other => ::std::result::Result::Err(\
+                             ::serde::Error::expected(\"object\", other)),\n\
+                     }}",
+                    inits.join(", ")
+                )
+            }
+            Kind::Enum(variants) => {
+                let unit_arms: Vec<String> = variants
+                    .iter()
+                    .filter(|(_, arity)| *arity == 0)
+                    .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                    .collect();
+                let data_arms: Vec<String> = variants
+                    .iter()
+                    .filter(|(_, arity)| *arity > 0)
+                    .map(|(v, arity)| {
+                        if *arity == 1 {
+                            format!(
+                                "\"{v}\" => ::std::result::Result::Ok(\
+                                 {name}::{v}(::serde::Deserialize::from_value(__payload)?)),"
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|k| {
+                                    format!("::serde::Deserialize::from_value(&__items[{k}])?")
+                                })
+                                .collect();
+                            format!(
+                                "\"{v}\" => match __payload {{\n\
+                                     ::serde::Value::Array(__items) if __items.len() == {arity} => \
+                                         ::std::result::Result::Ok({name}::{v}({})),\n\
+                                     other => ::std::result::Result::Err(\
+                                         ::serde::Error::expected(\"array of length {arity}\", other)),\n\
+                                 }},",
+                                items.join(", ")
+                            )
+                        }
+                    })
+                    .collect();
+                format!(
+                    "match value {{\n\
+                         ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                             {}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                         }},\n\
+                         ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                             let (__tag, __payload) = &__fields[0];\n\
+                             match __tag.as_str() {{\n\
+                                 {}\n\
+                                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                             }}\n\
+                         }},\n\
+                         other => ::std::result::Result::Err(\
+                             ::serde::Error::expected(\"{name} variant\", other)),\n\
+                     }}",
+                    unit_arms.join("\n"),
+                    data_arms.join("\n")
+                )
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

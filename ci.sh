@@ -5,3 +5,10 @@ set -eux
 cargo build --release --offline
 cargo test -q --offline --workspace
 cargo clippy --all-targets --offline --workspace -- -D warnings
+
+# Fast benchmark smoke: the trajectory must run end to end and emit valid JSON.
+BENCH_OUT="$(mktemp -d)/BENCH_smoke.json"
+cargo run --release --offline -p mmr-bench --bin experiments -- bench --trials 2000 --out "$BENCH_OUT"
+grep -q '"trials_per_sec"' "$BENCH_OUT"
+grep -q '"joined_speedup_vs_legacy"' "$BENCH_OUT"
+rm -rf "$(dirname "$BENCH_OUT")"

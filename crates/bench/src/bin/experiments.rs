@@ -18,7 +18,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: experiments [--quick] [--trials N] [--seed S] [--out FILE] [--json FILE] [--checkpoint FILE] [--list] [ids...]";
+const USAGE: &str = "usage: experiments [--quick] [--trials N] [--seed S] [--out FILE] [--json FILE] [--checkpoint FILE] [--list] [ids...]\n       experiments bench [--trials N] [--seed S] [--out FILE (default BENCH_e2e.json)]";
 
 struct Args {
     ctx: Ctx,
@@ -93,6 +93,20 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if args.ids.first().map(String::as_str) == Some("bench") {
+        if args.ids.len() > 1 {
+            eprintln!("error: `bench` takes no experiment ids");
+            return ExitCode::from(2);
+        }
+        return match run_bench(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
     match run(&args) {
         Ok(code) => code,
         Err(e) => {
@@ -100,6 +114,21 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// The `bench` subcommand: measure kernel throughput and emit the
+/// machine-readable `BENCH_e2e.json` trajectory.
+fn run_bench(args: &Args) -> Result<(), mmr_bench::Error> {
+    let out = args
+        .out_path
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_e2e.json"));
+    let report = mmr_bench::perf::run(args.ctx.trials, args.ctx.seed);
+    eprint!("{}", report.summary());
+    let json = serde_json::to_string_pretty(&report).expect("serializable report");
+    write_atomic(&out, &json)?;
+    eprintln!("benchmark trajectory written to {}", out.display());
+    Ok(())
 }
 
 fn run(args: &Args) -> Result<ExitCode, mmr_bench::Error> {

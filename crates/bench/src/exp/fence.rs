@@ -2,13 +2,27 @@
 
 use crate::{verdict, Ctx};
 use memmodel::fence::FenceKind;
-use memmodel::MemoryModel;
+use memmodel::{MemoryModel, OpType};
 use montecarlo::{Runner, Seed};
-use progmodel::ProgramGenerator;
-use settle::Settler;
-use shiftproc::ShiftProcess;
+use progmodel::{Program, ProgramGenerator};
+use settle::{SettleScratch, Settler};
+use shiftproc::{ShiftProcess, ShiftScratch};
 use std::fmt::Write as _;
 use textplot::Table;
+
+const M: usize = 48;
+
+/// A placeholder program of `M` fillers with `fence` (if any) just before
+/// the critical load — the reusable template the scratch kernels regenerate
+/// in place, matching the old per-trial `generate` + `with_fence_at` route
+/// draw for draw (fence insertion consumes no randomness).
+fn template(fence: Option<FenceKind>) -> Program {
+    let program = Program::from_filler_types(&[OpType::Ld; M]).expect("canonical shape");
+    match fence {
+        Some(kind) => program.with_fence_at(program.critical_load_index(), kind),
+        None => program,
+    }
+}
 
 /// Settles fenced programs and measures end-to-end survival, checking the
 /// paper's conjecture: "fences make concurrency bugs less likely to
@@ -29,27 +43,36 @@ pub fn run(ctx: &Ctx) -> String {
         .into_iter()
         .enumerate()
         {
-            let gen = ProgramGenerator::new(48);
+            let gen = ProgramGenerator::new(M);
             let seed = ctx.seed.wrapping_add((mi * 10 + vi) as u64) ^ 0xFE;
             // Window distribution.
-            let h = Runner::new(Seed(seed)).histogram(ctx.trials / 2, move |rng| {
-                let mut program = gen.generate(rng);
-                if let Some(kind) = fence {
-                    program = program.with_fence_at(program.critical_load_index(), kind);
-                }
-                settler.sample_gamma(&program, rng)
-            });
+            let h = Runner::new(Seed(seed)).histogram_scratch(
+                ctx.trials / 2,
+                move || (template(fence), SettleScratch::new()),
+                move |(program, scratch), rng| {
+                    gen.regenerate(program, rng);
+                    settler.sample_gamma_scratch(program, scratch, rng)
+                },
+            );
             // End-to-end survival.
-            let est = Runner::new(Seed(seed ^ 1)).bernoulli(ctx.trials / 2, move |rng| {
-                let mut program = gen.generate(rng);
-                if let Some(kind) = fence {
-                    program = program.with_fence_at(program.critical_load_index(), kind);
-                }
-                let windows: Vec<u64> = (0..2)
-                    .map(|_| settler.settle(&program, rng).window_len())
-                    .collect();
-                ShiftProcess::canonical().simulate_disjoint(&windows, rng)
-            });
+            let est = Runner::new(Seed(seed ^ 1)).bernoulli_scratch(
+                ctx.trials / 2,
+                move || {
+                    (
+                        template(fence),
+                        SettleScratch::new(),
+                        [0u64; 2],
+                        ShiftScratch::with_capacity(2),
+                    )
+                },
+                move |(program, scratch, windows, shift), rng| {
+                    gen.regenerate(program, rng);
+                    for w in windows.iter_mut() {
+                        *w = settler.sample_gamma_scratch(program, scratch, rng) + 2;
+                    }
+                    ShiftProcess::canonical().simulate_disjoint_into(&windows[..], shift, rng)
+                },
+            );
             if fence.is_some() {
                 // Fenced windows must be pinned at gamma = 0 for these
                 // placements (nothing can hoist past the barrier).
@@ -80,13 +103,15 @@ pub fn run(ctx: &Ctx) -> String {
     // A release fence in the middle of the fillers does NOT protect the
     // critical window (operations may still hoist above it).
     let settler = Settler::for_model(MemoryModel::Wo);
-    let gen = ProgramGenerator::new(48);
-    let h = Runner::new(Seed(ctx.seed ^ 0xFEE)).histogram(ctx.trials / 2, move |rng| {
-        let mut program = gen.generate(rng);
-        let pos = program.critical_load_index();
-        program = program.with_fence_at(pos, FenceKind::Release);
-        settler.sample_gamma(&program, rng)
-    });
+    let gen = ProgramGenerator::new(M);
+    let h = Runner::new(Seed(ctx.seed ^ 0xFEE)).histogram_scratch(
+        ctx.trials / 2,
+        move || (template(Some(FenceKind::Release)), SettleScratch::new()),
+        move |(program, scratch), rng| {
+            gen.regenerate(program, rng);
+            settler.sample_gamma_scratch(program, scratch, rng)
+        },
+    );
     let leaky = h.tail(1) > 0.0;
     ok &= leaky;
     let _ = writeln!(

@@ -4,16 +4,22 @@
 
 use crate::{verdict, Ctx};
 use analytic::general::{GeneralWindowLaws, Params};
-use memmodel::{MemoryModel, SettleProbs};
+use memmodel::{MemoryModel, OpType, SettleProbs};
 use montecarlo::{chi_square_gof, Runner, Seed};
-use progmodel::ProgramGenerator;
-use settle::Settler;
-use shiftproc::ShiftProcess;
+use progmodel::{Program, ProgramGenerator};
+use settle::{SettleScratch, Settler};
+use shiftproc::{ShiftProcess, ShiftScratch};
 use std::fmt::Write as _;
 use textplot::Table;
 
+const M: usize = 64;
+
 fn settler(model: MemoryModel, s: f64) -> Settler {
     Settler::new(model.matrix(), SettleProbs::uniform(s).expect("valid s"))
+}
+
+fn blank_program() -> Program {
+    Program::from_filler_types(&[OpType::Ld; M]).expect("canonical shape")
 }
 
 /// Validates the generalised window laws and survival formula at off-
@@ -32,14 +38,18 @@ pub fn run(ctx: &Ctx) -> String {
             .enumerate()
         {
             let st = settler(model, s);
-            let gen = ProgramGenerator::new(64)
+            let gen = ProgramGenerator::new(M)
                 .with_store_probability(p)
                 .expect("valid p");
             let h = Runner::new(Seed(ctx.seed.wrapping_add((pi * 10 + mi) as u64) ^ 0x6E))
-                .histogram(ctx.trials / 2, move |rng| {
-                    let program = gen.generate(rng);
-                    st.sample_gamma(&program, rng)
-                });
+                .histogram_scratch(
+                    ctx.trials / 2,
+                    move || (blank_program(), SettleScratch::new()),
+                    move |(program, scratch), rng| {
+                        gen.regenerate(program, rng);
+                        st.sample_gamma_scratch(program, scratch, rng)
+                    },
+                );
             let gof = chi_square_gof(&h, |g| laws.pmf(model, g).expect("named"), 5.0);
             let pass = gof.consistent_at(0.001);
             ok &= pass;
@@ -67,18 +77,22 @@ pub fn run(ctx: &Ctx) -> String {
         for (mi, model) in MemoryModel::NAMED.into_iter().enumerate() {
             let analytic_v = laws.two_thread_survival(model).expect("named");
             let st = settler(model, s);
-            let gen = ProgramGenerator::new(64)
+            let gen = ProgramGenerator::new(M)
                 .with_store_probability(p)
                 .expect("valid p");
             let proc = ShiftProcess::with_q(q).expect("valid q");
             let est = Runner::new(Seed(ctx.seed.wrapping_add((ci * 10 + mi) as u64) ^ 0x6F))
-                .bernoulli(ctx.trials / 2, move |rng| {
-                    let program = gen.generate(rng);
-                    let windows: Vec<u64> = (0..2)
-                        .map(|_| st.settle(&program, rng).window_len())
-                        .collect();
-                    proc.simulate_disjoint(&windows, rng)
-                });
+                .bernoulli_scratch(
+                    ctx.trials / 2,
+                    move || (blank_program(), SettleScratch::new(), [0u64; 2], ShiftScratch::new()),
+                    move |(program, scratch, windows, shift), rng| {
+                        gen.regenerate(program, rng);
+                        for w in windows.iter_mut() {
+                            *w = st.sample_gamma_scratch(program, scratch, rng) + 2;
+                        }
+                        proc.simulate_disjoint_into(&windows[..], shift, rng)
+                    },
+                );
             let covered = est.covers(analytic_v, 0.999);
             ok &= covered;
             table.row(vec![
@@ -114,14 +128,18 @@ pub fn run(ctx: &Ctx) -> String {
     // Confirm the inversion by simulation, not just the series.
     let sim = |model: MemoryModel, salt: u64| {
         let st = settler(model, 0.8);
-        let gen = ProgramGenerator::new(64);
-        Runner::new(Seed(ctx.seed ^ salt)).bernoulli(ctx.trials, move |rng| {
-            let program = gen.generate(rng);
-            let windows: Vec<u64> = (0..2)
-                .map(|_| st.settle(&program, rng).window_len())
-                .collect();
-            ShiftProcess::canonical().simulate_disjoint(&windows, rng)
-        })
+        let gen = ProgramGenerator::new(M);
+        Runner::new(Seed(ctx.seed ^ salt)).bernoulli_scratch(
+            ctx.trials,
+            move || (blank_program(), SettleScratch::new(), [0u64; 2], ShiftScratch::new()),
+            move |(program, scratch, windows, shift), rng| {
+                gen.regenerate(program, rng);
+                for w in windows.iter_mut() {
+                    *w = st.sample_gamma_scratch(program, scratch, rng) + 2;
+                }
+                ShiftProcess::canonical().simulate_disjoint_into(&windows[..], shift, rng)
+            },
+        )
     };
     let wo_sim = sim(MemoryModel::Wo, 0x701);
     let tso_sim = sim(MemoryModel::Tso, 0x702);

@@ -2,14 +2,31 @@
 
 use crate::{verdict, Ctx};
 use analytic::window_law::{self, WindowLaws};
-use memmodel::MemoryModel;
-use montecarlo::{chi_square_gof, Runner, Seed};
-use progmodel::ProgramGenerator;
-use settle::Settler;
+use memmodel::{MemoryModel, OpType};
+use montecarlo::{chi_square_gof, Histogram, Runner, Seed};
+use progmodel::{Program, ProgramGenerator};
+use settle::{SettleScratch, Settler};
 use std::fmt::Write as _;
 use textplot::Table;
 
 const M: usize = 64;
+
+/// Seeded window histogram through the allocation-free settle kernel;
+/// draw-for-draw identical to the old `generate` + `sample_gamma` route.
+fn gamma_histogram(settler: Settler, m: usize, trials: u64, seed: u64) -> Histogram {
+    Runner::new(Seed(seed)).histogram_scratch(
+        trials,
+        move || {
+            let program =
+                Program::from_filler_types(&vec![OpType::Ld; m]).expect("canonical shape");
+            (program, SettleScratch::with_capacity(m + 2))
+        },
+        move |(program, scratch), rng| {
+            ProgramGenerator::new(m).regenerate(program, rng);
+            settler.sample_gamma_scratch(program, scratch, rng)
+        },
+    )
+}
 
 /// Per model: Monte-Carlo window histogram vs the closed-form / series law,
 /// with a chi-square verdict, plus an `m`-truncation ablation.
@@ -23,12 +40,7 @@ pub fn run(ctx: &Ctx) -> String {
     ]);
     for (mi, model) in MemoryModel::NAMED.into_iter().enumerate() {
         let settler = Settler::for_model(model);
-        let gen = ProgramGenerator::new(M);
-        let h = Runner::new(Seed(ctx.seed.wrapping_add(mi as u64)))
-            .histogram(ctx.trials, move |rng| {
-                let program = gen.generate(rng);
-                settler.sample_gamma(&program, rng)
-            });
+        let h = gamma_histogram(settler, M, ctx.trials, ctx.seed.wrapping_add(mi as u64));
         for gamma in 0..=4u64 {
             let paper = laws.pmf(model, gamma).expect("named model");
             let measured = h.pmf(gamma);
@@ -84,11 +96,7 @@ pub fn run(ctx: &Ctx) -> String {
     let exact_tail: f64 = (5..200).map(window_law::wo_pmf).sum();
     for m in [8usize, 16, 32, 64] {
         let settler = Settler::for_model(MemoryModel::Wo);
-        let gen = ProgramGenerator::new(m);
-        let h = Runner::new(Seed(ctx.seed ^ 0xAB)).histogram(ctx.trials / 4, move |rng| {
-            let program = gen.generate(rng);
-            settler.sample_gamma(&program, rng)
-        });
+        let h = gamma_histogram(settler, m, ctx.trials / 4, ctx.seed ^ 0xAB);
         let _ = writeln!(
             out,
             "  m={m:<3} tail {:.6} (exact m->inf: {exact_tail:.6})",

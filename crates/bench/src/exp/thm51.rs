@@ -2,7 +2,7 @@
 
 use crate::{verdict, Ctx};
 use montecarlo::{Runner, Seed};
-use shiftproc::{exact, ShiftProcess};
+use shiftproc::{exact, ShiftProcess, ShiftScratch};
 use std::fmt::Write as _;
 use textplot::Table;
 
@@ -30,9 +30,10 @@ pub fn run(ctx: &Ctx) -> String {
         let rational = exact::pr_disjoint_exact(lengths).to_f64();
         let agree = (perm - dp).abs() < 1e-10 && (dp - rational).abs() < 1e-10;
         let proc = ShiftProcess::canonical();
-        let est = Runner::new(Seed(ctx.seed.wrapping_add(i as u64))).bernoulli(
+        let est = Runner::new(Seed(ctx.seed.wrapping_add(i as u64))).bernoulli_scratch(
             ctx.trials,
-            move |rng| proc.simulate_disjoint(lengths, rng),
+            move || ShiftScratch::with_capacity(lengths.len()),
+            move |scratch, rng| proc.simulate_disjoint_into(lengths, scratch, rng),
         );
         let covered = est.covers(dp, 0.999);
         ok &= agree && covered;

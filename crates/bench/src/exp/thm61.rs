@@ -19,11 +19,12 @@ pub fn run(ctx: &Ctx) -> String {
         for n in [2usize, 3, 4] {
             let rm = ReliabilityModel::new(model, n);
             // Mean of exact conditional probabilities.
-            let exact_mean = Runner::new(Seed(ctx.seed ^ (n as u64) << 3)).mean(
+            let exact_mean = Runner::new(Seed(ctx.seed ^ (n as u64) << 3)).mean_scratch(
                 ctx.trials / 2,
-                move |rng| {
-                    let w = rm.sample_windows(rng);
-                    exact::pr_disjoint(&w)
+                move || rm.scratch(),
+                move |scratch, rng| {
+                    let w = rm.sample_windows_scratch(scratch, rng);
+                    exact::pr_disjoint(w)
                 },
             );
             // Exchangeable estimator from the same distribution.
@@ -45,15 +46,25 @@ pub fn run(ctx: &Ctx) -> String {
     // Position-invariance: the single-term factor must be exchangeable —
     // permuting a window vector changes the factor but not its expectation.
     let rm = ReliabilityModel::new(MemoryModel::Tso, 3);
-    let forward = Runner::new(Seed(ctx.seed ^ 0x611)).mean(ctx.trials / 2, move |rng| {
-        let w = rm.sample_windows(rng);
-        exchangeable::sample_factor(&w, 2)
-    });
-    let reversed = Runner::new(Seed(ctx.seed ^ 0x612)).mean(ctx.trials / 2, move |rng| {
-        let mut w = rm.sample_windows(rng);
-        w.reverse();
-        exchangeable::sample_factor(&w, 2)
-    });
+    let forward = Runner::new(Seed(ctx.seed ^ 0x611)).mean_scratch(
+        ctx.trials / 2,
+        move || rm.scratch(),
+        move |scratch, rng| {
+            let w = rm.sample_windows_scratch(scratch, rng);
+            exchangeable::sample_factor(w, 2)
+        },
+    );
+    let reversed = Runner::new(Seed(ctx.seed ^ 0x612)).mean_scratch(
+        ctx.trials / 2,
+        move || (rm.scratch(), Vec::new()),
+        move |(scratch, buf), rng| {
+            let w = rm.sample_windows_scratch(scratch, rng);
+            buf.clear();
+            buf.extend_from_slice(w);
+            buf.reverse();
+            exchangeable::sample_factor(buf, 2)
+        },
+    );
     let rel = (forward.mean() - reversed.mean()).abs() / forward.mean();
     let sym_ok = rel < 0.05;
     ok &= sym_ok;

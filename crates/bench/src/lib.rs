@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod exp;
+pub mod perf;
 
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;

@@ -1,0 +1,285 @@
+//! Throughput measurement of the trial kernels — the benchmark trajectory
+//! behind `BENCH_e2e.json` (`experiments bench`).
+//!
+//! Every pipeline is a single-threaded closed loop over one kernel, timed
+//! wall-clock, so the numbers isolate per-trial cost from runner scheduling.
+//! The `joined_legacy` pipelines rebuild the pre-scratch allocating route
+//! (fresh program per trial, `settle()` with its `Program` clone and
+//! `Permutation` build, allocating disjointness check) so the scratch
+//! kernels' improvement is measured in the same binary on the same machine.
+
+use memmodel::MemoryModel;
+use mmr_core::ReliabilityModel;
+use progmodel::ProgramGenerator;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use shiftproc::{ShiftProcess, ShiftScratch};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A verbatim copy of the pre-scratch settling route: per-settle order
+/// `Vec`, `Permutation` construction, `Program` clone, and the general
+/// per-step `swap_probability` dispatch. Frozen here so the baseline
+/// measurement cannot silently inherit later library-kernel optimizations
+/// — `joined_legacy` stays the pre-PR kernel even as `settle_into` gets
+/// faster. Draw-for-draw identical to the current kernels (the checksum
+/// assertion in [`run`] proves it on every bench run).
+mod legacy {
+    use progmodel::Program;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use settle::{Permutation, Settler};
+
+    fn settle_one(
+        settler: &Settler,
+        program: &Program,
+        order: &mut [usize],
+        start: usize,
+        rng: &mut SmallRng,
+    ) {
+        let mut pos = start;
+        while pos > 0 {
+            let mover = &program[order[pos]];
+            let above = &program[order[pos - 1]];
+            let p = settler.swap_probability(above, mover);
+            if p <= 0.0 || !rng.gen_bool(p) {
+                break;
+            }
+            order.swap(pos - 1, pos);
+            pos -= 1;
+        }
+    }
+
+    /// Pre-PR `settler.settle(program, rng).window_len()`, allocations and
+    /// all.
+    pub fn window_len(settler: &Settler, program: &Program, rng: &mut SmallRng) -> u64 {
+        let mut order: Vec<usize> = (0..program.len()).collect();
+        for r in 0..program.len() {
+            settle_one(settler, program, &mut order, r, rng);
+        }
+        let permutation =
+            Permutation::from_settled_order(&order).expect("swaps preserve the permutation");
+        let settled_program = program.clone();
+        let ld = permutation.position_of(settled_program.critical_load_index());
+        let st = permutation.position_of(settled_program.critical_store_index());
+        (st - ld - 1) as u64 + 2
+    }
+}
+
+/// Thread count of the joined pipelines.
+const N: usize = 2;
+/// Filler length of the joined pipelines.
+const M: usize = 64;
+/// Segment lengths of the shift pipelines.
+const SHIFT_LENGTHS: [u64; 4] = [4, 3, 2, 5];
+
+/// Throughput of one measured pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct PipelineResult {
+    /// Pipeline id: `settle`, `shift`, `geom`, `geom_fast`, `joined`,
+    /// `joined_legacy`.
+    pub name: String,
+    /// Memory model short name, or `-` for model-independent kernels.
+    pub model: String,
+    /// Trials executed.
+    pub trials: u64,
+    /// Measured throughput.
+    pub trials_per_sec: f64,
+    /// Kernel-dependent fold of all outcomes (hit count, γ sum, shift sum):
+    /// keeps the loop honest and makes runs comparable.
+    pub checksum: u64,
+}
+
+/// Scratch-vs-legacy speedup of the joined pipeline for one model.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct JoinedSpeedup {
+    /// Memory model short name.
+    pub model: String,
+    /// `joined` throughput divided by `joined_legacy` throughput.
+    pub speedup: f64,
+}
+
+/// The full machine-readable benchmark report (`BENCH_e2e.json`).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct BenchReport {
+    /// Trials per pipeline.
+    pub trials: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// All measured pipelines.
+    pub pipelines: Vec<PipelineResult>,
+    /// Joined-pipeline speedups, one per memory model.
+    pub joined_speedup_vs_legacy: Vec<JoinedSpeedup>,
+}
+
+/// Timed repetitions per pipeline; the best (least-disturbed) one is
+/// reported. A shared machine stalls a closed loop arbitrarily, so the
+/// minimum wall time is the robust throughput statistic.
+const REPS: u32 = 5;
+
+fn measure<F: FnMut() -> u64>(
+    name: &str,
+    model: &str,
+    trials: u64,
+    mut setup: impl FnMut() -> F,
+) -> PipelineResult {
+    let mut best = f64::INFINITY;
+    let mut checksum = 0u64;
+    for rep in 0..REPS {
+        let mut trial = setup();
+        let start = Instant::now();
+        let mut sum = 0u64;
+        for _ in 0..trials {
+            sum = sum.wrapping_add(black_box(trial()));
+        }
+        let secs = start.elapsed().as_secs_f64();
+        best = best.min(secs);
+        if rep == 0 {
+            checksum = sum;
+        } else {
+            assert_eq!(checksum, sum, "{name}/{model}: nondeterministic pipeline");
+        }
+    }
+    PipelineResult {
+        name: name.to_owned(),
+        model: model.to_owned(),
+        trials,
+        trials_per_sec: trials as f64 / best.max(1e-9),
+        checksum,
+    }
+}
+
+/// Runs every pipeline at the given size and seed.
+#[must_use]
+pub fn run(trials: u64, seed: u64) -> BenchReport {
+    let mut pipelines = Vec::new();
+
+    // Raw geometric samplers: the flip loop vs the trailing_zeros trick.
+    let proc = ShiftProcess::canonical();
+    pipelines.push(measure("geom", "-", trials, || {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        move || proc.sample_shift(&mut rng)
+    }));
+    pipelines.push(measure("geom_fast", "-", trials, || {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        move || proc.sample_shift_fast(&mut rng)
+    }));
+
+    // The disjointness kernel over fixed segment lengths.
+    pipelines.push(measure("shift", "-", trials, || {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut shift_scratch = ShiftScratch::with_capacity(SHIFT_LENGTHS.len());
+        move || u64::from(proc.simulate_disjoint_into(&SHIFT_LENGTHS, &mut shift_scratch, &mut rng))
+    }));
+
+    // Per model: the settle kernel and both joined pipelines.
+    let mut speedups = Vec::new();
+    for model in MemoryModel::NAMED {
+        let rm = ReliabilityModel::new(model, N).with_filler_len(M);
+        let short = model.short_name();
+        let settler = *rm.settler();
+
+        pipelines.push(measure("settle", short, trials, || {
+            let mut scratch = rm.scratch();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            move || {
+                let w = rm.sample_windows_scratch(&mut scratch, &mut rng);
+                w.iter().sum::<u64>()
+            }
+        }));
+
+        let joined = measure("joined", short, trials, || {
+            let mut scratch = rm.scratch();
+            let mut rng = SmallRng::seed_from_u64(seed);
+            move || u64::from(rm.simulate_survival_once_scratch(&mut scratch, &mut rng))
+        });
+
+        // The pre-scratch route: everything allocated per trial, settling
+        // through the frozen pre-PR kernel in [`legacy`].
+        let legacy_run = measure("joined_legacy", short, trials, || {
+            let gen = ProgramGenerator::new(M);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            move || {
+                let program = gen.generate(&mut rng);
+                let windows: Vec<u64> = (0..N)
+                    .map(|_| legacy::window_len(&settler, &program, &mut rng))
+                    .collect();
+                u64::from(proc.simulate_disjoint(&windows, &mut rng))
+            }
+        });
+
+        assert_eq!(
+            joined.checksum, legacy_run.checksum,
+            "{short}: scratch and legacy joined pipelines disagree on outcomes"
+        );
+        speedups.push(JoinedSpeedup {
+            model: short.to_owned(),
+            speedup: joined.trials_per_sec / legacy_run.trials_per_sec,
+        });
+        pipelines.push(joined);
+        pipelines.push(legacy_run);
+    }
+
+    BenchReport {
+        trials,
+        seed,
+        pipelines,
+        joined_speedup_vs_legacy: speedups,
+    }
+}
+
+impl BenchReport {
+    /// A short human-readable summary (stderr companion of the JSON file).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for p in &self.pipelines {
+            let _ = writeln!(
+                out,
+                "{:<14} {:<4} {:>12.0} trials/sec",
+                p.name, p.model, p.trials_per_sec
+            );
+        }
+        for s in &self.joined_speedup_vs_legacy {
+            let _ = writeln!(out, "joined speedup {:<4} {:.2}x", s.model, s.speedup);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_complete_and_serializable() {
+        let report = run(2_000, 9);
+        // 3 model-independent + 3 per named model.
+        assert_eq!(report.pipelines.len(), 3 + 3 * MemoryModel::NAMED.len());
+        assert_eq!(report.joined_speedup_vs_legacy.len(), MemoryModel::NAMED.len());
+        assert!(report.pipelines.iter().all(|p| p.trials_per_sec > 0.0));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(report.summary().contains("joined speedup"));
+    }
+
+    #[test]
+    fn joined_and_legacy_checksums_agree() {
+        // run() asserts this internally; keep an explicit regression too.
+        let report = run(1_000, 4);
+        for model in MemoryModel::NAMED {
+            let at = |name: &str| {
+                report
+                    .pipelines
+                    .iter()
+                    .find(|p| p.name == name && p.model == model.short_name())
+                    .expect("pipeline present")
+                    .checksum
+            };
+            assert_eq!(at("joined"), at("joined_legacy"), "{model}");
+        }
+    }
+}

@@ -112,6 +112,32 @@ fn checkpoint_write_resume_skip_roundtrip() {
 }
 
 #[test]
+fn bench_subcommand_writes_machine_readable_report() {
+    let dir = temp_dir("bench");
+    let out_path = dir.join("BENCH.json");
+
+    let out = experiments(&["bench", "--trials", "500", "--out", out_path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("joined speedup"), "{stderr}");
+
+    let report: mmr_bench::perf::BenchReport =
+        serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap())
+            .expect("valid json benchmark report");
+    assert_eq!(report.trials, 500);
+    assert!(report.pipelines.iter().all(|p| p.trials_per_sec > 0.0));
+    assert!(!report.joined_speedup_vs_legacy.is_empty());
+    assert!(!dir.join("BENCH.json.tmp").exists());
+
+    // `bench` composes with nothing else.
+    let out = experiments(&["bench", "t1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("takes no experiment ids"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn out_and_json_are_written_atomically_together() {
     let dir = temp_dir("out");
     let report = dir.join("report.md");

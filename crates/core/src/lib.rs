@@ -41,6 +41,6 @@ mod scaling;
 mod survival;
 
 pub use compare::{ModelComparison, ModelRow};
-pub use model::{ReliabilityModel, DEFAULT_M};
+pub use model::{ReliabilityModel, TrialScratch, DEFAULT_M};
 pub use scaling::{scaling_curve, ScalingPoint};
 pub use survival::RbSurvival;

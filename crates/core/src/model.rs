@@ -1,11 +1,11 @@
 //! The joined model configuration and its samplers.
 
-use memmodel::{MemoryModel, CANONICAL_P};
+use memmodel::{MemoryModel, OpType, CANONICAL_P};
 use montecarlo::{BernoulliEstimate, Histogram, Runner, Seed};
-use progmodel::ProgramGenerator;
+use progmodel::{Program, ProgramGenerator};
 use rand::Rng;
-use settle::Settler;
-use shiftproc::ShiftProcess;
+use settle::{SettleScratch, Settler};
+use shiftproc::{ShiftProcess, ShiftScratch};
 use std::fmt;
 
 /// Default filler length; window-law truncation error decays like `2^-m`.
@@ -109,45 +109,141 @@ impl ReliabilityModel {
             .expect("validated probability")
     }
 
+    /// A fresh [`TrialScratch`] sized for this configuration.
+    ///
+    /// Construction allocates (and draws nothing from any RNG); every trial
+    /// that reuses the scratch afterwards is allocation-free. The embedded
+    /// program starts with placeholder filler types — each kernel call
+    /// redraws them before use.
+    #[must_use]
+    pub fn scratch(&self) -> TrialScratch {
+        let mut program = Program::from_filler_types(&vec![OpType::Ld; self.m])
+            .expect("canonical program shape is valid");
+        if self.acquire_fence {
+            program = program.with_acquire_before_critical();
+        }
+        TrialScratch {
+            settle: SettleScratch::with_capacity(program.len()),
+            shift: ShiftScratch::with_capacity(self.n),
+            windows: Vec::with_capacity(self.n),
+            program,
+        }
+    }
+
     /// Samples one window-length vector `Γ_1 … Γ_n`: one random program,
     /// `n` independent settles (§6: "we generate a single initial random
     /// program, then independently reorder n copies of this program").
     pub fn sample_windows<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.n);
+        self.sample_windows_into(&mut out, rng);
+        out
+    }
+
+    /// [`sample_windows`](ReliabilityModel::sample_windows) into a
+    /// caller-provided buffer (cleared and refilled). Draw-for-draw
+    /// identical to `sample_windows`; the program itself is still drawn
+    /// fresh — use [`sample_windows_scratch`]
+    /// (ReliabilityModel::sample_windows_scratch) for the fully
+    /// allocation-free kernel.
+    pub fn sample_windows_into<R: Rng + ?Sized>(&self, out: &mut Vec<u64>, rng: &mut R) {
         let mut program = self.generator().generate(rng);
         if self.acquire_fence {
             program = program.with_acquire_before_critical();
         }
-        (0..self.n)
-            .map(|_| self.settler.settle(&program, rng).window_len())
-            .collect()
+        let mut settle = SettleScratch::with_capacity(program.len());
+        out.clear();
+        for _ in 0..self.n {
+            out.push(self.settler.sample_gamma_scratch(&program, &mut settle, rng) + 2);
+        }
+    }
+
+    /// The allocation-free window kernel: regenerates the scratch program
+    /// in place and settles `n` copies, returning the window lengths.
+    ///
+    /// Draw-for-draw identical to
+    /// [`sample_windows`](ReliabilityModel::sample_windows) — program
+    /// regeneration redraws exactly the `m` filler types `generate` would
+    /// draw, and each settle consumes the same swap decisions — so seeded
+    /// streams agree bit-for-bit between the two routes.
+    pub fn sample_windows_scratch<'s, R: Rng + ?Sized>(
+        &self,
+        scratch: &'s mut TrialScratch,
+        rng: &mut R,
+    ) -> &'s [u64] {
+        self.generator().regenerate(&mut scratch.program, rng);
+        scratch.windows.clear();
+        scratch.windows.resize(self.n, 0);
+        self.settler
+            .sample_gammas_scratch(&scratch.program, &mut scratch.windows, &mut scratch.settle, rng);
+        for w in &mut scratch.windows {
+            *w += 2;
+        }
+        &scratch.windows
     }
 
     /// Simulates one end-to-end trial: `true` when the bug does **not**
     /// manifest (all shifted windows disjoint — the event `A`).
     pub fn simulate_survival_once<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
-        let windows = self.sample_windows(rng);
-        ShiftProcess::canonical().simulate_disjoint(&windows, rng)
+        let mut scratch = self.scratch();
+        self.simulate_survival_once_scratch(&mut scratch, rng)
+    }
+
+    /// [`simulate_survival_once`](ReliabilityModel::simulate_survival_once)
+    /// with caller-provided scratch: the steady-state allocation-free
+    /// joined kernel (regenerate → settle ×`n` → shift), draw-for-draw
+    /// identical to the allocating route.
+    pub fn simulate_survival_once_scratch<R: Rng + ?Sized>(
+        &self,
+        scratch: &mut TrialScratch,
+        rng: &mut R,
+    ) -> bool {
+        self.sample_windows_scratch(scratch, rng);
+        ShiftProcess::canonical().simulate_disjoint_into(&scratch.windows, &mut scratch.shift, rng)
     }
 
     /// Direct Monte-Carlo estimate of `Pr[A]` over `trials` runs.
     #[must_use]
     pub fn simulate_survival(&self, trials: u64, seed: u64) -> BernoulliEstimate {
         let this = *self;
-        Runner::new(Seed(seed)).bernoulli(trials, move |rng| this.simulate_survival_once(rng))
+        Runner::new(Seed(seed)).bernoulli_scratch(
+            trials,
+            move || this.scratch(),
+            move |scratch, rng| this.simulate_survival_once_scratch(scratch, rng),
+        )
     }
 
     /// Empirical distribution of the per-thread window growth `γ = Γ − 2`.
     #[must_use]
     pub fn window_histogram(&self, trials: u64, seed: u64) -> Histogram {
         let this = *self;
-        Runner::new(Seed(seed)).histogram(trials, move |rng| {
-            let mut program = this.generator().generate(rng);
-            if this.acquire_fence {
-                program = program.with_acquire_before_critical();
-            }
-            this.settler.sample_gamma(&program, rng)
-        })
+        Runner::new(Seed(seed)).histogram_scratch(
+            trials,
+            move || this.scratch(),
+            move |scratch, rng| {
+                this.generator().regenerate(&mut scratch.program, rng);
+                this.settler
+                    .sample_gamma_scratch(&scratch.program, &mut scratch.settle, rng)
+            },
+        )
     }
+}
+
+/// Reusable buffers for the joined model's allocation-free kernels
+/// ([`ReliabilityModel::sample_windows_scratch`],
+/// [`ReliabilityModel::simulate_survival_once_scratch`]).
+///
+/// Obtained from [`ReliabilityModel::scratch`]; one scratch serves any
+/// number of trials of that configuration. The scratch-accepting kernels
+/// draw exactly the same RNG sequence as their allocating counterparts, so
+/// the two routes are interchangeable trial-for-trial under a fixed seed.
+#[derive(Debug, Clone)]
+pub struct TrialScratch {
+    /// The reused program; filler types are redrawn in place each trial.
+    program: Program,
+    /// Window lengths `Γ_1 … Γ_n` of the current trial.
+    windows: Vec<u64>,
+    settle: SettleScratch,
+    shift: ShiftScratch,
 }
 
 impl fmt::Display for ReliabilityModel {
@@ -227,6 +323,63 @@ mod tests {
         }
         let est = m.simulate_survival(60_000, 10);
         assert!(est.covers(1.0 / 6.0, 0.999), "{est}");
+    }
+
+    #[test]
+    fn scratch_kernel_is_bit_for_bit_identical_to_allocating_route() {
+        // A single reused scratch must produce the same outcomes as a fresh
+        // scratch per trial AND leave a seeded RNG in the same state after
+        // every trial — no state may leak across trials. (Parity with the
+        // genuinely old allocating kernels is pinned per-layer by the settle
+        // and shiftproc equivalence tests and by the golden-value tests.)
+        for model in MemoryModel::NAMED {
+            let m = ReliabilityModel::new(model, 3).with_filler_len(24);
+            let mut scratch = m.scratch();
+            let mut old_rng = SmallRng::seed_from_u64(100);
+            let mut new_rng = old_rng.clone();
+            for _ in 0..30 {
+                let old = m.simulate_survival_once(&mut old_rng);
+                let new = m.simulate_survival_once_scratch(&mut scratch, &mut new_rng);
+                assert_eq!(old, new, "{model}: outcome diverged");
+            }
+            assert_eq!(old_rng, new_rng, "{model}: RNG streams diverged");
+        }
+    }
+
+    #[test]
+    fn sample_windows_variants_agree() {
+        let m = ReliabilityModel::new(MemoryModel::Pso, 4).with_filler_len(16);
+        let mut scratch = m.scratch();
+        let mut buf = Vec::new();
+        let mut r1 = SmallRng::seed_from_u64(55);
+        let mut r2 = r1.clone();
+        let mut r3 = r1.clone();
+        for _ in 0..20 {
+            let owned = m.sample_windows(&mut r1);
+            m.sample_windows_into(&mut buf, &mut r2);
+            let scratched = m.sample_windows_scratch(&mut scratch, &mut r3);
+            assert_eq!(owned, buf);
+            assert_eq!(owned, scratched);
+        }
+        assert_eq!(r1, r2);
+        assert_eq!(r1, r3);
+    }
+
+    #[test]
+    fn fenced_scratch_kernel_matches_allocating_route() {
+        // The fence is baked into the reused scratch program once;
+        // regeneration must leave it in place and keep draw parity with a
+        // fresh scratch (which re-inserts it) every trial.
+        let m = ReliabilityModel::new(MemoryModel::Wo, 2).with_acquire_fence();
+        let mut scratch = m.scratch();
+        let mut old_rng = SmallRng::seed_from_u64(200);
+        let mut new_rng = old_rng.clone();
+        for _ in 0..30 {
+            let old = m.simulate_survival_once(&mut old_rng);
+            let new = m.simulate_survival_once_scratch(&mut scratch, &mut new_rng);
+            assert_eq!(old, new);
+        }
+        assert_eq!(old_rng, new_rng);
     }
 
     #[test]

@@ -54,21 +54,24 @@ impl ReliabilityModel {
     #[must_use]
     pub fn overlap_count_histogram(&self, trials: u64, seed: u64) -> Histogram {
         let this = *self;
-        Runner::new(Seed(seed)).histogram(trials, move |rng| {
-            let windows = this.sample_windows(rng);
-            let proc = ShiftProcess::canonical();
-            let segments: Vec<Segment> = windows
-                .iter()
-                .map(|&w| Segment::new(proc.sample_shift(rng), w))
-                .collect();
-            let mut overlaps = 0u64;
-            for (i, a) in segments.iter().enumerate() {
-                for b in &segments[i + 1..] {
-                    overlaps += u64::from(a.overlaps(b));
+        Runner::new(Seed(seed)).histogram_scratch(
+            trials,
+            move || (this.scratch(), Vec::<Segment>::new()),
+            move |state, rng| {
+                let (scratch, segments) = state;
+                let windows = this.sample_windows_scratch(scratch, rng);
+                let proc = ShiftProcess::canonical();
+                segments.clear();
+                segments.extend(windows.iter().map(|&w| Segment::new(proc.sample_shift(rng), w)));
+                let mut overlaps = 0u64;
+                for (i, a) in segments.iter().enumerate() {
+                    for b in &segments[i + 1..] {
+                        overlaps += u64::from(a.overlaps(b));
+                    }
                 }
-            }
-            overlaps
-        })
+                overlaps
+            },
+        )
     }
 }
 

@@ -48,10 +48,14 @@ impl ReliabilityModel {
     #[must_use]
     pub fn estimate_survival_rb(&self, trials: u64, seed: u64) -> RbSurvival {
         let this = *self;
-        let stats: Welford = Runner::new(Seed(seed)).mean(trials, move |rng| {
-            let windows = this.sample_windows(rng);
-            exchangeable::sample_factor(&windows, 2)
-        });
+        let stats: Welford = Runner::new(Seed(seed)).mean_scratch(
+            trials,
+            move || this.scratch(),
+            move |scratch, rng| {
+                let windows = this.sample_windows_scratch(scratch, rng);
+                exchangeable::sample_factor(windows, 2)
+            },
+        );
         let mean = stats.mean();
         RbSurvival {
             log2_survival: exchangeable::log2_survival(

@@ -171,30 +171,40 @@ impl Runner {
         self.max_chunk_retries
     }
 
-    /// Runs `trials` independent trials, folding each chunk with `fold`
-    /// from `init` and merging chunk results with `merge`.
+    /// Runs `trials` independent trials with per-chunk scratch state,
+    /// folding each chunk with `fold` from `init` and merging chunk
+    /// results with `merge`.
     ///
-    /// This is the primitive the typed runners below are built on.
+    /// This is the primitive every runner in this crate is built on.
     /// Chunking is by trial index, so the RNG stream consumed by trial `i`
     /// depends only on `(seed, chunk(i))` — deterministic across runs
     /// requires chunk boundaries to be fixed, so they are: trials are
     /// split into exactly `threads` contiguous chunks.
     ///
+    /// `scratch_init` builds one scratch value per chunk attempt; `trial`
+    /// receives it mutably alongside the chunk RNG. Scratch lets a hot
+    /// trial kernel reuse buffers across trials (zero steady-state
+    /// allocations) without giving up determinism: scratch must never leak
+    /// randomness between trials in a way that changes results, and a
+    /// retried chunk is re-run with a *fresh* scratch from `scratch_init`,
+    /// so a panic-free replay is bit-for-bit identical.
+    ///
     /// Each chunk executes under `catch_unwind`; a panicking chunk is
-    /// rebuilt from `init()` and replayed from its chunk seed up to
-    /// [`max_chunk_retries`](Runner::max_chunk_retries) times before the
-    /// whole run fails.
+    /// rebuilt from `init()` + `scratch_init()` and replayed from its
+    /// chunk seed up to [`max_chunk_retries`](Runner::max_chunk_retries)
+    /// times before the whole run fails.
     ///
     /// # Errors
     ///
     /// [`Error::WorkerPanicked`] when a chunk panics on every attempt;
     /// [`Error::MinTrialsExceedRequested`] when the configured floor can
     /// never be met.
-    pub fn try_fold<T, A: Send>(
+    pub fn try_fold_scratch<S, T, A: Send>(
         &self,
         trials: u64,
+        scratch_init: impl Fn() -> S + Sync,
         init: impl Fn() -> A + Sync,
-        trial: impl Fn(&mut SmallRng) -> T + Sync,
+        trial: impl Fn(&mut S, &mut SmallRng) -> T + Sync,
         fold: impl Fn(&mut A, T) + Sync,
         merge: impl Fn(&mut A, A),
     ) -> Result<RunReport<A>, Error> {
@@ -214,12 +224,21 @@ impl Runner {
 
         std::thread::scope(|scope| {
             for (idx, (&count, slot)) in chunks.iter().zip(slots.iter_mut()).enumerate() {
-                let (init, trial, fold) = (&init, &trial, &fold);
+                let (scratch_init, init, trial, fold) = (&scratch_init, &init, &trial, &fold);
                 let (completed, cancel, retried) = (&completed, &cancel, &retried);
                 let runner = *self;
                 scope.spawn(move || {
                     *slot = Some(runner.run_chunk(
-                        idx as u64, count, init, trial, fold, start, completed, cancel, retried,
+                        idx as u64,
+                        count,
+                        scratch_init,
+                        init,
+                        trial,
+                        fold,
+                        start,
+                        completed,
+                        cancel,
+                        retried,
                     ));
                 });
             }
@@ -253,13 +272,18 @@ impl Runner {
     }
 
     /// One chunk's retry loop; runs on a worker thread.
+    ///
+    /// Scratch lifetime: one scratch value per *attempt*, built before the
+    /// first trial of the attempt and dropped with it — a retry never sees
+    /// a prior attempt's (possibly mid-trial, possibly poisoned) scratch.
     #[allow(clippy::too_many_arguments)]
-    fn run_chunk<T, A>(
+    fn run_chunk<S, T, A>(
         &self,
         idx: u64,
         count: u64,
+        scratch_init: &(impl Fn() -> S + Sync),
         init: &(impl Fn() -> A + Sync),
-        trial: &(impl Fn(&mut SmallRng) -> T + Sync),
+        trial: &(impl Fn(&mut S, &mut SmallRng) -> T + Sync),
         fold: &(impl Fn(&mut A, T) + Sync),
         start: Instant,
         completed: &AtomicU64,
@@ -274,6 +298,7 @@ impl Runner {
             let counted = Cell::new(0u64);
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 let mut rng = crate::task_rng(self.seed, idx);
+                let mut scratch = scratch_init();
                 let mut acc = init();
                 let mut ran = 0u64;
                 while ran < count {
@@ -282,7 +307,7 @@ impl Runner {
                     }
                     let batch = BATCH.min(count - ran);
                     for _ in 0..batch {
-                        fold(&mut acc, trial(&mut rng));
+                        fold(&mut acc, trial(&mut scratch, &mut rng));
                     }
                     ran += batch;
                     counted.set(counted.get() + batch);
@@ -312,6 +337,86 @@ impl Runner {
                 }
             }
         }
+    }
+
+    /// Scratch-free [`try_fold_scratch`](Runner::try_fold_scratch): each
+    /// trial sees only the chunk RNG.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`try_fold_scratch`](Runner::try_fold_scratch)'s errors.
+    pub fn try_fold<T, A: Send>(
+        &self,
+        trials: u64,
+        init: impl Fn() -> A + Sync,
+        trial: impl Fn(&mut SmallRng) -> T + Sync,
+        fold: impl Fn(&mut A, T) + Sync,
+        merge: impl Fn(&mut A, A),
+    ) -> Result<RunReport<A>, Error> {
+        self.try_fold_scratch(trials, || (), init, |_, rng| trial(rng), fold, merge)
+    }
+
+    /// Estimates a probability from a scratch-carrying trial kernel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`try_fold_scratch`](Runner::try_fold_scratch)'s errors.
+    pub fn try_bernoulli_scratch<S>(
+        &self,
+        trials: u64,
+        scratch_init: impl Fn() -> S + Sync,
+        trial: impl Fn(&mut S, &mut SmallRng) -> bool + Sync,
+    ) -> Result<RunReport<BernoulliEstimate>, Error> {
+        self.try_fold_scratch(
+            trials,
+            scratch_init,
+            BernoulliEstimate::new,
+            trial,
+            |acc, hit| acc.record(hit),
+            |a, b| a.merge(&b),
+        )
+    }
+
+    /// Estimates a mean from a scratch-carrying trial kernel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`try_fold_scratch`](Runner::try_fold_scratch)'s errors.
+    pub fn try_mean_scratch<S>(
+        &self,
+        trials: u64,
+        scratch_init: impl Fn() -> S + Sync,
+        trial: impl Fn(&mut S, &mut SmallRng) -> f64 + Sync,
+    ) -> Result<RunReport<Welford>, Error> {
+        self.try_fold_scratch(
+            trials,
+            scratch_init,
+            Welford::new,
+            trial,
+            |acc, x| acc.record(x),
+            |a, b| a.merge(&b),
+        )
+    }
+
+    /// Builds an empirical histogram from a scratch-carrying trial kernel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`try_fold_scratch`](Runner::try_fold_scratch)'s errors.
+    pub fn try_histogram_scratch<S>(
+        &self,
+        trials: u64,
+        scratch_init: impl Fn() -> S + Sync,
+        trial: impl Fn(&mut S, &mut SmallRng) -> u64 + Sync,
+    ) -> Result<RunReport<Histogram>, Error> {
+        self.try_fold_scratch(
+            trials,
+            scratch_init,
+            Histogram::new,
+            trial,
+            |acc, v| acc.record(v),
+            |a, b| a.merge(&b),
+        )
     }
 
     /// Estimates a probability: `trial` returns whether the event
@@ -384,6 +489,62 @@ impl Runner {
         merge: impl Fn(&mut A, A),
     ) -> A {
         match self.try_fold(trials, init, trial, fold, merge) {
+            Ok(report) => report.value,
+            Err(e) => panic!("monte-carlo worker panicked: {e}"),
+        }
+    }
+
+    /// Infallible [`try_fold_scratch`](Runner::try_fold_scratch): panics if
+    /// a chunk fails every retry.
+    pub fn fold_scratch<S, T, A: Send>(
+        &self,
+        trials: u64,
+        scratch_init: impl Fn() -> S + Sync,
+        init: impl Fn() -> A + Sync,
+        trial: impl Fn(&mut S, &mut SmallRng) -> T + Sync,
+        fold: impl Fn(&mut A, T) + Sync,
+        merge: impl Fn(&mut A, A),
+    ) -> A {
+        match self.try_fold_scratch(trials, scratch_init, init, trial, fold, merge) {
+            Ok(report) => report.value,
+            Err(e) => panic!("monte-carlo worker panicked: {e}"),
+        }
+    }
+
+    /// Estimates a probability from a scratch-carrying trial kernel.
+    pub fn bernoulli_scratch<S>(
+        &self,
+        trials: u64,
+        scratch_init: impl Fn() -> S + Sync,
+        trial: impl Fn(&mut S, &mut SmallRng) -> bool + Sync,
+    ) -> BernoulliEstimate {
+        match self.try_bernoulli_scratch(trials, scratch_init, trial) {
+            Ok(report) => report.value,
+            Err(e) => panic!("monte-carlo worker panicked: {e}"),
+        }
+    }
+
+    /// Estimates a mean from a scratch-carrying trial kernel.
+    pub fn mean_scratch<S>(
+        &self,
+        trials: u64,
+        scratch_init: impl Fn() -> S + Sync,
+        trial: impl Fn(&mut S, &mut SmallRng) -> f64 + Sync,
+    ) -> Welford {
+        match self.try_mean_scratch(trials, scratch_init, trial) {
+            Ok(report) => report.value,
+            Err(e) => panic!("monte-carlo worker panicked: {e}"),
+        }
+    }
+
+    /// Builds an empirical histogram from a scratch-carrying trial kernel.
+    pub fn histogram_scratch<S>(
+        &self,
+        trials: u64,
+        scratch_init: impl Fn() -> S + Sync,
+        trial: impl Fn(&mut S, &mut SmallRng) -> u64 + Sync,
+    ) -> Histogram {
+        match self.try_histogram_scratch(trials, scratch_init, trial) {
             Ok(report) => report.value,
             Err(e) => panic!("monte-carlo worker panicked: {e}"),
         }
@@ -643,6 +804,96 @@ mod tests {
                 requested: 100
             }
         );
+    }
+
+    #[test]
+    fn scratch_runner_matches_scratch_free_runner() {
+        // A kernel that uses scratch purely as a reusable buffer must give
+        // bit-for-bit the same estimate as the plain path.
+        let runner = Runner::new(Seed(21)).with_threads(3);
+        let plain = runner.bernoulli(9_999, |rng| {
+            let v: Vec<u64> = (0..8).map(|_| rng.gen_range(0..100u64)).collect();
+            v.iter().sum::<u64>() > 400
+        });
+        let scratch = runner.bernoulli_scratch(
+            9_999,
+            || Vec::with_capacity(8),
+            |buf: &mut Vec<u64>, rng| {
+                buf.clear();
+                buf.extend((0..8).map(|_| rng.gen_range(0..100u64)));
+                buf.iter().sum::<u64>() > 400
+            },
+        );
+        assert_eq!(plain, scratch);
+    }
+
+    #[test]
+    fn scratch_mean_and_histogram_match_plain() {
+        let runner = Runner::new(Seed(22)).with_threads(2);
+        let m1 = runner.mean(5_000, |rng| f64::from(rng.gen_range(1..=6)));
+        let m2 = runner.mean_scratch(5_000, || (), |_, rng| f64::from(rng.gen_range(1..=6)));
+        assert_eq!(m1, m2);
+        let h1 = runner.histogram(5_000, |rng| u64::from(rng.gen_range(0..4u32)));
+        let h2 =
+            runner.histogram_scratch(5_000, || 0u64, |_, rng| u64::from(rng.gen_range(0..4u32)));
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn retried_chunk_reinitializes_scratch() {
+        // The kernel poisons its scratch right before panicking; recovery is
+        // only bit-for-bit if the retry starts from a fresh scratch.
+        let runner = Runner::new(Seed(23)).with_threads(3);
+        let clean = runner
+            .try_bernoulli_scratch(
+                9_000,
+                || 0u64,
+                |carry: &mut u64, rng| {
+                    let hit = rng.gen_bool(0.3) ^ (*carry & 1 == 1);
+                    *carry = carry.wrapping_add(u64::from(hit));
+                    hit
+                },
+            )
+            .unwrap();
+
+        let inj = FaultInjector::new(FaultMode::PanicOnce { trial: 4_321 });
+        let faulty = runner
+            .try_bernoulli_scratch(
+                9_000,
+                || 0u64,
+                |carry: &mut u64, rng| {
+                    let hit = rng.gen_bool(0.3) ^ (*carry & 1 == 1);
+                    *carry = carry.wrapping_add(u64::from(hit));
+                    // Poison scratch, then maybe panic: a retry that reused
+                    // this scratch would diverge from the clean run.
+                    *carry = carry.wrapping_add(1_000_000);
+                    inj.perturb();
+                    *carry = carry.wrapping_sub(1_000_000);
+                    hit
+                },
+            )
+            .unwrap();
+        assert!(inj.has_fired());
+        assert_eq!(faulty.retried_chunks, 1);
+        assert_eq!(faulty.value, clean.value);
+    }
+
+    #[test]
+    fn try_fold_scratch_threads_state_through_a_chunk() {
+        // Scratch is per-chunk: with one thread, a counter scratch sees
+        // every trial in order.
+        let total = Runner::new(Seed(24)).with_threads(1).fold_scratch(
+            100,
+            || 0u64,
+            || 0u64,
+            |counter: &mut u64, _rng| {
+                *counter += 1;
+                *counter
+            },
+            |acc, seen| *acc = (*acc).max(seen),
+            |a, b| *a = (*a).max(b),
+        );
+        assert_eq!(total, 100);
     }
 
     #[test]

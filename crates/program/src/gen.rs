@@ -80,6 +80,42 @@ impl ProgramGenerator {
         Program::from_filler_types(&types).expect("generated programs satisfy the model invariants")
     }
 
+    /// Redraws a program's filler operation types in place — the
+    /// allocation-free counterpart of [`generate`](ProgramGenerator::generate).
+    ///
+    /// Locations and roles are fixed across draws of the §3.1.1 process (only
+    /// the LD/ST types are random), so regeneration rewrites each filler
+    /// memory access with a fresh type and touches nothing else. The draw
+    /// sequence is identical to `generate` — `m` Bernoulli draws in program
+    /// order — so a seeded RNG ends in the same state whichever route built
+    /// the program. Fences and the critical pair consume no draws and are
+    /// left untouched, so fenced programs keep draw-count parity too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program's filler memory-access count differs from this
+    /// generator's `m` (the draw sequences would not correspond).
+    pub fn regenerate<R: Rng + ?Sized>(&self, program: &mut Program, rng: &mut R) {
+        let mut drawn = 0;
+        for ins in program.instrs_mut() {
+            if ins.is_critical() || ins.is_fence() {
+                continue;
+            }
+            let ty = if rng.gen_bool(self.p) {
+                OpType::St
+            } else {
+                OpType::Ld
+            };
+            ins.set_mem_op(ty);
+            drawn += 1;
+        }
+        assert_eq!(
+            drawn, self.m,
+            "program has {drawn} filler memory accesses but the generator draws {}",
+            self.m
+        );
+    }
+
     /// Draws only the filler type sequence (no allocation of locations);
     /// useful for analytic code that needs the type string alone.
     pub fn generate_types<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<OpType> {
@@ -188,6 +224,59 @@ mod tests {
             ProgramGenerator::all_loads(3).unwrap().filler_store_count(),
             0
         );
+    }
+
+    #[test]
+    fn regenerate_matches_generate_bit_for_bit() {
+        // Same seed through either route must yield the same program AND
+        // leave the RNG in the same state (identical draw sequence).
+        let gen = ProgramGenerator::new(48).with_store_probability(0.35).unwrap();
+        let mut scratch = gen.generate(&mut SmallRng::seed_from_u64(999));
+        for seed in 0..30 {
+            let mut fresh_rng = SmallRng::seed_from_u64(seed);
+            let mut reused_rng = fresh_rng.clone();
+            let fresh = gen.generate(&mut fresh_rng);
+            gen.regenerate(&mut scratch, &mut reused_rng);
+            assert_eq!(fresh, scratch, "programs diverged at seed {seed}");
+            assert_eq!(fresh_rng, reused_rng, "RNG streams diverged at seed {seed}");
+        }
+    }
+
+    #[test]
+    fn regenerate_skips_fences_and_keeps_draw_parity() {
+        let gen = ProgramGenerator::new(16);
+        let mut fenced = gen
+            .generate(&mut SmallRng::seed_from_u64(5))
+            .with_acquire_before_critical();
+        let mut a = SmallRng::seed_from_u64(6);
+        let mut b = a.clone();
+        gen.regenerate(&mut fenced, &mut a);
+        let reference = gen.generate(&mut b);
+        // Fence survives in place, filler types match the plain draw, and
+        // the fence consumed no RNG draws.
+        assert!(fenced[fenced.critical_load_index() - 1].is_fence());
+        assert_eq!(fenced.filler_types(), reference.filler_types());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn regenerate_preserves_locations_and_roles() {
+        let gen = ProgramGenerator::new(8);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut p = gen.generate(&mut rng);
+        let locs: Vec<_> = p.iter().map(|i| i.loc()).collect();
+        let roles: Vec<_> = p.iter().map(|i| i.role()).collect();
+        gen.regenerate(&mut p, &mut rng);
+        assert_eq!(p.iter().map(|i| i.loc()).collect::<Vec<_>>(), locs);
+        assert_eq!(p.iter().map(|i| i.role()).collect::<Vec<_>>(), roles);
+    }
+
+    #[test]
+    #[should_panic(expected = "filler memory accesses")]
+    fn regenerate_rejects_size_mismatch() {
+        let gen = ProgramGenerator::new(4);
+        let mut wrong = ProgramGenerator::new(5).generate(&mut SmallRng::seed_from_u64(8));
+        gen.regenerate(&mut wrong, &mut SmallRng::seed_from_u64(9));
     }
 
     #[test]

@@ -85,6 +85,13 @@ impl Instruction {
         }
     }
 
+    /// Replaces the operation type of a memory access in place, keeping
+    /// the location and role (the regeneration fast path).
+    pub(crate) fn set_mem_op(&mut self, op: OpType) {
+        debug_assert!(matches!(self.kind, InstrKind::Mem(_)));
+        self.kind = InstrKind::Mem(op);
+    }
+
     /// The critical load `x_{m+1}` (reads the shared location `X`).
     #[must_use]
     pub const fn critical_load() -> Instruction {

@@ -206,6 +206,13 @@ impl Program {
         &self.instrs
     }
 
+    /// Mutable access for in-place regeneration. Crate-internal: callers
+    /// must preserve the validated invariants (roles, locations, critical
+    /// pair), which type-redrawing does by construction.
+    pub(crate) fn instrs_mut(&mut self) -> &mut [Instruction] {
+        &mut self.instrs
+    }
+
     /// Iterates over the instructions in initial program order.
     pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
         self.instrs.iter()

@@ -14,6 +14,8 @@
 //! * [`Settler`] — the process itself, configurable by [`memmodel`] matrix,
 //!   per-pair probabilities, and fence pass-probability;
 //! * [`Settled`] — the resulting permutation with critical-window accessors;
+//! * [`SettleScratch`] — reusable buffers for the allocation-free kernel
+//!   ([`Settler::settle_into`] / [`Settler::sample_gamma_scratch`]);
 //! * [`SettleTrace`] — a round-by-round trace (reproduces the paper's
 //!   Figure 1);
 //! * [`events`] — observables of the intermediate order `S_m` used by
@@ -52,5 +54,5 @@ mod process;
 mod trace;
 
 pub use perm::{NotAPermutation, Permutation};
-pub use process::{Settled, Settler};
+pub use process::{SettleScratch, Settled, Settler};
 pub use trace::{SettleTrace, TraceRound};

@@ -1,7 +1,7 @@
 //! The settling process itself.
 
 use crate::Permutation;
-use memmodel::{MemoryModel, ReorderMatrix, SettleProbs};
+use memmodel::{MemoryModel, OpType, ReorderMatrix, SettleProbs};
 use progmodel::{InstrKind, Instruction, Program};
 use rand::Rng;
 use std::fmt;
@@ -112,6 +112,125 @@ impl Settler {
         self.settle_rounds(program, program.len(), rng)
     }
 
+    /// Runs the first `rounds` rounds of settling into caller-provided
+    /// scratch — the allocation-free kernel underneath [`settle_rounds`]
+    /// (Settler::settle_rounds).
+    ///
+    /// The scratch's order buffer is reset and reused; once it has grown to
+    /// `program.len()` entries, subsequent calls of the same size perform
+    /// no heap allocation. The RNG draw sequence is identical to
+    /// [`settle_rounds`](Settler::settle_rounds), so the two routes are
+    /// interchangeable mid-stream. Returns the settled order: `order[p]`
+    /// is the initial index of the instruction at settled position `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds > program.len()`.
+    pub fn settle_into<'s, R: Rng + ?Sized>(
+        &self,
+        program: &Program,
+        rounds: usize,
+        scratch: &'s mut SettleScratch,
+        rng: &mut R,
+    ) -> &'s [usize] {
+        let has_release = scratch.load(program);
+        self.settle_packed(scratch, has_release, rounds, rng);
+        scratch.sync_order()
+    }
+
+    /// Runs `rounds` settling rounds over the already-loaded packed image.
+    ///
+    /// The hot loop runs over a packed image of the program — one u64 per
+    /// instruction carrying its class/location word and its initial index —
+    /// so each swap-probability evaluation is a single load plus bit tests
+    /// instead of a double indirection through an order buffer into the
+    /// instruction table. The four memory-memory probabilities are resolved
+    /// once per call, as integer draw thresholds (see [`bool_threshold`]).
+    /// Draw-for-draw identical to the general
+    /// [`settle_one`](Settler::settle_one) route: blocked probabilities
+    /// draw nothing on both paths (asserted by the equivalence tests).
+    fn settle_packed<R: Rng + ?Sized>(
+        &self,
+        scratch: &mut SettleScratch,
+        has_release: bool,
+        rounds: usize,
+        rng: &mut R,
+    ) {
+        assert!(
+            rounds <= scratch.packed.len(),
+            "cannot settle {rounds} rounds of a {}-instruction program",
+            scratch.packed.len()
+        );
+        let t_eff = [
+            [
+                bool_threshold(self.probs.effective(&self.matrix, OpType::Ld, OpType::Ld)),
+                bool_threshold(self.probs.effective(&self.matrix, OpType::Ld, OpType::St)),
+            ],
+            [
+                bool_threshold(self.probs.effective(&self.matrix, OpType::St, OpType::Ld)),
+                bool_threshold(self.probs.effective(&self.matrix, OpType::St, OpType::St)),
+            ],
+        ];
+        // With every pair blocked and no hoistable fence, no round can draw
+        // or swap (the SC fast path): the settled order is the identity.
+        let inert = !has_release && t_eff == [[BLOCKED; 2]; 2];
+        if !inert {
+            let t_fence = bool_threshold(self.fence_pass_probability);
+            for r in 0..rounds {
+                self.settle_one_packed(&mut scratch.packed, &t_eff, t_fence, has_release, r, rng);
+            }
+        }
+    }
+
+    /// One settling round over the packed image (see
+    /// [`settle_into`](Settler::settle_into)). `t_eff[earlier][later]` are
+    /// the pre-resolved memory-memory draw thresholds, `t_fence` the
+    /// release-fence one, `has_release` whether the program contains a
+    /// hoistable fence at all.
+    fn settle_one_packed<R: Rng + ?Sized>(
+        &self,
+        packed: &mut [u64],
+        t_eff: &[[u64; 2]; 2],
+        t_fence: u64,
+        has_release: bool,
+        start: usize,
+        rng: &mut R,
+    ) {
+        let mover = (packed[start] >> 32) as u32;
+        if mover & FENCE_FLAG != 0 {
+            // Fences never settle: every swap probability is zero.
+            return;
+        }
+        let mover_loc = mover & LOC_MASK;
+        let mover_st = ((mover >> ST_FLAG_SHIFT) & 1) as usize;
+        // Draw threshold for this mover passing an earlier Ld / St.
+        let row = [t_eff[0][mover_st], t_eff[1][mover_st]];
+        if !has_release && row == [BLOCKED; 2] {
+            // This mover can never pass anything: no draw, no swap.
+            return;
+        }
+        let mut pos = start;
+        while pos > 0 {
+            let above = (packed[pos - 1] >> 32) as u32;
+            let t = if above & FENCE_FLAG != 0 {
+                if above & RELEASE_FLAG != 0 {
+                    t_fence
+                } else {
+                    BLOCKED
+                }
+            } else if above & LOC_MASK == mover_loc {
+                BLOCKED // conflicting pair (the critical LD/ST)
+            } else {
+                row[((above >> ST_FLAG_SHIFT) & 1) as usize]
+            };
+            if t == BLOCKED || (t != CERTAIN && (rng.next_u64() >> 11) >= t) {
+                break;
+            }
+            packed.swap(pos - 1, pos);
+            pos -= 1;
+        }
+    }
+
     /// Runs only the first `rounds` rounds — the paper's intermediate order
     /// `S_r`. Instructions not yet settled remain at their initial positions
     /// below the settled prefix (exactly as in Appendix A.2, where round `i`
@@ -126,17 +245,10 @@ impl Settler {
         rounds: usize,
         rng: &mut R,
     ) -> Settled {
-        assert!(
-            rounds <= program.len(),
-            "cannot settle {rounds} rounds of a {}-instruction program",
-            program.len()
-        );
-        let mut order: Vec<usize> = (0..program.len()).collect();
-        for r in 0..rounds {
-            self.settle_one(program, &mut order, r, rng);
-        }
-        let permutation =
-            Permutation::from_settled_order(&order).expect("swaps preserve the permutation");
+        let mut scratch = SettleScratch::new();
+        self.settle_into(program, rounds, &mut scratch, rng);
+        let permutation = Permutation::from_settled_order(scratch.order())
+            .expect("swaps preserve the permutation");
         Settled {
             program: program.clone(),
             permutation,
@@ -145,6 +257,13 @@ impl Settler {
 
     /// Settles the instruction currently at position `start` upward by
     /// repeated swaps. `order` maps positions to initial indices.
+    ///
+    /// This is [`swap_probability`](Settler::swap_probability) unrolled for
+    /// the hot loop: the mover is loop-invariant (it travels with the swap),
+    /// so its kind and location are resolved once per round and fence movers
+    /// exit before the loop. Zero probabilities draw nothing, so every early
+    /// exit leaves the RNG stream exactly where the general route would
+    /// (asserted by the equivalence regression tests).
     pub(crate) fn settle_one<R: Rng + ?Sized>(
         &self,
         program: &Program,
@@ -152,11 +271,34 @@ impl Settler {
         start: usize,
         rng: &mut R,
     ) {
+        if start == 0 {
+            return;
+        }
+        let mover = &program[order[start]];
+        let (mover_op, mover_loc) = match mover.kind() {
+            // Fences never settle: every swap probability is zero.
+            InstrKind::Fence(_) => return,
+            InstrKind::Mem(op) => (op, mover.loc()),
+        };
         let mut pos = start;
         while pos > 0 {
-            let mover = &program[order[pos]];
             let above = &program[order[pos - 1]];
-            let p = self.swap_probability(above, mover);
+            let p = match above.kind() {
+                InstrKind::Fence(k) => {
+                    if k.permits_hoist_above() {
+                        self.fence_pass_probability
+                    } else {
+                        0.0
+                    }
+                }
+                InstrKind::Mem(e) => {
+                    if above.loc() == mover_loc {
+                        0.0 // conflicting pair (the critical LD/ST)
+                    } else {
+                        self.probs.effective(&self.matrix, e, mover_op)
+                    }
+                }
+            };
             if p <= 0.0 || !rng.gen_bool(p) {
                 break;
             }
@@ -168,8 +310,221 @@ impl Settler {
     /// Samples the critical-window growth `γ` (the paper's `B_γ` variable):
     /// the number of instructions strictly between the settled critical LD
     /// and critical ST.
+    ///
+    /// `γ` is read straight off the settled order — no `Program` clone and
+    /// no [`Permutation`] construction. Bit-for-bit identical to
+    /// `settle(program, rng).gamma()` under the same RNG state (asserted by
+    /// the equivalence regression tests).
     pub fn sample_gamma<R: Rng + ?Sized>(&self, program: &Program, rng: &mut R) -> u64 {
-        self.settle(program, rng).gamma()
+        let mut scratch = SettleScratch::new();
+        self.sample_gamma_scratch(program, &mut scratch, rng)
+    }
+
+    /// [`sample_gamma`](Settler::sample_gamma) with caller-provided scratch:
+    /// the steady-state allocation-free γ kernel. γ is read straight off
+    /// the packed settling image; the scratch's [`order`](SettleScratch::order)
+    /// buffer is not refreshed (use [`settle_into`](Settler::settle_into)
+    /// when the full settled order is needed).
+    pub fn sample_gamma_scratch<R: Rng + ?Sized>(
+        &self,
+        program: &Program,
+        scratch: &mut SettleScratch,
+        rng: &mut R,
+    ) -> u64 {
+        let has_release = scratch.load(program);
+        self.settle_packed(scratch, has_release, program.len(), rng);
+        scratch.gamma(program)
+    }
+
+    /// Samples one γ per slot of `out`, all from fresh settles of the same
+    /// `program` — the per-thread window draws of one trial. The packed
+    /// image is encoded once and restored by `memcpy` between settles, so
+    /// the per-settle overhead is one buffer copy. The RNG stream is
+    /// identical to calling [`sample_gamma_scratch`](Settler::sample_gamma_scratch)
+    /// `out.len()` times.
+    pub fn sample_gammas_scratch<R: Rng + ?Sized>(
+        &self,
+        program: &Program,
+        out: &mut [u64],
+        scratch: &mut SettleScratch,
+        rng: &mut R,
+    ) {
+        let has_release = scratch.load(program);
+        scratch.pristine.clear();
+        scratch.pristine.extend_from_slice(&scratch.packed);
+        for (i, slot) in out.iter_mut().enumerate() {
+            if i > 0 {
+                scratch.packed.copy_from_slice(&scratch.pristine);
+            }
+            self.settle_packed(scratch, has_release, program.len(), rng);
+            *slot = scratch.gamma(program);
+        }
+    }
+}
+
+/// Draw threshold of a zero probability: break without consuming a draw.
+const BLOCKED: u64 = 0;
+/// Draw threshold of probability one: swap without consuming a draw
+/// (matching `gen_bool`'s `p >= 1.0` early return).
+const CERTAIN: u64 = u64::MAX;
+
+/// Converts a swap probability into an integer draw threshold that is
+/// exactly equivalent to `rng.gen_bool(p)` on the vendored `rand`:
+/// `gen_bool(p)` compares `(next_u64() >> 11) as f64 * 2^-53 < p`, and for
+/// `0 < p < 1` that holds iff `next_u64() >> 11 < ceil(p * 2^53)` (the
+/// scaling by a power of two is exact, and both sides are integers below
+/// `2^53`, where `f64` is exact). The endpoints draw nothing, mirroring
+/// the `p <= 0` break and the `p >= 1` early return.
+fn bool_threshold(p: f64) -> u64 {
+    if p <= 0.0 {
+        BLOCKED
+    } else if p >= 1.0 {
+        CERTAIN
+    } else {
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        {
+            (p * (1u64 << 53) as f64).ceil() as u64
+        }
+    }
+}
+
+/// Packed-image flag: the instruction is a fence.
+const FENCE_FLAG: u32 = 1 << 31;
+/// Packed-image flag: the fence permits hoisting (release).
+const RELEASE_FLAG: u32 = 1 << 30;
+/// Packed-image bit position of the St flag for memory operations.
+const ST_FLAG_SHIFT: u32 = 29;
+/// Packed-image mask of the location id for memory operations.
+const LOC_MASK: u32 = (1 << 29) - 1;
+
+/// Encodes one instruction's settling-relevant facts into a u32 word.
+fn encode(ins: &Instruction) -> u32 {
+    match ins.kind() {
+        InstrKind::Fence(k) => {
+            if k.permits_hoist_above() {
+                FENCE_FLAG | RELEASE_FLAG
+            } else {
+                FENCE_FLAG
+            }
+        }
+        InstrKind::Mem(op) => {
+            let loc = ins.loc().expect("memory access has a location").raw();
+            assert!(loc <= LOC_MASK, "location id {loc} exceeds the packed encoding");
+            (u32::from(op == OpType::St) << ST_FLAG_SHIFT) | loc
+        }
+    }
+}
+
+/// Reusable buffers for the in-place settling kernel.
+///
+/// One scratch serves any number of programs (of any length): the buffers
+/// grow to the largest program seen and are reused thereafter.
+#[derive(Debug, Clone, Default)]
+pub struct SettleScratch {
+    /// `order[p]` = initial index of the instruction currently at `p`.
+    /// Refreshed by [`Settler::settle_into`] only.
+    order: Vec<usize>,
+    /// The packed settling image: `(encode(instr) << 32) | initial index`
+    /// per position, permuted in place by the hot loop.
+    packed: Vec<u64>,
+    /// Unpermuted copy of the packed image, for restoring between the
+    /// settles of [`Settler::sample_gammas_scratch`].
+    pristine: Vec<u64>,
+}
+
+impl SettleScratch {
+    /// An empty scratch; the first settle sizes it.
+    #[must_use]
+    pub fn new() -> SettleScratch {
+        SettleScratch {
+            order: Vec::new(),
+            packed: Vec::new(),
+            pristine: Vec::new(),
+        }
+    }
+
+    /// A scratch pre-sized for programs of `len` instructions, so even the
+    /// first settle allocates nothing afterwards.
+    #[must_use]
+    pub fn with_capacity(len: usize) -> SettleScratch {
+        SettleScratch {
+            order: Vec::with_capacity(len),
+            packed: Vec::with_capacity(len),
+            pristine: Vec::with_capacity(len),
+        }
+    }
+
+    /// Rebuilds the packed image of `program` in initial order, reusing the
+    /// buffer's allocation. Returns whether the program contains a
+    /// hoistable (release) fence.
+    fn load(&mut self, program: &Program) -> bool {
+        assert!(
+            u32::try_from(program.len()).is_ok(),
+            "program too large for the packed settling image"
+        );
+        let mut has_release = false;
+        self.packed.clear();
+        self.packed.extend(program.instructions().iter().enumerate().map(|(i, ins)| {
+            let item = encode(ins);
+            has_release |= item & (FENCE_FLAG | RELEASE_FLAG) == FENCE_FLAG | RELEASE_FLAG;
+            (u64::from(item) << 32) | i as u64
+        }));
+        has_release
+    }
+
+    /// Rewrites `order` from the packed image and returns it.
+    fn sync_order(&mut self) -> &[usize] {
+        self.order.clear();
+        self.order
+            .extend(self.packed.iter().map(|&x| (x & 0xffff_ffff) as usize));
+        &self.order
+    }
+
+    /// The settled order of the last [`Settler::settle_into`] call:
+    /// `order()[p]` is the initial index of the instruction at settled
+    /// position `p`. Empty before the first settle. The γ-only kernels
+    /// ([`Settler::sample_gamma_scratch`] and friends) work on the packed
+    /// image and do not refresh this buffer.
+    #[must_use]
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The window growth `γ` of the last settle of `program`: instructions
+    /// strictly between the settled critical LD and critical ST, read
+    /// straight off the packed settling image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scratch does not hold a settled image of `program`
+    /// (length mismatch, or a critical instruction not found), or if the
+    /// critical store settled above the critical load — which the process
+    /// makes impossible (same-location swaps always fail).
+    #[must_use]
+    pub fn gamma(&self, program: &Program) -> u64 {
+        assert_eq!(
+            self.packed.len(),
+            program.len(),
+            "scratch does not hold a settled image of this program"
+        );
+        let ld_init = program.critical_load_index() as u64;
+        let st_init = program.critical_store_index() as u64;
+        let mut ld = usize::MAX;
+        let mut st = usize::MAX;
+        for (p, &x) in self.packed.iter().enumerate() {
+            let i = x & 0xffff_ffff;
+            if i == ld_init {
+                ld = p;
+            } else if i == st_init {
+                st = p;
+            }
+        }
+        assert!(
+            ld != usize::MAX && st != usize::MAX,
+            "critical pair missing from settled order"
+        );
+        assert!(st > ld, "critical store settled above critical load");
+        (st - ld - 1) as u64
     }
 }
 
@@ -215,14 +570,21 @@ impl Settled {
         self.permutation.position_of(i)
     }
 
-    /// The instructions in settled order.
+    /// The instructions in settled order, as an owned vector.
+    ///
+    /// Prefer [`settled_iter`](Settled::settled_iter) where a borrow
+    /// suffices; this method is kept for API compatibility.
     #[must_use]
     pub fn settled_instructions(&self) -> Vec<Instruction> {
+        self.settled_iter().copied().collect()
+    }
+
+    /// Iterates over the instructions in settled order without allocating.
+    pub fn settled_iter(&self) -> impl Iterator<Item = &Instruction> + '_ {
         self.permutation
             .settled_order()
             .iter()
-            .map(|&i| self.program[i])
-            .collect()
+            .map(|&i| &self.program[i])
     }
 
     /// The window growth `γ`: instructions strictly between the critical LD
@@ -491,5 +853,99 @@ mod tests {
             settler.sample_gamma(&p, &mut rng(88)),
             settler.settle(&p, &mut rng(88)).gamma()
         );
+    }
+
+    #[test]
+    fn scratch_gamma_is_bit_for_bit_identical_to_settled_gamma() {
+        // Equivalence regression: for every model, the in-place kernel and
+        // the Settled route must produce the same γ AND consume the RNG
+        // identically (the final RNG states match), so swapping routes
+        // mid-stream cannot desynchronise downstream draws.
+        for model in MemoryModel::NAMED {
+            let settler = Settler::for_model(model);
+            let mut scratch = SettleScratch::new();
+            for seed in 0..40 {
+                let p = program(24, seed);
+                let mut old_rng = rng(seed * 31 + 7);
+                let mut new_rng = old_rng.clone();
+                let old = settler.settle(&p, &mut old_rng).gamma();
+                let new = settler.sample_gamma_scratch(&p, &mut scratch, &mut new_rng);
+                assert_eq!(old, new, "{model} seed {seed}: γ diverged");
+                assert_eq!(old_rng, new_rng, "{model} seed {seed}: RNG streams diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn settle_into_matches_settle_rounds_order() {
+        let settler = Settler::for_model(MemoryModel::Wo);
+        let mut scratch = SettleScratch::new();
+        for seed in 0..20 {
+            let p = program(16, seed);
+            for rounds in [0usize, 1, 8, 18] {
+                let mut a = rng(seed + 500);
+                let mut b = a.clone();
+                let settled = settler.settle_rounds(&p, rounds, &mut a);
+                let order = settler.settle_into(&p, rounds, &mut scratch, &mut b);
+                assert_eq!(settled.permutation().settled_order(), order);
+                assert_eq!(a, b, "RNG streams diverged at rounds={rounds}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_program_sizes() {
+        let settler = Settler::for_model(MemoryModel::Wo);
+        let mut scratch = SettleScratch::with_capacity(34);
+        for (m, seed) in [(32usize, 1u64), (8, 2), (16, 3)] {
+            let p = program(m, seed);
+            let g = settler.sample_gamma_scratch(&p, &mut scratch, &mut rng(seed + 9));
+            assert_eq!(g, settler.sample_gamma(&p, &mut rng(seed + 9)));
+            settler.settle_into(&p, p.len(), &mut scratch, &mut rng(seed + 9));
+            assert_eq!(scratch.order().len(), p.len());
+        }
+    }
+
+    #[test]
+    fn scratch_gamma_validates_program_length() {
+        let settler = Settler::for_model(MemoryModel::Sc);
+        let mut scratch = SettleScratch::new();
+        let p = program(8, 0);
+        settler.settle_into(&p, p.len(), &mut scratch, &mut rng(1));
+        let other = program(12, 0);
+        let result = std::panic::catch_unwind(move || scratch.gamma(&other));
+        assert!(result.is_err(), "length mismatch must be rejected");
+    }
+
+    #[test]
+    fn batched_gammas_are_bit_for_bit_identical_to_sequential() {
+        // The memcpy-restore batch kernel must consume the RNG exactly as
+        // n sequential sample_gamma_scratch calls (and as n Settled
+        // routes), for every model.
+        for model in MemoryModel::NAMED {
+            let settler = Settler::for_model(model);
+            let mut scratch = SettleScratch::new();
+            let mut batch = [0u64; 4];
+            for seed in 0..25 {
+                let p = program(24, seed);
+                let mut seq_rng = rng(seed * 41 + 3);
+                let mut batch_rng = seq_rng.clone();
+                let seq: Vec<u64> = (0..4).map(|_| settler.settle(&p, &mut seq_rng).gamma()).collect();
+                settler.sample_gammas_scratch(&p, &mut batch, &mut scratch, &mut batch_rng);
+                assert_eq!(seq, batch, "{model} seed {seed}: γ batch diverged");
+                assert_eq!(seq_rng, batch_rng, "{model} seed {seed}: RNG streams diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn settled_iter_matches_settled_instructions() {
+        let settler = Settler::for_model(MemoryModel::Wo);
+        let p = program(16, 4);
+        let s = settler.settle(&p, &mut rng(42));
+        let owned = s.settled_instructions();
+        let borrowed: Vec<Instruction> = s.settled_iter().copied().collect();
+        assert_eq!(owned, borrowed);
+        assert_eq!(s.settled_iter().count(), p.len());
     }
 }

@@ -19,7 +19,9 @@
 //! * [`exact::pr_disjoint_perm_sum`] — the literal Theorem 5.1 sum over
 //!   `Sym_n` (exponential; `n ≤ 10`);
 //! * [`exact::pr_disjoint`] — an `O(2ⁿ·n)` subset dynamic program;
-//! * [`ShiftProcess::simulate_disjoint`] — direct Monte-Carlo simulation.
+//! * [`ShiftProcess::simulate_disjoint`] — direct Monte-Carlo simulation
+//!   (with [`ShiftProcess::simulate_disjoint_into`] as its allocation-free
+//!   kernel over a caller-held [`ShiftScratch`]).
 //!
 //! # Example
 //!
@@ -39,5 +41,5 @@ pub mod exchangeable;
 mod process;
 mod segment;
 
-pub use process::ShiftProcess;
+pub use process::{ShiftProcess, ShiftScratch};
 pub use segment::Segment;

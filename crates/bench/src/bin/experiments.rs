@@ -1,8 +1,8 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! experiments [--quick] [--trials N] [--seed S] [--out FILE] [--json FILE]
-//!             [--checkpoint FILE] [--list] [ids…]
+//! experiments [--quick] [--trials N] [--seed S] [--threads T] [--out FILE]
+//!             [--json FILE] [--checkpoint FILE] [--list] [ids…]
 //! ```
 //!
 //! With no ids, all experiments run in DESIGN.md §4 order. The default
@@ -18,7 +18,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: experiments [--quick] [--trials N] [--seed S] [--out FILE] [--json FILE] [--checkpoint FILE] [--list] [ids...]\n       experiments bench [--trials N] [--seed S] [--out FILE (default BENCH_e2e.json)]";
+const USAGE: &str = "usage: experiments [--quick] [--trials N] [--seed S] [--threads T] [--out FILE] [--json FILE] [--checkpoint FILE] [--list] [ids...]\n       experiments bench [--trials N] [--seed S] [--threads T] [--out FILE (default BENCH_e2e.json)]\n\n--threads bounds worker parallelism only; results are identical for any value";
 
 struct Args {
     ctx: Ctx,
@@ -57,6 +57,16 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
                 parsed.ctx.seed = v
                     .parse()
                     .map_err(|_| format!("--seed takes an integer, got {v:?}"))?;
+            }
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                let threads: usize = v
+                    .parse()
+                    .map_err(|_| format!("--threads takes a positive integer, got {v:?}"))?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                parsed.ctx = parsed.ctx.with_threads(threads);
             }
             "--out" => parsed.out_path = Some(args.next().ok_or("--out needs a path")?.into()),
             "--json" => parsed.json_path = Some(args.next().ok_or("--json needs a path")?.into()),
@@ -123,7 +133,7 @@ fn run_bench(args: &Args) -> Result<(), mmr_bench::Error> {
         .out_path
         .clone()
         .unwrap_or_else(|| PathBuf::from("BENCH_e2e.json"));
-    let report = mmr_bench::perf::run(args.ctx.trials, args.ctx.seed);
+    let report = mmr_bench::perf::run(args.ctx.trials, args.ctx.seed, args.ctx.threads);
     eprint!("{}", report.summary());
     let json = serde_json::to_string_pretty(&report).expect("serializable report");
     write_atomic(&out, &json)?;

@@ -20,7 +20,7 @@ pub fn run(ctx: &Ctx) -> String {
     let mut table = Table::new(vec!["i", "paper X_i", "measured", "covered"]);
     for (k, i) in [1usize, 2, 3, 4, 8, 16, 48].into_iter().enumerate() {
         let gen = ProgramGenerator::new(48);
-        let est = Runner::new(Seed(ctx.seed.wrapping_add(k as u64))).bernoulli(
+        let est = Runner::new(Seed(ctx.seed.wrapping_add(k as u64))).with_threads(ctx.threads).bernoulli(
             ctx.trials,
             move |rng| {
                 let program = gen.generate(rng);
@@ -55,6 +55,7 @@ pub fn run(ctx: &Ctx) -> String {
             memmodel::SettleProbs::uniform(s).expect("valid s"),
         );
         let est = Runner::new(Seed(ctx.seed ^ ((p * 100.0) as u64) ^ ((s * 10.0) as u64)))
+            .with_threads(ctx.threads)
             .bernoulli(ctx.trials / 2, move |rng| {
                 let program = gen.generate(rng);
                 events::observe_bottom_store(&settler_g, &program, 48, rng)

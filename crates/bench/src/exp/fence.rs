@@ -46,7 +46,7 @@ pub fn run(ctx: &Ctx) -> String {
             let gen = ProgramGenerator::new(M);
             let seed = ctx.seed.wrapping_add((mi * 10 + vi) as u64) ^ 0xFE;
             // Window distribution.
-            let h = Runner::new(Seed(seed)).histogram_scratch(
+            let h = Runner::new(Seed(seed)).with_threads(ctx.threads).histogram_scratch(
                 ctx.trials / 2,
                 move || (template(fence), SettleScratch::new()),
                 move |(program, scratch), rng| {
@@ -55,7 +55,7 @@ pub fn run(ctx: &Ctx) -> String {
                 },
             );
             // End-to-end survival.
-            let est = Runner::new(Seed(seed ^ 1)).bernoulli_scratch(
+            let est = Runner::new(Seed(seed ^ 1)).with_threads(ctx.threads).bernoulli_scratch(
                 ctx.trials / 2,
                 move || {
                     (
@@ -104,7 +104,7 @@ pub fn run(ctx: &Ctx) -> String {
     // critical window (operations may still hoist above it).
     let settler = Settler::for_model(MemoryModel::Wo);
     let gen = ProgramGenerator::new(M);
-    let h = Runner::new(Seed(ctx.seed ^ 0xFEE)).histogram_scratch(
+    let h = Runner::new(Seed(ctx.seed ^ 0xFEE)).with_threads(ctx.threads).histogram_scratch(
         ctx.trials / 2,
         move || (template(Some(FenceKind::Release)), SettleScratch::new()),
         move |(program, scratch), rng| {

@@ -2,7 +2,7 @@
 //! arbitrary `(p, s, q)` and validated by simulation, including one finding
 //! the paper did not report.
 
-use crate::{verdict, Ctx};
+use crate::{sweep, verdict, Ctx};
 use analytic::general::{GeneralWindowLaws, Params};
 use memmodel::{MemoryModel, OpType, SettleProbs};
 use montecarlo::{chi_square_gof, Runner, Seed};
@@ -29,40 +29,54 @@ pub fn run(ctx: &Ctx) -> String {
     let mut out = String::new();
     let mut ok = true;
 
-    // Generalised laws vs MC at two off-canonical parameter points.
+    // Generalised laws vs MC at two off-canonical parameter points. The
+    // 2×3 (params × model) grid runs concurrently through the sweep
+    // layer; every point keeps its serial seed salt, so the report is
+    // identical to the old serial loop at any thread count.
     let _ = writeln!(out, "generalised window laws vs simulation (chi-square):\n");
-    for (pi, (p, s)) in [(0.3f64, 0.6f64), (0.7, 0.4)].into_iter().enumerate() {
+    let law_grid: Vec<(usize, f64, f64, usize, MemoryModel)> = [(0.3f64, 0.6f64), (0.7, 0.4)]
+        .into_iter()
+        .enumerate()
+        .flat_map(|(pi, (p, s))| {
+            [MemoryModel::Tso, MemoryModel::Wo, MemoryModel::Pso]
+                .into_iter()
+                .enumerate()
+                .map(move |(mi, model)| (pi, p, s, mi, model))
+        })
+        .collect();
+    let inner = ctx.threads.div_ceil(law_grid.len()).max(1);
+    let (trials, seed) = (ctx.trials, ctx.seed);
+    let law_rows = sweep::sweep(law_grid, ctx.threads, move |_, &(pi, p, s, mi, model)| {
         let laws = GeneralWindowLaws::new(Params::new(p, s, 0.5).expect("valid params"));
-        for (mi, model) in [MemoryModel::Tso, MemoryModel::Wo, MemoryModel::Pso]
-            .into_iter()
-            .enumerate()
-        {
-            let st = settler(model, s);
-            let gen = ProgramGenerator::new(M)
-                .with_store_probability(p)
-                .expect("valid p");
-            let h = Runner::new(Seed(ctx.seed.wrapping_add((pi * 10 + mi) as u64) ^ 0x6E))
-                .histogram_scratch(
-                    ctx.trials / 2,
-                    move || (blank_program(), SettleScratch::new()),
-                    move |(program, scratch), rng| {
-                        gen.regenerate(program, rng);
-                        st.sample_gamma_scratch(program, scratch, rng)
-                    },
-                );
-            let gof = chi_square_gof(&h, |g| laws.pmf(model, g).expect("named"), 5.0);
-            let pass = gof.consistent_at(0.001);
-            ok &= pass;
-            let _ = writeln!(
-                out,
-                "  p={p} s={s} {:<4}: chi-square {:.2} (dof {}), p-value {:.4} -> {}",
-                model.short_name(),
-                gof.statistic,
-                gof.dof,
-                gof.p_value,
-                verdict(pass)
+        let st = settler(model, s);
+        let gen = ProgramGenerator::new(M)
+            .with_store_probability(p)
+            .expect("valid p");
+        let h = Runner::new(Seed(seed.wrapping_add((pi * 10 + mi) as u64) ^ 0x6E))
+            .with_threads(inner)
+            .histogram_scratch(
+                trials / 2,
+                move || (blank_program(), SettleScratch::new()),
+                move |(program, scratch), rng| {
+                    gen.regenerate(program, rng);
+                    st.sample_gamma_scratch(program, scratch, rng)
+                },
             );
-        }
+        let gof = chi_square_gof(&h, |g| laws.pmf(model, g).expect("named"), 5.0);
+        (p, s, model, gof)
+    });
+    for (p, s, model, gof) in law_rows {
+        let pass = gof.consistent_at(0.001);
+        ok &= pass;
+        let _ = writeln!(
+            out,
+            "  p={p} s={s} {:<4}: chi-square {:.2} (dof {}), p-value {:.4} -> {}",
+            model.short_name(),
+            gof.statistic,
+            gof.dof,
+            gof.p_value,
+            verdict(pass)
+        );
     }
 
     // Generalised survival formula vs full end-to-end simulation with a
@@ -72,37 +86,51 @@ pub fn run(ctx: &Ctx) -> String {
         "\ngeneralised two-thread survival Pr[A] = 2(1-q)/(2-q) E[(1-q)^Gamma]:\n"
     );
     let mut table = Table::new(vec!["(p, s, q)", "model", "analytic", "simulated", "covered"]);
-    for (ci, (p, s, q)) in [(0.5f64, 0.5f64, 0.3f64), (0.3, 0.6, 0.7)].into_iter().enumerate() {
+    let surv_grid: Vec<(usize, f64, f64, f64, usize, MemoryModel)> =
+        [(0.5f64, 0.5f64, 0.3f64), (0.3, 0.6, 0.7)]
+            .into_iter()
+            .enumerate()
+            .flat_map(|(ci, (p, s, q))| {
+                MemoryModel::NAMED
+                    .into_iter()
+                    .enumerate()
+                    .map(move |(mi, model)| (ci, p, s, q, mi, model))
+            })
+            .collect();
+    let inner = ctx.threads.div_ceil(surv_grid.len()).max(1);
+    let surv_rows = sweep::sweep(surv_grid, ctx.threads, move |_, &(ci, p, s, q, mi, model)| {
         let laws = GeneralWindowLaws::new(Params::new(p, s, q).expect("valid params"));
-        for (mi, model) in MemoryModel::NAMED.into_iter().enumerate() {
-            let analytic_v = laws.two_thread_survival(model).expect("named");
-            let st = settler(model, s);
-            let gen = ProgramGenerator::new(M)
-                .with_store_probability(p)
-                .expect("valid p");
-            let proc = ShiftProcess::with_q(q).expect("valid q");
-            let est = Runner::new(Seed(ctx.seed.wrapping_add((ci * 10 + mi) as u64) ^ 0x6F))
-                .bernoulli_scratch(
-                    ctx.trials / 2,
-                    move || (blank_program(), SettleScratch::new(), [0u64; 2], ShiftScratch::new()),
-                    move |(program, scratch, windows, shift), rng| {
-                        gen.regenerate(program, rng);
-                        for w in windows.iter_mut() {
-                            *w = st.sample_gamma_scratch(program, scratch, rng) + 2;
-                        }
-                        proc.simulate_disjoint_into(&windows[..], shift, rng)
-                    },
-                );
-            let covered = est.covers(analytic_v, 0.999);
-            ok &= covered;
-            table.row(vec![
-                format!("({p}, {s}, {q})"),
-                model.short_name().into(),
-                format!("{analytic_v:.6}"),
-                format!("{:.6}", est.point()),
-                covered.to_string(),
-            ]);
-        }
+        let analytic_v = laws.two_thread_survival(model).expect("named");
+        let st = settler(model, s);
+        let gen = ProgramGenerator::new(M)
+            .with_store_probability(p)
+            .expect("valid p");
+        let proc = ShiftProcess::with_q(q).expect("valid q");
+        let est = Runner::new(Seed(seed.wrapping_add((ci * 10 + mi) as u64) ^ 0x6F))
+            .with_threads(inner)
+            .bernoulli_scratch(
+                trials / 2,
+                move || (blank_program(), SettleScratch::new(), [0u64; 2], ShiftScratch::new()),
+                move |(program, scratch, windows, shift), rng| {
+                    gen.regenerate(program, rng);
+                    for w in windows.iter_mut() {
+                        *w = st.sample_gamma_scratch(program, scratch, rng) + 2;
+                    }
+                    proc.simulate_disjoint_into(&windows[..], shift, rng)
+                },
+            );
+        (p, s, q, model, analytic_v, est)
+    });
+    for (p, s, q, model, analytic_v, est) in surv_rows {
+        let covered = est.covers(analytic_v, 0.999);
+        ok &= covered;
+        table.row(vec![
+            format!("({p}, {s}, {q})"),
+            model.short_name().into(),
+            format!("{analytic_v:.6}"),
+            format!("{:.6}", est.point()),
+            covered.to_string(),
+        ]);
     }
     out.push_str(&table.render());
 
@@ -129,17 +157,19 @@ pub fn run(ctx: &Ctx) -> String {
     let sim = |model: MemoryModel, salt: u64| {
         let st = settler(model, 0.8);
         let gen = ProgramGenerator::new(M);
-        Runner::new(Seed(ctx.seed ^ salt)).bernoulli_scratch(
-            ctx.trials,
-            move || (blank_program(), SettleScratch::new(), [0u64; 2], ShiftScratch::new()),
-            move |(program, scratch, windows, shift), rng| {
-                gen.regenerate(program, rng);
-                for w in windows.iter_mut() {
-                    *w = st.sample_gamma_scratch(program, scratch, rng) + 2;
-                }
-                ShiftProcess::canonical().simulate_disjoint_into(&windows[..], shift, rng)
-            },
-        )
+        Runner::new(Seed(ctx.seed ^ salt))
+            .with_threads(ctx.threads)
+            .bernoulli_scratch(
+                ctx.trials,
+                move || (blank_program(), SettleScratch::new(), [0u64; 2], ShiftScratch::new()),
+                move |(program, scratch, windows, shift), rng| {
+                    gen.regenerate(program, rng);
+                    for w in windows.iter_mut() {
+                        *w = st.sample_gamma_scratch(program, scratch, rng) + 2;
+                    }
+                    ShiftProcess::canonical().simulate_disjoint_into(&windows[..], shift, rng)
+                },
+            )
     };
     let wo_sim = sim(MemoryModel::Wo, 0x701);
     let tso_sim = sim(MemoryModel::Tso, 0x702);

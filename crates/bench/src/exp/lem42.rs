@@ -16,7 +16,7 @@ pub fn run(ctx: &Ctx) -> String {
     let mut out = String::new();
     let settler = Settler::for_model(MemoryModel::Tso);
     let gen = ProgramGenerator::new(64);
-    let h = Runner::new(Seed(ctx.seed ^ 0x42)).histogram(ctx.trials, move |rng| {
+    let h = Runner::new(Seed(ctx.seed ^ 0x42)).with_threads(ctx.threads).histogram(ctx.trials, move |rng| {
         let program = gen.generate(rng);
         events::observe_l_mu(&settler, &program, rng)
     });

@@ -11,9 +11,11 @@ const FILLER: usize = 8;
 
 fn bug_rate(ctx: &Ctx, model: MemoryModel, n: usize, salt: u64) -> BernoulliEstimate {
     let params = SimParams::for_model(model);
-    Runner::new(Seed(ctx.seed.wrapping_add(salt))).bernoulli(ctx.trials / 4, move |rng| {
-        run_increment_trial(n, FILLER, params, rng)
-    })
+    Runner::new(Seed(ctx.seed.wrapping_add(salt)))
+        .with_threads(ctx.threads)
+        .bernoulli(ctx.trials / 4, move |rng| {
+            run_increment_trial(n, FILLER, params, rng)
+        })
 }
 
 /// Runs the canonical increment on the operational machine (store buffers,

@@ -38,7 +38,7 @@ pub fn run(ctx: &Ctx) -> String {
 
     // End-to-end simulation agreement.
     let rm = ReliabilityModel::new(MemoryModel::Pso, 2);
-    let est = rm.simulate_survival(ctx.trials, ctx.seed ^ 0x50);
+    let est = rm.simulate_survival_with(ctx.trials, ctx.seed ^ 0x50, ctx.threads);
     let covered = est.covers(pso, 0.999);
     let _ = writeln!(out, "end-to-end simulation: {est} -> {}", verdict(covered));
 

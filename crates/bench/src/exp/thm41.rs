@@ -13,8 +13,8 @@ const M: usize = 64;
 
 /// Seeded window histogram through the allocation-free settle kernel;
 /// draw-for-draw identical to the old `generate` + `sample_gamma` route.
-fn gamma_histogram(settler: Settler, m: usize, trials: u64, seed: u64) -> Histogram {
-    Runner::new(Seed(seed)).histogram_scratch(
+fn gamma_histogram(settler: Settler, m: usize, trials: u64, seed: u64, threads: usize) -> Histogram {
+    Runner::new(Seed(seed)).with_threads(threads).histogram_scratch(
         trials,
         move || {
             let program =
@@ -40,7 +40,7 @@ pub fn run(ctx: &Ctx) -> String {
     ]);
     for (mi, model) in MemoryModel::NAMED.into_iter().enumerate() {
         let settler = Settler::for_model(model);
-        let h = gamma_histogram(settler, M, ctx.trials, ctx.seed.wrapping_add(mi as u64));
+        let h = gamma_histogram(settler, M, ctx.trials, ctx.seed.wrapping_add(mi as u64), ctx.threads);
         for gamma in 0..=4u64 {
             let paper = laws.pmf(model, gamma).expect("named model");
             let measured = h.pmf(gamma);
@@ -96,7 +96,7 @@ pub fn run(ctx: &Ctx) -> String {
     let exact_tail: f64 = (5..200).map(window_law::wo_pmf).sum();
     for m in [8usize, 16, 32, 64] {
         let settler = Settler::for_model(MemoryModel::Wo);
-        let h = gamma_histogram(settler, m, ctx.trials / 4, ctx.seed ^ 0xAB);
+        let h = gamma_histogram(settler, m, ctx.trials / 4, ctx.seed ^ 0xAB, ctx.threads);
         let _ = writeln!(
             out,
             "  m={m:<3} tail {:.6} (exact m->inf: {exact_tail:.6})",

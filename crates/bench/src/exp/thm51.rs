@@ -30,7 +30,9 @@ pub fn run(ctx: &Ctx) -> String {
         let rational = exact::pr_disjoint_exact(lengths).to_f64();
         let agree = (perm - dp).abs() < 1e-10 && (dp - rational).abs() < 1e-10;
         let proc = ShiftProcess::canonical();
-        let est = Runner::new(Seed(ctx.seed.wrapping_add(i as u64))).bernoulli_scratch(
+        let est = Runner::new(Seed(ctx.seed.wrapping_add(i as u64)))
+            .with_threads(ctx.threads)
+            .bernoulli_scratch(
             ctx.trials,
             move || ShiftScratch::with_capacity(lengths.len()),
             move |scratch, rng| proc.simulate_disjoint_into(lengths, scratch, rng),

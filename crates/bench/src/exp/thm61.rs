@@ -19,7 +19,9 @@ pub fn run(ctx: &Ctx) -> String {
         for n in [2usize, 3, 4] {
             let rm = ReliabilityModel::new(model, n);
             // Mean of exact conditional probabilities.
-            let exact_mean = Runner::new(Seed(ctx.seed ^ (n as u64) << 3)).mean_scratch(
+            let exact_mean = Runner::new(Seed(ctx.seed ^ (n as u64) << 3))
+                .with_threads(ctx.threads)
+                .mean_scratch(
                 ctx.trials / 2,
                 move || rm.scratch(),
                 move |scratch, rng| {
@@ -28,7 +30,7 @@ pub fn run(ctx: &Ctx) -> String {
                 },
             );
             // Exchangeable estimator from the same distribution.
-            let est = rm.estimate_survival_rb(ctx.trials / 2, ctx.seed ^ 0x61);
+            let est = rm.estimate_survival_rb_with(ctx.trials / 2, ctx.seed ^ 0x61, ctx.threads);
             let rel = (est.survival() - exact_mean.mean()).abs() / exact_mean.mean();
             let pass = rel < 0.08;
             ok &= pass;
@@ -46,7 +48,7 @@ pub fn run(ctx: &Ctx) -> String {
     // Position-invariance: the single-term factor must be exchangeable —
     // permuting a window vector changes the factor but not its expectation.
     let rm = ReliabilityModel::new(MemoryModel::Tso, 3);
-    let forward = Runner::new(Seed(ctx.seed ^ 0x611)).mean_scratch(
+    let forward = Runner::new(Seed(ctx.seed ^ 0x611)).with_threads(ctx.threads).mean_scratch(
         ctx.trials / 2,
         move || rm.scratch(),
         move |scratch, rng| {
@@ -54,7 +56,7 @@ pub fn run(ctx: &Ctx) -> String {
             exchangeable::sample_factor(w, 2)
         },
     );
-    let reversed = Runner::new(Seed(ctx.seed ^ 0x612)).mean_scratch(
+    let reversed = Runner::new(Seed(ctx.seed ^ 0x612)).with_threads(ctx.threads).mean_scratch(
         ctx.trials / 2,
         move || (rm.scratch(), Vec::new()),
         move |(scratch, buf), rng| {

@@ -47,7 +47,7 @@ pub fn run(ctx: &Ctx) -> String {
     );
 
     // End-to-end simulation of every named model.
-    let cmp = ModelComparison::run(2, ctx.trials, ctx.seed ^ 0x62);
+    let cmp = ModelComparison::run_with(2, ctx.trials, ctx.seed ^ 0x62, ctx.threads);
     out.push_str(&cmp.to_string());
 
     let mut ok = cmp.rows().iter().all(|r| r.consistent(0.999));

@@ -4,7 +4,7 @@ use crate::{verdict, Ctx};
 use analytic::thm63;
 use analytic::window_law::WindowLaws;
 use memmodel::MemoryModel;
-use mmr_core::scaling_curve;
+use mmr_core::scaling_curve_with;
 use std::fmt::Write as _;
 use textplot::{Chart, Table};
 
@@ -27,7 +27,8 @@ pub fn run(ctx: &Ctx) -> String {
     // Route 1: sampled RB on the shared-program model.
     let ns_rb = [2usize, 3, 4, 6, 8, 12, 16];
     let trials = (ctx.trials / 2).max(2_000);
-    let points = scaling_curve(&MemoryModel::NAMED, &ns_rb, trials, ctx.seed ^ 0x63);
+    let points =
+        scaling_curve_with(&MemoryModel::NAMED, &ns_rb, trials, ctx.seed ^ 0x63, ctx.threads);
     let mut table = Table::new(vec!["n", "SC", "TSO", "PSO", "WO", "SC exact", "sandwich"]);
     for &n in &ns_rb {
         let get = |model| {

@@ -11,6 +11,7 @@
 
 pub mod exp;
 pub mod perf;
+pub mod sweep;
 
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
@@ -73,6 +74,19 @@ pub struct Ctx {
     pub trials: u64,
     /// Master seed for all randomness.
     pub seed: u64,
+    /// Worker threads for runners and grid sweeps. Affects wall-clock
+    /// only: every seeded result is identical for any value (the
+    /// montecarlo chunk tiling and the [`sweep`] layer key all streams on
+    /// logical indices, never on workers).
+    pub threads: usize,
+}
+
+/// The machine's available parallelism (1 when it cannot be queried).
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 impl Ctx {
@@ -82,6 +96,7 @@ impl Ctx {
         Ctx {
             trials: 200_000,
             seed: 20110606, // PODC'11, June 6 2011
+            threads: default_threads(),
         }
     }
 
@@ -91,7 +106,15 @@ impl Ctx {
         Ctx {
             trials: 10_000,
             seed: 20110606,
+            threads: default_threads(),
         }
+    }
+
+    /// Replaces the worker-thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Ctx {
+        self.threads = threads.max(1);
+        self
     }
 }
 

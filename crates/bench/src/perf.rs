@@ -1,12 +1,17 @@
 //! Throughput measurement of the trial kernels — the benchmark trajectory
 //! behind `BENCH_e2e.json` (`experiments bench`).
 //!
-//! Every pipeline is a single-threaded closed loop over one kernel, timed
+//! Most pipelines are single-threaded closed loops over one kernel, timed
 //! wall-clock, so the numbers isolate per-trial cost from runner scheduling.
 //! The `joined_legacy` pipelines rebuild the pre-scratch allocating route
 //! (fresh program per trial, `settle()` with its `Program` clone and
 //! `Permutation` build, allocating disjointness check) so the scratch
 //! kernels' improvement is measured in the same binary on the same machine.
+//! The `joined_mt` pipelines run the same end-to-end trial through the
+//! pool-dispatched runner at the report's `threads` setting, measuring what
+//! the chunk-claiming executor adds on top of the raw kernel — the
+//! multi-thread scaling number is only meaningful when `host_cores` is at
+//! least the thread count.
 
 use memmodel::MemoryModel;
 use mmr_core::ReliabilityModel;
@@ -78,7 +83,7 @@ const SHIFT_LENGTHS: [u64; 4] = [4, 3, 2, 5];
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct PipelineResult {
     /// Pipeline id: `settle`, `shift`, `geom`, `geom_fast`, `joined`,
-    /// `joined_legacy`.
+    /// `joined_legacy`, `joined_mt`.
     pub name: String,
     /// Memory model short name, or `-` for model-independent kernels.
     pub model: String,
@@ -107,6 +112,14 @@ pub struct BenchReport {
     pub trials: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads used by the `joined_mt` pipelines.
+    pub threads: usize,
+    /// The runner's fixed chunk width (trials per pool task).
+    pub chunk_width: u64,
+    /// Logical cores of the machine that produced this report — the context
+    /// needed to read the `joined_mt` numbers (no speedup can materialise
+    /// when `threads > host_cores`).
+    pub host_cores: usize,
     /// All measured pipelines.
     pub pipelines: Vec<PipelineResult>,
     /// Joined-pipeline speedups, one per memory model.
@@ -150,9 +163,41 @@ fn measure<F: FnMut() -> u64>(
     }
 }
 
-/// Runs every pipeline at the given size and seed.
+/// One whole-batch pipeline: `batch()` runs all `trials` in one shot (e.g.
+/// through the pool-dispatched runner) and returns its checksum. Timed the
+/// same way as [`measure`], with the same cross-rep determinism assertion.
+fn measure_batch(
+    name: &str,
+    model: &str,
+    trials: u64,
+    mut batch: impl FnMut() -> u64,
+) -> PipelineResult {
+    let mut best = f64::INFINITY;
+    let mut checksum = 0u64;
+    for rep in 0..REPS {
+        let start = Instant::now();
+        let sum = black_box(batch());
+        let secs = start.elapsed().as_secs_f64();
+        best = best.min(secs);
+        if rep == 0 {
+            checksum = sum;
+        } else {
+            assert_eq!(checksum, sum, "{name}/{model}: nondeterministic pipeline");
+        }
+    }
+    PipelineResult {
+        name: name.to_owned(),
+        model: model.to_owned(),
+        trials,
+        trials_per_sec: trials as f64 / best.max(1e-9),
+        checksum,
+    }
+}
+
+/// Runs every pipeline at the given size and seed, with `threads` worker
+/// threads for the pool-dispatched `joined_mt` pipelines.
 #[must_use]
-pub fn run(trials: u64, seed: u64) -> BenchReport {
+pub fn run(trials: u64, seed: u64, threads: usize) -> BenchReport {
     let mut pipelines = Vec::new();
 
     // Raw geometric samplers: the flip loop vs the trailing_zeros trick.
@@ -219,11 +264,31 @@ pub fn run(trials: u64, seed: u64) -> BenchReport {
         });
         pipelines.push(joined);
         pipelines.push(legacy_run);
+
+        // The same end-to-end trial dispatched through the persistent pool
+        // (fixed-width chunks, counter-derived streams). Its checksum is the
+        // success count — a different RNG layout than the serial loops, but
+        // identical at every thread count and on every rep.
+        pipelines.push(measure_batch("joined_mt", short, trials, || {
+            montecarlo::Runner::new(montecarlo::Seed(seed))
+                .with_threads(threads)
+                .bernoulli_scratch(
+                    trials,
+                    move || rm.scratch(),
+                    move |scratch, rng| rm.simulate_survival_once_scratch(scratch, rng),
+                )
+                .successes()
+        }));
     }
 
     BenchReport {
         trials,
         seed,
+        threads,
+        chunk_width: montecarlo::CHUNK_WIDTH,
+        host_cores: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
         pipelines,
         joined_speedup_vs_legacy: speedups,
     }
@@ -235,6 +300,11 @@ impl BenchReport {
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "threads {} | chunk width {} | host cores {}",
+            self.threads, self.chunk_width, self.host_cores
+        );
         for p in &self.pipelines {
             let _ = writeln!(
                 out,
@@ -255,21 +325,25 @@ mod tests {
 
     #[test]
     fn report_is_complete_and_serializable() {
-        let report = run(2_000, 9);
-        // 3 model-independent + 3 per named model.
-        assert_eq!(report.pipelines.len(), 3 + 3 * MemoryModel::NAMED.len());
+        let report = run(2_000, 9, 2);
+        // 3 model-independent + 4 per named model.
+        assert_eq!(report.pipelines.len(), 3 + 4 * MemoryModel::NAMED.len());
         assert_eq!(report.joined_speedup_vs_legacy.len(), MemoryModel::NAMED.len());
         assert!(report.pipelines.iter().all(|p| p.trials_per_sec > 0.0));
+        assert_eq!(report.threads, 2);
+        assert_eq!(report.chunk_width, montecarlo::CHUNK_WIDTH);
+        assert!(report.host_cores >= 1);
         let json = serde_json::to_string(&report).unwrap();
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
         assert!(report.summary().contains("joined speedup"));
+        assert!(report.summary().contains("chunk width"));
     }
 
     #[test]
     fn joined_and_legacy_checksums_agree() {
         // run() asserts this internally; keep an explicit regression too.
-        let report = run(1_000, 4);
+        let report = run(1_000, 4, 1);
         for model in MemoryModel::NAMED {
             let at = |name: &str| {
                 report
@@ -280,6 +354,24 @@ mod tests {
                     .checksum
             };
             assert_eq!(at("joined"), at("joined_legacy"), "{model}");
+        }
+    }
+
+    #[test]
+    fn joined_mt_checksum_is_thread_count_invariant() {
+        // The pool-dispatched pipeline derives every chunk's RNG from the
+        // chunk index, so its outcome fold is identical at any threads.
+        let a = run(1_000, 4, 1);
+        let b = run(1_000, 4, 4);
+        let mt = |r: &BenchReport, model: MemoryModel| {
+            r.pipelines
+                .iter()
+                .find(|p| p.name == "joined_mt" && p.model == model.short_name())
+                .expect("pipeline present")
+                .checksum
+        };
+        for model in MemoryModel::NAMED {
+            assert_eq!(mt(&a, model), mt(&b, model), "{model}");
         }
     }
 }

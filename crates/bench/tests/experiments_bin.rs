@@ -42,6 +42,45 @@ fn rejects_malformed_trials_and_seed() {
 }
 
 #[test]
+fn rejects_bad_threads() {
+    let out = experiments(&["--threads", "0", "t1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads must be at least 1"));
+
+    let out = experiments(&["--threads", "lots", "t1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads takes a positive integer"));
+
+    let out = experiments(&["--threads"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--threads needs a value"));
+}
+
+#[test]
+fn results_are_identical_across_thread_counts() {
+    // The executor's determinism contract, observed end to end through the
+    // binary: a seeded run's structured output is byte-identical whether
+    // the grid runs on one worker or four.
+    let dir = temp_dir("threads");
+    let json1 = dir.join("t1.json");
+    let json4 = dir.join("t4.json");
+    let base = ["--quick", "--seed", "7", "t1", "lem42"];
+    let out = experiments(
+        &[&base[..], &["--threads", "1", "--json", json1.to_str().unwrap()]].concat(),
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = experiments(
+        &[&base[..], &["--threads", "4", "--json", json4.to_str().unwrap()]].concat(),
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        std::fs::read_to_string(&json1).unwrap(),
+        std::fs::read_to_string(&json4).unwrap()
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn rejects_unknown_flag_and_unknown_experiment() {
     let out = experiments(&["--frobnicate"]);
     assert_eq!(out.status.code(), Some(2));

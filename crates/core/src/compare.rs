@@ -53,24 +53,40 @@ pub struct ModelComparison {
 
 impl ModelComparison {
     /// Runs the comparison: every named model, `trials` end-to-end
-    /// simulations each (deterministic in `seed`).
+    /// simulations each (deterministic in `seed`), using the machine's
+    /// available parallelism.
     #[must_use]
     pub fn run(n: usize, trials: u64, seed: u64) -> ModelComparison {
-        let rows = MemoryModel::NAMED
-            .iter()
-            .enumerate()
-            .map(|(i, &model)| {
-                let rm = ReliabilityModel::new(model, n);
-                let bounds = rm
-                    .log2_survival_bounds()
-                    .map(|(lo, hi)| (2f64.powf(lo), 2f64.powf(hi)));
-                ModelRow {
-                    model,
-                    bounds,
-                    estimate: rm.simulate_survival(trials, seed.wrapping_add(i as u64)),
-                }
-            })
-            .collect();
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::run_with(n, trials, seed, workers)
+    }
+
+    /// [`run`](ModelComparison::run) with an explicit worker budget: the
+    /// four model rows are scattered concurrently through the shared
+    /// montecarlo pool, and each row's runner gets a slice of the budget.
+    ///
+    /// Every row keeps its serial sub-seed (`seed + row_index`) and rows
+    /// are assembled in [`MemoryModel::NAMED`] order, so the comparison is
+    /// bit-for-bit identical for any `workers` — including the old fully
+    /// serial route.
+    #[must_use]
+    pub fn run_with(n: usize, trials: u64, seed: u64, workers: usize) -> ModelComparison {
+        let models = MemoryModel::NAMED;
+        let inner = workers.div_ceil(models.len()).max(1);
+        let rows = montecarlo::pool::scatter(models.len(), workers.max(1), move |i| {
+            let model = models[i];
+            let rm = ReliabilityModel::new(model, n);
+            let bounds = rm
+                .log2_survival_bounds()
+                .map(|(lo, hi)| (2f64.powf(lo), 2f64.powf(hi)));
+            ModelRow {
+                model,
+                bounds,
+                estimate: rm.simulate_survival_with(trials, seed.wrapping_add(i as u64), inner),
+            }
+        });
         ModelComparison { n, rows }
     }
 
@@ -166,5 +182,15 @@ mod tests {
         let a = ModelComparison::run(2, 5_000, 45);
         let b = ModelComparison::run(2, 5_000, 45);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rows_are_worker_count_invariant() {
+        // The scattered rows and their nested runners keep serial seeds,
+        // so any worker budget reproduces the same comparison exactly.
+        let base = ModelComparison::run_with(2, 5_000, 46, 1);
+        for workers in [2usize, 3, 8] {
+            assert_eq!(ModelComparison::run_with(2, 5_000, 46, workers), base);
+        }
     }
 }

@@ -42,5 +42,5 @@ mod survival;
 
 pub use compare::{ModelComparison, ModelRow};
 pub use model::{ReliabilityModel, TrialScratch, DEFAULT_M};
-pub use scaling::{scaling_curve, ScalingPoint};
+pub use scaling::{scaling_curve, scaling_curve_with, ScalingPoint};
 pub use survival::RbSurvival;

@@ -201,22 +201,51 @@ impl ReliabilityModel {
         ShiftProcess::canonical().simulate_disjoint_into(&scratch.windows, &mut scratch.shift, rng)
     }
 
-    /// Direct Monte-Carlo estimate of `Pr[A]` over `trials` runs.
+    /// Direct Monte-Carlo estimate of `Pr[A]` over `trials` runs, using
+    /// the machine's available parallelism. The estimate is bit-for-bit
+    /// identical for any worker count (see
+    /// [`simulate_survival_with`](ReliabilityModel::simulate_survival_with)).
     #[must_use]
     pub fn simulate_survival(&self, trials: u64, seed: u64) -> BernoulliEstimate {
+        self.survival_runner(Runner::new(Seed(seed)), trials)
+    }
+
+    /// [`simulate_survival`](ReliabilityModel::simulate_survival) with an
+    /// explicit runner worker count. `workers` trades wall-clock for cores
+    /// only — the runner's fixed-width chunk tiling makes the estimate
+    /// independent of it.
+    #[must_use]
+    pub fn simulate_survival_with(&self, trials: u64, seed: u64, workers: usize) -> BernoulliEstimate {
+        self.survival_runner(Runner::new(Seed(seed)).with_threads(workers), trials)
+    }
+
+    fn survival_runner(&self, runner: Runner, trials: u64) -> BernoulliEstimate {
         let this = *self;
-        Runner::new(Seed(seed)).bernoulli_scratch(
+        runner.bernoulli_scratch(
             trials,
             move || this.scratch(),
             move |scratch, rng| this.simulate_survival_once_scratch(scratch, rng),
         )
     }
 
-    /// Empirical distribution of the per-thread window growth `γ = Γ − 2`.
+    /// Empirical distribution of the per-thread window growth `γ = Γ − 2`,
+    /// using the machine's available parallelism.
     #[must_use]
     pub fn window_histogram(&self, trials: u64, seed: u64) -> Histogram {
+        self.histogram_runner(Runner::new(Seed(seed)), trials)
+    }
+
+    /// [`window_histogram`](ReliabilityModel::window_histogram) with an
+    /// explicit runner worker count (speed only; the histogram is identical
+    /// for any `workers`).
+    #[must_use]
+    pub fn window_histogram_with(&self, trials: u64, seed: u64, workers: usize) -> Histogram {
+        self.histogram_runner(Runner::new(Seed(seed)).with_threads(workers), trials)
+    }
+
+    fn histogram_runner(&self, runner: Runner, trials: u64) -> Histogram {
         let this = *self;
-        Runner::new(Seed(seed)).histogram_scratch(
+        runner.histogram_scratch(
             trials,
             move || this.scratch(),
             move |scratch, rng| {

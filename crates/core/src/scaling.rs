@@ -22,7 +22,7 @@ pub struct ScalingPoint {
 /// vanishes.
 ///
 /// Uses the Rao-Blackwellised estimator throughout (direct simulation is
-/// hopeless beyond `n ≈ 3`).
+/// hopeless beyond `n ≈ 3`), with the machine's available parallelism.
 #[must_use]
 pub fn scaling_curve(
     models: &[MemoryModel],
@@ -30,23 +30,46 @@ pub fn scaling_curve(
     trials: u64,
     seed: u64,
 ) -> Vec<ScalingPoint> {
-    let mut points = Vec::with_capacity(models.len() * ns.len());
-    for (mi, &model) in models.iter().enumerate() {
-        for (ni, &n) in ns.iter().enumerate() {
-            let rm = ReliabilityModel::new(model, n);
-            let est = rm.estimate_survival_rb(
-                trials,
-                seed.wrapping_add((mi * 1009 + ni) as u64),
-            );
-            points.push(ScalingPoint {
-                model,
-                n,
-                log2_survival: est.log2_survival,
-                normalized_exponent: est.normalized_exponent(n),
-            });
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    scaling_curve_with(models, ns, trials, seed, workers)
+}
+
+/// [`scaling_curve`] with an explicit worker budget: the `models × ns`
+/// grid points run concurrently through the shared montecarlo pool, each
+/// with its serial sub-seed (`seed + mi·1009 + ni`), and the curve is
+/// assembled in row-major grid order — so the result is bit-for-bit
+/// identical for any `workers`, including the old fully serial route.
+#[must_use]
+pub fn scaling_curve_with(
+    models: &[MemoryModel],
+    ns: &[usize],
+    trials: u64,
+    seed: u64,
+    workers: usize,
+) -> Vec<ScalingPoint> {
+    let grid: Vec<(usize, MemoryModel, usize, usize)> = models
+        .iter()
+        .enumerate()
+        .flat_map(|(mi, &model)| ns.iter().enumerate().map(move |(ni, &n)| (mi, model, ni, n)))
+        .collect();
+    let inner = workers.div_ceil(grid.len().max(1)).max(1);
+    montecarlo::pool::scatter(grid.len(), workers.max(1), move |i| {
+        let (mi, model, ni, n) = grid[i];
+        let rm = ReliabilityModel::new(model, n);
+        let est = rm.estimate_survival_rb_with(
+            trials,
+            seed.wrapping_add((mi * 1009 + ni) as u64),
+            inner,
+        );
+        ScalingPoint {
+            model,
+            n,
+            log2_survival: est.log2_survival,
+            normalized_exponent: est.normalized_exponent(n),
         }
-    }
-    points
+    })
 }
 
 #[cfg(test)]
@@ -59,6 +82,19 @@ mod tests {
     fn curve_has_a_point_per_model_per_n() {
         let pts = scaling_curve(&MemoryModel::NAMED, &[2, 4], 500, 1);
         assert_eq!(pts.len(), 8);
+    }
+
+    #[test]
+    fn curve_is_worker_count_invariant() {
+        // Grid points keep their serial sub-seeds and row-major order, so
+        // the curve is bit-for-bit identical for any worker budget.
+        let base = scaling_curve_with(&MemoryModel::NAMED, &[2, 4, 6], 2_000, 9, 1);
+        for workers in [2usize, 4, 8] {
+            assert_eq!(
+                scaling_curve_with(&MemoryModel::NAMED, &[2, 4, 6], 2_000, 9, workers),
+                base
+            );
+        }
     }
 
     #[test]

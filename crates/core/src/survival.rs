@@ -47,8 +47,24 @@ impl ReliabilityModel {
     /// strictly positive).
     #[must_use]
     pub fn estimate_survival_rb(&self, trials: u64, seed: u64) -> RbSurvival {
+        self.rb_runner(Runner::new(Seed(seed)), trials)
+    }
+
+    /// [`estimate_survival_rb`](ReliabilityModel::estimate_survival_rb)
+    /// with an explicit runner worker count. Speed only: the estimate is
+    /// bit-for-bit identical for any `workers`.
+    ///
+    /// # Panics
+    ///
+    /// As [`estimate_survival_rb`](ReliabilityModel::estimate_survival_rb).
+    #[must_use]
+    pub fn estimate_survival_rb_with(&self, trials: u64, seed: u64, workers: usize) -> RbSurvival {
+        self.rb_runner(Runner::new(Seed(seed)).with_threads(workers), trials)
+    }
+
+    fn rb_runner(&self, runner: Runner, trials: u64) -> RbSurvival {
         let this = *self;
-        let stats: Welford = Runner::new(Seed(seed)).mean_scratch(
+        let stats: Welford = runner.mean_scratch(
             trials,
             move || this.scratch(),
             move |scratch, rng| {

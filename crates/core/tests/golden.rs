@@ -1,11 +1,13 @@
 //! Golden-value regression tests for the seeded estimation pipelines.
 //!
-//! The constants below were captured from the pre-scratch (allocating)
-//! kernels at pinned seeds and a pinned runner thread count, so they pin two
-//! things at once: that the scratch kernels draw exactly the RNG sequence the
-//! original kernels drew, and that future changes cannot silently shift any
-//! seeded result. Thread count is pinned to 4 because the runner's chunking
-//! (and therefore its per-chunk RNG streams) depends on it.
+//! The constants below pin every seeded estimation result so future changes
+//! cannot silently shift it. They were captured under the runner's
+//! fixed-width chunk tiling (`montecarlo::CHUNK_WIDTH` trials per chunk,
+//! streams keyed on `(seed, chunk)`), which makes them independent of the
+//! thread count — `.with_threads(4)` below is arbitrary, any count gives
+//! bit-for-bit the same values. To regenerate after an *intentional* change
+//! to tiling or kernels, run
+//! `cargo run --release -p mmr-core --example capture_golden`.
 
 use memmodel::{MemoryModel, OpType};
 use mmr_core::ReliabilityModel;
@@ -18,20 +20,18 @@ use shiftproc::{exchangeable, ShiftProcess, ShiftScratch};
 
 #[test]
 fn survival_hits_are_unchanged_from_prescratch_kernels() {
-    // Captured via Runner::new(Seed(42)).with_threads(4)
-    //     .bernoulli(50_000, |rng| rm.simulate_survival_once(rng))
-    // on the allocating kernels.
+    // Captured via capture_golden under the fixed-width chunk tiling.
     let expected = [
-        (MemoryModel::Sc, 8_295u64),
-        (MemoryModel::Tso, 6_795),
-        (MemoryModel::Pso, 7_278),
-        (MemoryModel::Wo, 6_435),
+        (MemoryModel::Sc, 8_274u64),
+        (MemoryModel::Tso, 6_768),
+        (MemoryModel::Pso, 7_462),
+        (MemoryModel::Wo, 6_436),
     ];
     for (model, hits) in expected {
         let rm = ReliabilityModel::new(model, 2);
         let est = Runner::new(Seed(42)).with_threads(4).bernoulli_scratch(
             50_000,
-            || rm.scratch(),
+            move || rm.scratch(),
             move |scratch, rng| rm.simulate_survival_once_scratch(scratch, rng),
         );
         assert_eq!(est.trials(), 50_000);
@@ -41,11 +41,10 @@ fn survival_hits_are_unchanged_from_prescratch_kernels() {
 
 #[test]
 fn window_histograms_are_unchanged_from_prescratch_kernels() {
-    // Captured via Runner::new(Seed(7)).with_threads(4).histogram(20_000,
-    // |rng| settler.sample_gamma(&gen.generate(rng), rng)).
+    // Captured via capture_golden under the fixed-width chunk tiling.
     let expected = [
-        (MemoryModel::Tso, [13_223u64, 4_786, 1_474, 368, 111, 23]),
-        (MemoryModel::Wo, [13_415, 3_329, 1_643, 789, 419, 198]),
+        (MemoryModel::Tso, [13_253u64, 4_770, 1_460, 365, 104, 31]),
+        (MemoryModel::Wo, [13_387, 3_349, 1_668, 790, 424, 193]),
     ];
     for (model, counts) in expected {
         let rm = ReliabilityModel::new(model, 2);
@@ -77,21 +76,20 @@ fn window_histograms_are_unchanged_from_prescratch_kernels() {
 #[test]
 #[allow(clippy::excessive_precision)] // pinned digits are quoted verbatim from the capture run
 fn rb_factor_means_are_unchanged_from_prescratch_kernels() {
-    // Captured via Runner::new(Seed(11)).with_threads(4).mean(20_000,
-    // |rng| sample_factor(&rm.sample_windows(rng), 2)) at n = 6. Exact
-    // f64 equality: the fold order is deterministic for a pinned thread
-    // count, so any deviation means the stream or the arithmetic changed.
+    // Captured via capture_golden at n = 6. Exact f64 equality: fold and
+    // merge order are deterministic (chunk-index order, any thread count),
+    // so any deviation means the stream or the arithmetic changed.
     let expected = [
         (MemoryModel::Sc, 1.0f64),
-        (MemoryModel::Tso, 2.807_909_148_287_155_43e-1),
-        (MemoryModel::Pso, 4.630_681_443_624_492_52e-1),
-        (MemoryModel::Wo, 1.723_541_376_719_188_44e-1),
+        (MemoryModel::Tso, 2.807_626_072_107_834e-1),
+        (MemoryModel::Pso, 4.629_489_180_410_636_4e-1),
+        (MemoryModel::Wo, 1.691_750_341_782_433_7e-1),
     ];
     for (model, mean) in expected {
         let rm = ReliabilityModel::new(model, 6);
         let stats = Runner::new(Seed(11)).with_threads(4).mean_scratch(
             20_000,
-            || rm.scratch(),
+            move || rm.scratch(),
             move |scratch, rng| {
                 let windows = rm.sample_windows_scratch(scratch, rng);
                 exchangeable::sample_factor(windows, 2)

@@ -2,8 +2,12 @@
 //! and streaming statistics.
 //!
 //! Every simulation in this workspace is driven through this crate so that
-//! results are (a) reproducible from a single master seed and (b) cheap to
-//! parallelise. The statistical layer provides Wilson confidence intervals
+//! results are (a) reproducible from a single master seed — bit-for-bit
+//! identical for any worker-thread count, because trials are tiled into
+//! fixed-width chunks whose RNG streams depend only on `(seed, chunk)` —
+//! and (b) cheap to parallelise: work is dispatched through a persistent
+//! process-wide [`pool`] instead of spawning threads per run. The
+//! statistical layer provides Wilson confidence intervals
 //! for proportions, Welford accumulators for means, and a chi-square
 //! goodness-of-fit test (against the exact laws from the `analytic` crate).
 //!
@@ -28,6 +32,7 @@ mod error;
 #[cfg(any(test, feature = "fault-inject"))]
 pub mod fault;
 mod hist;
+pub mod pool;
 mod rng;
 mod runner;
 mod stats;
@@ -36,5 +41,5 @@ pub use chi2::{chi_square_gof, GofResult};
 pub use error::Error;
 pub use hist::Histogram;
 pub use rng::{task_rng, Seed};
-pub use runner::{RunReport, Runner};
+pub use runner::{RunReport, Runner, CHUNK_WIDTH};
 pub use stats::{BernoulliEstimate, Welford};

@@ -6,8 +6,13 @@ use rand::SeedableRng;
 /// A master seed for a whole experiment.
 ///
 /// Every parallel task derives its own independent stream from
-/// `(seed, task_index)` via a SplitMix64 scramble, so results are identical
-/// regardless of thread count or scheduling.
+/// `(seed, task_index)` via a SplitMix64 scramble. Task indices are logical
+/// (a [`Runner`](crate::Runner) chunk index, a sweep grid-point index) —
+/// never "which worker thread ran this" — so any consumer that keys its
+/// streams on logical indices and combines partial results in index order
+/// gets results that are bit-for-bit identical regardless of thread count
+/// or scheduling. The runner's fixed-width chunk tiling upholds exactly
+/// this contract (proven by the `determinism` integration test).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Seed(pub u64);
 

@@ -1,10 +1,11 @@
 //! Parallel trial runners.
 
-use crate::{BernoulliEstimate, Error, Histogram, Seed, Welford};
+use crate::{pool, BernoulliEstimate, Error, Histogram, Seed, Welford};
 use rand::rngs::SmallRng;
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Trials run between cancellation/deadline checks. Large enough that the
@@ -12,11 +13,28 @@ use std::time::{Duration, Instant};
 /// trials, small enough that deadline overshoot stays bounded.
 const BATCH: u64 = 256;
 
+/// Width of one deterministic chunk, in trials.
+///
+/// Trials are tiled into fixed-width chunks of this many trials (the last
+/// chunk may be shorter), and chunk `i` always covers trials
+/// `[i * CHUNK_WIDTH, (i + 1) * CHUNK_WIDTH)` with an RNG stream derived
+/// solely from `(seed, i)`. Because the tiling never depends on the worker
+/// count, every seeded result is bit-for-bit identical for any
+/// [`with_threads`](Runner::with_threads) setting. The width balances
+/// scheduling granularity (enough chunks to load-balance uneven trials)
+/// against per-chunk dispatch overhead.
+pub const CHUNK_WIDTH: u64 = 4096;
+
 /// A deterministic, parallel Monte-Carlo runner.
 ///
-/// Trials are split into per-thread chunks; each chunk derives its own RNG
-/// from the master [`Seed`] and the chunk index, so the aggregate result is
-/// identical for any run with the same thread count.
+/// Trials are tiled into fixed-width chunks of [`CHUNK_WIDTH`] trials; each
+/// chunk derives its own RNG stream from the master [`Seed`] and the chunk
+/// index alone, workers claim chunks dynamically from a shared cursor, and
+/// chunk accumulators are merged in chunk-index order. The aggregate result
+/// is therefore identical for **any** thread count and any scheduling —
+/// `threads` affects only speed, never results. Dispatch goes through a
+/// persistent process-wide worker pool ([`pool`]), so a run costs no thread
+/// spawns after warm-up.
 ///
 /// The runner is fault-tolerant: a panicking chunk is caught and retried
 /// from its chunk seed (bounded by [`with_max_chunk_retries`]
@@ -80,6 +98,14 @@ enum ChunkOutcome<A> {
     Failed { attempts: u32, payload: String },
 }
 
+/// Per-run shared control state, read by every chunk.
+struct Ctl {
+    start: Instant,
+    completed: AtomicU64,
+    cancel: AtomicBool,
+    retried: AtomicU64,
+}
+
 impl Runner {
     /// A runner with the given master seed, defaulting to the machine's
     /// available parallelism, no deadline, and 2 chunk retries.
@@ -98,6 +124,10 @@ impl Runner {
     }
 
     /// Overrides the worker-thread count (clamped to at least 1).
+    ///
+    /// Thread count affects only wall-clock speed: results are bit-for-bit
+    /// identical for any setting, because chunk tiling and per-chunk RNG
+    /// streams never depend on it.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Runner {
         self.threads = threads.max(1);
@@ -176,10 +206,12 @@ impl Runner {
     /// results with `merge`.
     ///
     /// This is the primitive every runner in this crate is built on.
-    /// Chunking is by trial index, so the RNG stream consumed by trial `i`
-    /// depends only on `(seed, chunk(i))` — deterministic across runs
-    /// requires chunk boundaries to be fixed, so they are: trials are
-    /// split into exactly `threads` contiguous chunks.
+    /// Trials are tiled into fixed-width chunks of [`CHUNK_WIDTH`]; the
+    /// RNG stream consumed by trial `i` depends only on
+    /// `(seed, i / CHUNK_WIDTH)`, workers claim chunks dynamically from an
+    /// atomic cursor, and chunk accumulators are merged in ascending chunk
+    /// index on the calling thread. Determinism therefore holds across
+    /// *any* thread count, not just across runs at the same count.
     ///
     /// `scratch_init` builds one scratch value per chunk attempt; `trial`
     /// receives it mutably alongside the chunk RNG. Scratch lets a hot
@@ -194,60 +226,59 @@ impl Runner {
     /// chunk seed up to [`max_chunk_retries`](Runner::max_chunk_retries)
     /// times before the whole run fails.
     ///
+    /// Closures cross into the persistent worker pool, so they must be
+    /// `Send + Sync + 'static` (capture owned or `Arc`-shared data, not
+    /// borrows); `merge` runs only on the calling thread and is exempt.
+    ///
     /// # Errors
     ///
     /// [`Error::WorkerPanicked`] when a chunk panics on every attempt;
     /// [`Error::MinTrialsExceedRequested`] when the configured floor can
     /// never be met.
-    pub fn try_fold_scratch<S, T, A: Send>(
+    pub fn try_fold_scratch<S, T, A>(
         &self,
         trials: u64,
-        scratch_init: impl Fn() -> S + Sync,
-        init: impl Fn() -> A + Sync,
-        trial: impl Fn(&mut S, &mut SmallRng) -> T + Sync,
-        fold: impl Fn(&mut A, T) + Sync,
+        scratch_init: impl Fn() -> S + Send + Sync + 'static,
+        init: impl Fn() -> A + Send + Sync + 'static,
+        trial: impl Fn(&mut S, &mut SmallRng) -> T + Send + Sync + 'static,
+        fold: impl Fn(&mut A, T) + Send + Sync + 'static,
         merge: impl Fn(&mut A, A),
-    ) -> Result<RunReport<A>, Error> {
+    ) -> Result<RunReport<A>, Error>
+    where
+        A: Send + 'static,
+    {
         if self.min_trials > trials {
             return Err(Error::MinTrialsExceedRequested {
                 min_trials: self.min_trials,
                 requested: trials,
             });
         }
-        let chunks = chunk_sizes(trials, self.threads as u64);
-        let completed = AtomicU64::new(0);
-        let cancel = AtomicBool::new(false);
-        let retried = AtomicU64::new(0);
-        let start = Instant::now();
-        let mut slots: Vec<Option<ChunkOutcome<A>>> =
-            (0..chunks.len()).map(|_| None).collect();
-
-        std::thread::scope(|scope| {
-            for (idx, (&count, slot)) in chunks.iter().zip(slots.iter_mut()).enumerate() {
-                let (scratch_init, init, trial, fold) = (&scratch_init, &init, &trial, &fold);
-                let (completed, cancel, retried) = (&completed, &cancel, &retried);
-                let runner = *self;
-                scope.spawn(move || {
-                    *slot = Some(runner.run_chunk(
-                        idx as u64,
-                        count,
-                        scratch_init,
-                        init,
-                        trial,
-                        fold,
-                        start,
-                        completed,
-                        cancel,
-                        retried,
-                    ));
-                });
+        let n_chunks =
+            usize::try_from(trials.div_ceil(CHUNK_WIDTH)).expect("chunk count fits in usize");
+        let ctl = Arc::new(Ctl {
+            start: Instant::now(),
+            completed: AtomicU64::new(0),
+            cancel: AtomicBool::new(false),
+            retried: AtomicU64::new(0),
+        });
+        // The base accumulator is taken before `init` moves into the job.
+        let mut value = init();
+        let runner = *self;
+        let job_ctl = Arc::clone(&ctl);
+        let outcomes = pool::scatter(n_chunks, self.threads, move |idx| {
+            let idx = idx as u64;
+            let count = CHUNK_WIDTH.min(trials - idx * CHUNK_WIDTH);
+            if job_ctl.cancel.load(Ordering::Relaxed) {
+                // Deadline already hit (or the run already failed):
+                // contribute an empty chunk instead of wasted work.
+                return ChunkOutcome::Done { acc: init(), ran: 0 };
             }
+            runner.run_chunk(idx, count, &scratch_init, &init, &trial, &fold, &job_ctl)
         });
 
-        let mut value = init();
         let mut trials_completed = 0u64;
-        for (idx, slot) in slots.into_iter().enumerate() {
-            match slot.expect("every worker reports an outcome") {
+        for (idx, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
                 ChunkOutcome::Done { acc, ran } => {
                     trials_completed += ran;
                     merge(&mut value, acc);
@@ -267,11 +298,11 @@ impl Runner {
             trials_requested: trials,
             trials_completed,
             truncated: trials_completed < trials,
-            retried_chunks: retried.load(Ordering::Relaxed),
+            retried_chunks: ctl.retried.load(Ordering::Relaxed),
         })
     }
 
-    /// One chunk's retry loop; runs on a worker thread.
+    /// One chunk's retry loop; runs on whichever thread claimed the chunk.
     ///
     /// Scratch lifetime: one scratch value per *attempt*, built before the
     /// first trial of the attempt and dropped with it — a retry never sees
@@ -281,14 +312,11 @@ impl Runner {
         &self,
         idx: u64,
         count: u64,
-        scratch_init: &(impl Fn() -> S + Sync),
-        init: &(impl Fn() -> A + Sync),
-        trial: &(impl Fn(&mut S, &mut SmallRng) -> T + Sync),
-        fold: &(impl Fn(&mut A, T) + Sync),
-        start: Instant,
-        completed: &AtomicU64,
-        cancel: &AtomicBool,
-        retried: &AtomicU64,
+        scratch_init: &impl Fn() -> S,
+        init: &impl Fn() -> A,
+        trial: &impl Fn(&mut S, &mut SmallRng) -> T,
+        fold: &impl Fn(&mut A, T),
+        ctl: &Ctl,
     ) -> ChunkOutcome<A> {
         let mut attempt = 0u32;
         loop {
@@ -302,7 +330,7 @@ impl Runner {
                 let mut acc = init();
                 let mut ran = 0u64;
                 while ran < count {
-                    if cancel.load(Ordering::Relaxed) {
+                    if ctl.cancel.load(Ordering::Relaxed) {
                         break;
                     }
                     let batch = BATCH.min(count - ran);
@@ -311,10 +339,10 @@ impl Runner {
                     }
                     ran += batch;
                     counted.set(counted.get() + batch);
-                    let total = completed.fetch_add(batch, Ordering::Relaxed) + batch;
+                    let total = ctl.completed.fetch_add(batch, Ordering::Relaxed) + batch;
                     if let Some(limit) = self.deadline {
-                        if total >= self.min_trials && start.elapsed() >= limit {
-                            cancel.store(true, Ordering::Relaxed);
+                        if total >= self.min_trials && ctl.start.elapsed() >= limit {
+                            ctl.cancel.store(true, Ordering::Relaxed);
                             break;
                         }
                     }
@@ -326,14 +354,17 @@ impl Runner {
                 Err(payload) => {
                     // Roll back this attempt's contribution so neither a
                     // retry nor the final report double-counts trials.
-                    completed.fetch_sub(counted.get(), Ordering::Relaxed);
+                    ctl.completed.fetch_sub(counted.get(), Ordering::Relaxed);
                     if attempt > self.max_chunk_retries {
+                        // Stop claiming fresh work for a run that is about
+                        // to fail; chunks already running finish normally.
+                        ctl.cancel.store(true, Ordering::Relaxed);
                         return ChunkOutcome::Failed {
                             attempts: attempt,
                             payload: payload_to_string(&*payload),
                         };
                     }
-                    retried.fetch_add(1, Ordering::Relaxed);
+                    ctl.retried.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -345,15 +376,18 @@ impl Runner {
     /// # Errors
     ///
     /// Propagates [`try_fold_scratch`](Runner::try_fold_scratch)'s errors.
-    pub fn try_fold<T, A: Send>(
+    pub fn try_fold<T, A>(
         &self,
         trials: u64,
-        init: impl Fn() -> A + Sync,
-        trial: impl Fn(&mut SmallRng) -> T + Sync,
-        fold: impl Fn(&mut A, T) + Sync,
+        init: impl Fn() -> A + Send + Sync + 'static,
+        trial: impl Fn(&mut SmallRng) -> T + Send + Sync + 'static,
+        fold: impl Fn(&mut A, T) + Send + Sync + 'static,
         merge: impl Fn(&mut A, A),
-    ) -> Result<RunReport<A>, Error> {
-        self.try_fold_scratch(trials, || (), init, |_, rng| trial(rng), fold, merge)
+    ) -> Result<RunReport<A>, Error>
+    where
+        A: Send + 'static,
+    {
+        self.try_fold_scratch(trials, || (), init, move |_, rng| trial(rng), fold, merge)
     }
 
     /// Estimates a probability from a scratch-carrying trial kernel.
@@ -364,8 +398,8 @@ impl Runner {
     pub fn try_bernoulli_scratch<S>(
         &self,
         trials: u64,
-        scratch_init: impl Fn() -> S + Sync,
-        trial: impl Fn(&mut S, &mut SmallRng) -> bool + Sync,
+        scratch_init: impl Fn() -> S + Send + Sync + 'static,
+        trial: impl Fn(&mut S, &mut SmallRng) -> bool + Send + Sync + 'static,
     ) -> Result<RunReport<BernoulliEstimate>, Error> {
         self.try_fold_scratch(
             trials,
@@ -385,8 +419,8 @@ impl Runner {
     pub fn try_mean_scratch<S>(
         &self,
         trials: u64,
-        scratch_init: impl Fn() -> S + Sync,
-        trial: impl Fn(&mut S, &mut SmallRng) -> f64 + Sync,
+        scratch_init: impl Fn() -> S + Send + Sync + 'static,
+        trial: impl Fn(&mut S, &mut SmallRng) -> f64 + Send + Sync + 'static,
     ) -> Result<RunReport<Welford>, Error> {
         self.try_fold_scratch(
             trials,
@@ -406,8 +440,8 @@ impl Runner {
     pub fn try_histogram_scratch<S>(
         &self,
         trials: u64,
-        scratch_init: impl Fn() -> S + Sync,
-        trial: impl Fn(&mut S, &mut SmallRng) -> u64 + Sync,
+        scratch_init: impl Fn() -> S + Send + Sync + 'static,
+        trial: impl Fn(&mut S, &mut SmallRng) -> u64 + Send + Sync + 'static,
     ) -> Result<RunReport<Histogram>, Error> {
         self.try_fold_scratch(
             trials,
@@ -429,7 +463,7 @@ impl Runner {
     pub fn try_bernoulli(
         &self,
         trials: u64,
-        trial: impl Fn(&mut SmallRng) -> bool + Sync,
+        trial: impl Fn(&mut SmallRng) -> bool + Send + Sync + 'static,
     ) -> Result<RunReport<BernoulliEstimate>, Error> {
         self.try_fold(
             trials,
@@ -448,7 +482,7 @@ impl Runner {
     pub fn try_mean(
         &self,
         trials: u64,
-        trial: impl Fn(&mut SmallRng) -> f64 + Sync,
+        trial: impl Fn(&mut SmallRng) -> f64 + Send + Sync + 'static,
     ) -> Result<RunReport<Welford>, Error> {
         self.try_fold(
             trials,
@@ -467,7 +501,7 @@ impl Runner {
     pub fn try_histogram(
         &self,
         trials: u64,
-        trial: impl Fn(&mut SmallRng) -> u64 + Sync,
+        trial: impl Fn(&mut SmallRng) -> u64 + Send + Sync + 'static,
     ) -> Result<RunReport<Histogram>, Error> {
         self.try_fold(
             trials,
@@ -480,14 +514,17 @@ impl Runner {
 
     /// Infallible [`try_fold`](Runner::try_fold): panics if a chunk fails
     /// every retry, matching the crate's original contract.
-    pub fn fold<T, A: Send>(
+    pub fn fold<T, A>(
         &self,
         trials: u64,
-        init: impl Fn() -> A + Sync,
-        trial: impl Fn(&mut SmallRng) -> T + Sync,
-        fold: impl Fn(&mut A, T) + Sync,
+        init: impl Fn() -> A + Send + Sync + 'static,
+        trial: impl Fn(&mut SmallRng) -> T + Send + Sync + 'static,
+        fold: impl Fn(&mut A, T) + Send + Sync + 'static,
         merge: impl Fn(&mut A, A),
-    ) -> A {
+    ) -> A
+    where
+        A: Send + 'static,
+    {
         match self.try_fold(trials, init, trial, fold, merge) {
             Ok(report) => report.value,
             Err(e) => panic!("monte-carlo worker panicked: {e}"),
@@ -496,15 +533,18 @@ impl Runner {
 
     /// Infallible [`try_fold_scratch`](Runner::try_fold_scratch): panics if
     /// a chunk fails every retry.
-    pub fn fold_scratch<S, T, A: Send>(
+    pub fn fold_scratch<S, T, A>(
         &self,
         trials: u64,
-        scratch_init: impl Fn() -> S + Sync,
-        init: impl Fn() -> A + Sync,
-        trial: impl Fn(&mut S, &mut SmallRng) -> T + Sync,
-        fold: impl Fn(&mut A, T) + Sync,
+        scratch_init: impl Fn() -> S + Send + Sync + 'static,
+        init: impl Fn() -> A + Send + Sync + 'static,
+        trial: impl Fn(&mut S, &mut SmallRng) -> T + Send + Sync + 'static,
+        fold: impl Fn(&mut A, T) + Send + Sync + 'static,
         merge: impl Fn(&mut A, A),
-    ) -> A {
+    ) -> A
+    where
+        A: Send + 'static,
+    {
         match self.try_fold_scratch(trials, scratch_init, init, trial, fold, merge) {
             Ok(report) => report.value,
             Err(e) => panic!("monte-carlo worker panicked: {e}"),
@@ -515,8 +555,8 @@ impl Runner {
     pub fn bernoulli_scratch<S>(
         &self,
         trials: u64,
-        scratch_init: impl Fn() -> S + Sync,
-        trial: impl Fn(&mut S, &mut SmallRng) -> bool + Sync,
+        scratch_init: impl Fn() -> S + Send + Sync + 'static,
+        trial: impl Fn(&mut S, &mut SmallRng) -> bool + Send + Sync + 'static,
     ) -> BernoulliEstimate {
         match self.try_bernoulli_scratch(trials, scratch_init, trial) {
             Ok(report) => report.value,
@@ -528,8 +568,8 @@ impl Runner {
     pub fn mean_scratch<S>(
         &self,
         trials: u64,
-        scratch_init: impl Fn() -> S + Sync,
-        trial: impl Fn(&mut S, &mut SmallRng) -> f64 + Sync,
+        scratch_init: impl Fn() -> S + Send + Sync + 'static,
+        trial: impl Fn(&mut S, &mut SmallRng) -> f64 + Send + Sync + 'static,
     ) -> Welford {
         match self.try_mean_scratch(trials, scratch_init, trial) {
             Ok(report) => report.value,
@@ -541,8 +581,8 @@ impl Runner {
     pub fn histogram_scratch<S>(
         &self,
         trials: u64,
-        scratch_init: impl Fn() -> S + Sync,
-        trial: impl Fn(&mut S, &mut SmallRng) -> u64 + Sync,
+        scratch_init: impl Fn() -> S + Send + Sync + 'static,
+        trial: impl Fn(&mut S, &mut SmallRng) -> u64 + Send + Sync + 'static,
     ) -> Histogram {
         match self.try_histogram_scratch(trials, scratch_init, trial) {
             Ok(report) => report.value,
@@ -554,7 +594,7 @@ impl Runner {
     pub fn bernoulli(
         &self,
         trials: u64,
-        trial: impl Fn(&mut SmallRng) -> bool + Sync,
+        trial: impl Fn(&mut SmallRng) -> bool + Send + Sync + 'static,
     ) -> BernoulliEstimate {
         match self.try_bernoulli(trials, trial) {
             Ok(report) => report.value,
@@ -563,7 +603,11 @@ impl Runner {
     }
 
     /// Estimates a mean: `trial` returns one observation.
-    pub fn mean(&self, trials: u64, trial: impl Fn(&mut SmallRng) -> f64 + Sync) -> Welford {
+    pub fn mean(
+        &self,
+        trials: u64,
+        trial: impl Fn(&mut SmallRng) -> f64 + Send + Sync + 'static,
+    ) -> Welford {
         match self.try_mean(trials, trial) {
             Ok(report) => report.value,
             Err(e) => panic!("monte-carlo worker panicked: {e}"),
@@ -574,7 +618,7 @@ impl Runner {
     pub fn histogram(
         &self,
         trials: u64,
-        trial: impl Fn(&mut SmallRng) -> u64 + Sync,
+        trial: impl Fn(&mut SmallRng) -> u64 + Send + Sync + 'static,
     ) -> Histogram {
         match self.try_histogram(trials, trial) {
             Ok(report) => report.value,
@@ -600,17 +644,6 @@ fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Splits `trials` into exactly `workers` contiguous chunk sizes (some may
-/// be zero when `trials < workers`).
-fn chunk_sizes(trials: u64, workers: u64) -> Vec<u64> {
-    let workers = workers.max(1);
-    let base = trials / workers;
-    let extra = trials % workers;
-    (0..workers)
-        .map(|i| base + u64::from(i < extra))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -618,26 +651,33 @@ mod tests {
     use rand::Rng;
 
     #[test]
-    fn chunks_cover_all_trials() {
-        for trials in [0u64, 1, 7, 100, 101] {
-            for workers in [1u64, 2, 3, 8] {
-                let c = chunk_sizes(trials, workers);
-                assert_eq!(c.len(), workers as usize);
-                assert_eq!(c.iter().sum::<u64>(), trials);
-            }
+    fn chunk_tiling_covers_all_trials() {
+        for trials in [
+            0u64,
+            1,
+            CHUNK_WIDTH - 1,
+            CHUNK_WIDTH,
+            CHUNK_WIDTH + 1,
+            3 * CHUNK_WIDTH + 17,
+        ] {
+            let n = trials.div_ceil(CHUNK_WIDTH);
+            let covered: u64 = (0..n).map(|i| CHUNK_WIDTH.min(trials - i * CHUNK_WIDTH)).sum();
+            assert_eq!(covered, trials);
         }
     }
 
     #[test]
-    fn deterministic_across_thread_counts_with_same_chunking() {
-        // Same thread count => identical results.
-        let a = Runner::new(Seed(5))
-            .with_threads(3)
-            .bernoulli(9_999, |rng| rng.gen_bool(0.3));
-        let b = Runner::new(Seed(5))
-            .with_threads(3)
-            .bernoulli(9_999, |rng| rng.gen_bool(0.3));
-        assert_eq!(a, b);
+    fn deterministic_across_thread_counts() {
+        // Multi-chunk workload: identical results for every thread count.
+        let run = |threads| {
+            Runner::new(Seed(5))
+                .with_threads(threads)
+                .bernoulli(3 * CHUNK_WIDTH + 999, |rng| rng.gen_bool(0.3))
+        };
+        let base = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), base);
+        }
     }
 
     #[test]
@@ -676,12 +716,31 @@ mod tests {
 
     #[test]
     fn single_thread_matches_fold_by_hand() {
+        // 1000 trials fit in chunk 0, so the manual stream is task_rng(seed, 0).
         let runner = Runner::new(Seed(10)).with_threads(1);
         let est = runner.bernoulli(1000, |rng| rng.gen_bool(0.5));
         let mut rng = crate::task_rng(Seed(10), 0);
         let mut manual = BernoulliEstimate::new();
         for _ in 0..1000 {
             manual.record(rng.gen_bool(0.5));
+        }
+        assert_eq!(est, manual);
+    }
+
+    #[test]
+    fn multi_chunk_run_matches_fold_by_hand() {
+        // The tiling contract made explicit: trial i draws from the stream
+        // task_rng(seed, i / CHUNK_WIDTH), regardless of thread count.
+        let trials = 2 * CHUNK_WIDTH + 100;
+        let est = Runner::new(Seed(33))
+            .with_threads(8)
+            .bernoulli(trials, |rng| rng.gen_bool(0.5));
+        let mut manual = BernoulliEstimate::new();
+        for chunk in 0..trials.div_ceil(CHUNK_WIDTH) {
+            let mut rng = crate::task_rng(Seed(33), chunk);
+            for _ in 0..CHUNK_WIDTH.min(trials - chunk * CHUNK_WIDTH) {
+                manual.record(rng.gen_bool(0.5));
+            }
         }
         assert_eq!(est, manual);
     }
@@ -704,10 +763,11 @@ mod tests {
         let runner = Runner::new(Seed(12)).with_threads(3);
         let clean = runner.try_bernoulli(9_000, |rng| rng.gen_bool(0.3)).unwrap();
 
-        let inj = FaultInjector::new(FaultMode::PanicOnce { trial: 4_321 });
+        let inj = Arc::new(FaultInjector::new(FaultMode::PanicOnce { trial: 4_321 }));
+        let seen = Arc::clone(&inj);
         let faulty = runner
-            .try_bernoulli(9_000, |rng| {
-                inj.perturb();
+            .try_bernoulli(9_000, move |rng| {
+                seen.perturb();
                 rng.gen_bool(0.3)
             })
             .unwrap();
@@ -724,10 +784,11 @@ mod tests {
     #[test]
     fn persistent_panic_exhausts_retries() {
         let runner = Runner::new(Seed(13)).with_threads(2).with_max_chunk_retries(1);
-        let inj = FaultInjector::new(FaultMode::PanicAlways);
+        let inj = Arc::new(FaultInjector::new(FaultMode::PanicAlways));
+        let seen = Arc::clone(&inj);
         let err = runner
-            .try_bernoulli(100, |rng| {
-                inj.perturb();
+            .try_bernoulli(100, move |rng| {
+                seen.perturb();
                 rng.gen_bool(0.5)
             })
             .unwrap_err();
@@ -856,18 +917,19 @@ mod tests {
             )
             .unwrap();
 
-        let inj = FaultInjector::new(FaultMode::PanicOnce { trial: 4_321 });
+        let inj = Arc::new(FaultInjector::new(FaultMode::PanicOnce { trial: 4_321 }));
+        let seen = Arc::clone(&inj);
         let faulty = runner
             .try_bernoulli_scratch(
                 9_000,
                 || 0u64,
-                |carry: &mut u64, rng| {
+                move |carry: &mut u64, rng| {
                     let hit = rng.gen_bool(0.3) ^ (*carry & 1 == 1);
                     *carry = carry.wrapping_add(u64::from(hit));
                     // Poison scratch, then maybe panic: a retry that reused
                     // this scratch would diverge from the clean run.
                     *carry = carry.wrapping_add(1_000_000);
-                    inj.perturb();
+                    seen.perturb();
                     *carry = carry.wrapping_sub(1_000_000);
                     hit
                 },
@@ -880,8 +942,8 @@ mod tests {
 
     #[test]
     fn try_fold_scratch_threads_state_through_a_chunk() {
-        // Scratch is per-chunk: with one thread, a counter scratch sees
-        // every trial in order.
+        // Scratch is per-chunk: 100 trials fit in one chunk, so a counter
+        // scratch sees every trial in order.
         let total = Runner::new(Seed(24)).with_threads(1).fold_scratch(
             100,
             || 0u64,
@@ -898,15 +960,16 @@ mod tests {
 
     #[test]
     fn stalled_trial_delays_but_does_not_kill_the_run() {
-        let inj = FaultInjector::new(FaultMode::StallOnce {
+        let inj = Arc::new(FaultInjector::new(FaultMode::StallOnce {
             trial: 10,
             stall: Duration::from_millis(20),
-        });
+        }));
+        let seen = Arc::clone(&inj);
         let report = Runner::new(Seed(18))
             .with_threads(2)
             .with_deadline(Duration::from_millis(5))
-            .try_bernoulli(10_000_000, |rng| {
-                inj.perturb();
+            .try_bernoulli(10_000_000, move |rng| {
+                seen.perturb();
                 rng.gen_bool(0.5)
             })
             .unwrap();

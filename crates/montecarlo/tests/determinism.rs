@@ -1,0 +1,131 @@
+//! The tentpole invariant of the runner: seeded results are bit-for-bit
+//! identical for any worker-thread count.
+//!
+//! Chunk tiling is fixed-width ([`montecarlo::CHUNK_WIDTH`]) and each
+//! chunk's RNG stream depends only on `(seed, chunk_index)`, so the thread
+//! count can reorder *when* chunks run but never *what* they compute; the
+//! merge happens in chunk-index order on the calling thread. These tests
+//! pit `threads ∈ {1, 2, 3, 8}` against each other on every aggregate kind
+//! and on an order-sensitive checksum of the raw RNG streams.
+
+use montecarlo::{Runner, Seed, CHUNK_WIDTH};
+use rand::Rng;
+
+/// Enough trials to span several chunks, with a ragged final chunk.
+const TRIALS: u64 = 3 * CHUNK_WIDTH + 1234;
+
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+#[test]
+fn bernoulli_identical_across_thread_counts() {
+    let run = |threads| {
+        Runner::new(Seed(2011))
+            .with_threads(threads)
+            .bernoulli(TRIALS, |rng| rng.gen_bool(0.37))
+    };
+    let base = run(1);
+    assert_eq!(base.trials(), TRIALS);
+    for threads in THREADS {
+        assert_eq!(run(threads), base, "bernoulli drifted at threads={threads}");
+    }
+}
+
+#[test]
+fn mean_identical_across_thread_counts() {
+    // Exact f64 equality: merge order is pinned to chunk index, so even
+    // non-associative floating-point accumulation cannot drift.
+    let run = |threads| {
+        Runner::new(Seed(2012))
+            .with_threads(threads)
+            .mean(TRIALS, |rng| rng.gen_range(0.0..1.0))
+    };
+    let base = run(1);
+    for threads in THREADS {
+        let w = run(threads);
+        assert_eq!(w, base, "welford state drifted at threads={threads}");
+        assert_eq!(w.mean().to_bits(), base.mean().to_bits());
+        assert_eq!(w.sample_variance().to_bits(), base.sample_variance().to_bits());
+    }
+}
+
+#[test]
+fn histogram_identical_across_thread_counts() {
+    let run = |threads| {
+        Runner::new(Seed(2013))
+            .with_threads(threads)
+            .histogram(TRIALS, |rng| u64::from(rng.gen_range(0..16u32)))
+    };
+    let base = run(1);
+    assert_eq!(base.total(), TRIALS);
+    for threads in THREADS {
+        assert_eq!(run(threads), base, "histogram drifted at threads={threads}");
+    }
+}
+
+#[test]
+fn run_reports_identical_across_thread_counts() {
+    let run = |threads| {
+        Runner::new(Seed(2014))
+            .with_threads(threads)
+            .try_bernoulli(TRIALS, |rng| rng.gen_bool(0.5))
+            .expect("panic-free run")
+    };
+    let base = run(1);
+    assert!(!base.truncated);
+    assert_eq!(base.trials_completed, TRIALS);
+    for threads in THREADS {
+        assert_eq!(run(threads), base, "RunReport drifted at threads={threads}");
+    }
+}
+
+#[test]
+fn rng_stream_checksum_identical_across_thread_counts() {
+    // An order-sensitive polynomial hash over every raw u64 the trial
+    // kernel draws: any reordering of trials within a chunk, or of chunk
+    // merges, changes the checksum. Deterministic merge order makes the
+    // (non-commutative) merge step well-defined.
+    let run = |threads| {
+        Runner::new(Seed(2015)).with_threads(threads).fold(
+            TRIALS,
+            || 0u64,
+            |rng| rng.gen::<u64>(),
+            |acc, x| *acc = acc.wrapping_mul(0x100_0003).wrapping_add(x),
+            |a, b| *a = a.wrapping_mul(0x9E37_79B9).wrapping_add(b),
+        )
+    };
+    let base = run(1);
+    for threads in THREADS {
+        assert_eq!(run(threads), base, "rng checksum drifted at threads={threads}");
+    }
+}
+
+#[test]
+fn scratch_kernels_identical_across_thread_counts() {
+    let run = |threads| {
+        Runner::new(Seed(2016)).with_threads(threads).histogram_scratch(
+            TRIALS,
+            || Vec::with_capacity(4),
+            |buf: &mut Vec<u64>, rng| {
+                buf.clear();
+                buf.extend((0..4).map(|_| u64::from(rng.gen_range(0..8u32))));
+                buf.iter().sum()
+            },
+        )
+    };
+    let base = run(1);
+    for threads in THREADS {
+        assert_eq!(run(threads), base, "scratch path drifted at threads={threads}");
+    }
+}
+
+#[test]
+fn repeated_runs_are_stable() {
+    // Same seed + same workload twice at an asymmetric thread count: the
+    // dynamic chunk-claim order differs run to run, the result must not.
+    let run = || {
+        Runner::new(Seed(2017))
+            .with_threads(3)
+            .mean(TRIALS, |rng| rng.gen_range(-1.0..1.0))
+    };
+    assert_eq!(run(), run());
+}

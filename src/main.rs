@@ -2,13 +2,17 @@
 //!
 //! ```text
 //! mmreliab table1
-//! mmreliab survival --model tso --threads 2 [--trials N] [--seed S]
-//! mmreliab windows  --model wo  [--trials N] [--seed S]
+//! mmreliab survival --model tso --threads 2 [--trials N] [--seed S] [--workers W]
+//! mmreliab windows  --model wo  [--trials N] [--seed S] [--workers W]
 //! mmreliab trace    --model tso [--m M] [--seed S]
-//! mmreliab opsim    [--threads N] [--trials N] [--seed S]
+//! mmreliab opsim    [--threads N] [--trials N] [--seed S] [--workers W]
 //! mmreliab litmus   [--trials N] [--seed S]
 //! mmreliab sweep    --param s|p|q [--trials N] [--seed S]
 //! ```
+//!
+//! `--threads` is the *simulated* core count `n` of the model; `--workers`
+//! is how many OS threads run the Monte-Carlo trials. Workers only change
+//! wall-clock time — every result is identical for any worker count.
 
 use memmodel::MemoryModel;
 use mmreliab::analytic::general::{GeneralWindowLaws, Params};
@@ -27,6 +31,7 @@ struct Args {
     seed: u64,
     m: usize,
     param: String,
+    workers: usize,
 }
 
 fn parse_args() -> Result<Args, mmreliab::Error> {
@@ -38,6 +43,9 @@ fn parse_args() -> Result<Args, mmreliab::Error> {
         seed: 7,
         m: 8,
         param: "s".into(),
+        workers: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
     };
     let invalid = mmreliab::Error::InvalidArgs;
     let mut it = std::env::args().skip(1);
@@ -51,6 +59,7 @@ fn parse_args() -> Result<Args, mmreliab::Error> {
             "--seed" => args.seed = value()?.parse().map_err(|e| invalid(format!("{e}")))?,
             "--m" => args.m = value()?.parse().map_err(|e| invalid(format!("{e}")))?,
             "--param" => args.param = value()?,
+            "--workers" => args.workers = value()?.parse().map_err(|e| invalid(format!("{e}")))?,
             other => return Err(invalid(format!("unknown flag {other}\n{}", usage()))),
         }
     }
@@ -63,13 +72,17 @@ fn parse_args() -> Result<Args, mmreliab::Error> {
     if args.m == 0 {
         return Err(invalid("--m must be at least 1".into()));
     }
+    if args.workers == 0 {
+        return Err(invalid("--workers must be at least 1".into()));
+    }
     Ok(args)
 }
 
 fn usage() -> String {
     String::from(
         "usage: mmreliab <table1|survival|windows|trace|opsim|litmus|sweep> \
-         [--model sc|tso|pso|wo] [--threads N] [--trials N] [--seed S] [--m M] [--param s|p|q]",
+         [--model sc|tso|pso|wo] [--threads N] [--trials N] [--seed S] [--m M] [--param s|p|q] \
+         [--workers W]",
     )
 }
 
@@ -139,7 +152,7 @@ fn cmd_survival(args: &Args) {
             );
         }
     }
-    let rb = rm.estimate_survival_rb(args.trials, args.seed);
+    let rb = rm.estimate_survival_rb_with(args.trials, args.seed, args.workers);
     println!(
         "  Rao-Blackwellised:   {:.6e}   (log2 = {:.2}, {} samples)",
         rb.survival(),
@@ -147,20 +160,23 @@ fn cmd_survival(args: &Args) {
         rb.samples
     );
     if args.threads <= 3 {
-        let direct = rm.simulate_survival(args.trials, args.seed ^ 1);
+        let direct = rm.simulate_survival_with(args.trials, args.seed ^ 1, args.workers);
         println!("  direct simulation:   {direct}");
     } else {
         println!("  direct simulation:   skipped (Pr[A] ~ e^-n^2 is below MC reach)");
     }
     if args.threads == 2 {
         println!("\nall models at n = 2:\n");
-        print!("{}", ModelComparison::run(2, args.trials, args.seed));
+        print!(
+            "{}",
+            ModelComparison::run_with(2, args.trials, args.seed, args.workers)
+        );
     }
 }
 
 fn cmd_windows(args: &Args) {
     let rm = ReliabilityModel::new(args.model, 2);
-    let h = rm.window_histogram(args.trials, args.seed);
+    let h = rm.window_histogram_with(args.trials, args.seed, args.workers);
     let laws = WindowLaws::new();
     println!(
         "critical-window growth gamma under {} ({} samples):\n",
@@ -228,9 +244,11 @@ fn cmd_opsim(args: &Args) -> Result<(), mmreliab::Error> {
     for model in MemoryModel::NAMED {
         let params = SimParams::for_model(model);
         let n = args.threads;
-        let report = Runner::new(Seed(args.seed)).try_bernoulli(args.trials, move |rng| {
-            run_increment_trial(n, 8, params, rng)
-        })?;
+        let report = Runner::new(Seed(args.seed))
+            .with_threads(args.workers)
+            .try_bernoulli(args.trials, move |rng| {
+                run_increment_trial(n, 8, params, rng)
+            })?;
         bars.bar(model.short_name(), report.value.point());
     }
     print!("{}", bars.render());

@@ -89,6 +89,24 @@ fn zero_threads_rejected() {
 }
 
 #[test]
+fn zero_workers_rejected() {
+    let (ok, _, stderr) = run(&["survival", "--workers", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--workers must be at least 1"), "{stderr}");
+}
+
+#[test]
+fn survival_output_is_identical_across_worker_counts() {
+    // --workers only changes wall-clock time: the chunk-tiled executor
+    // produces the same bits at any worker count.
+    let base = ["survival", "--model", "tso", "--trials", "4000", "--seed", "5"];
+    let (ok1, one, _) = run(&[&base[..], &["--workers", "1"]].concat());
+    let (ok4, four, _) = run(&[&base[..], &["--workers", "4"]].concat());
+    assert!(ok1 && ok4);
+    assert_eq!(one, four);
+}
+
+#[test]
 fn unknown_flag_fails_with_usage() {
     let (ok, _, stderr) = run(&["survival", "--bogus"]);
     assert!(!ok);

@@ -6,20 +6,37 @@ cargo build --release --offline
 cargo test -q --offline --workspace
 cargo clippy --all-targets --offline --workspace -- -D warnings
 
+# The telemetry-disabled build must stay a compile-time no-op path.
+cargo build --offline -p obs --no-default-features
+cargo test -q --offline -p obs --no-default-features
+cargo build --offline -p montecarlo --no-default-features
+
 # Fast benchmark smoke: the trajectory must run end to end and emit valid JSON.
 BENCH_OUT="$(mktemp -d)/BENCH_smoke.json"
 cargo run --release --offline -p mmr-bench --bin experiments -- bench --trials 2000 --out "$BENCH_OUT"
 grep -q '"trials_per_sec"' "$BENCH_OUT"
 grep -q '"joined_speedup_vs_legacy"' "$BENCH_OUT"
 grep -q '"chunk_width"' "$BENCH_OUT"
+grep -q '"telemetry_overhead"' "$BENCH_OUT"
 rm -rf "$(dirname "$BENCH_OUT")"
 
 # Cross-thread-count determinism smoke: a seeded experiment run must emit
-# byte-identical structured results at --threads 1 and --threads 4.
+# identical structured results at --threads 1 and --threads 4 once the
+# timing/environment metadata (elapsed_secs, threads, host_cores) is
+# filtered out — with telemetry collection live on both runs.
 DET_DIR="$(mktemp -d)"
 cargo run --release --offline -p mmr-bench --bin experiments -- \
-  --quick --seed 20110606 --threads 1 --json "$DET_DIR/t1.json" lem42 thm62
+  --quick --seed 20110606 --threads 1 --json "$DET_DIR/t1.json" \
+  --metrics "$DET_DIR/m1.json" lem42 thm62
 cargo run --release --offline -p mmr-bench --bin experiments -- \
-  --quick --seed 20110606 --threads 4 --json "$DET_DIR/t4.json" lem42 thm62
-diff "$DET_DIR/t1.json" "$DET_DIR/t4.json"
+  --quick --seed 20110606 --threads 4 --json "$DET_DIR/t4.json" \
+  --metrics "$DET_DIR/m4.json" lem42 thm62
+grep -vE '"(elapsed_secs|threads|host_cores)":' "$DET_DIR/t1.json" > "$DET_DIR/t1.stripped"
+grep -vE '"(elapsed_secs|threads|host_cores)":' "$DET_DIR/t4.json" > "$DET_DIR/t4.stripped"
+diff "$DET_DIR/t1.stripped" "$DET_DIR/t4.stripped"
+grep -q '"mc.runner.chunks_claimed"' "$DET_DIR/m4.json"
 rm -rf "$DET_DIR"
+
+# Metrics snapshot schema check: a full registry run with --metrics must
+# emit every runner/pool/per-model counter (validated in-process).
+cargo test -q --offline -p mmr-bench --test metrics_schema

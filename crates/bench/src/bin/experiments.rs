@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! experiments [--quick] [--trials N] [--seed S] [--threads T] [--out FILE]
-//!             [--json FILE] [--checkpoint FILE] [--list] [ids…]
+//!             [--json FILE] [--checkpoint FILE] [--metrics FILE]
+//!             [--progress] [--quiet] [--list] [ids…]
 //! ```
 //!
 //! With no ids, all experiments run in DESIGN.md §4 order. The default
@@ -12,13 +13,18 @@
 //! experiment reports `MISMATCH` instead of killing the batch. With
 //! `--checkpoint FILE`, each completed experiment is persisted atomically
 //! and a restart skips everything already done under the same context.
+//!
+//! Telemetry is strictly out-of-band: `--metrics` dumps the process
+//! metric/span snapshot as JSON at exit, `--progress` enables a throttled
+//! stderr heartbeat, and neither changes any seeded result. `--quiet`
+//! suppresses status lines (errors still print; exit codes are unchanged).
 
 use mmr_bench::{checkpoint, registry, run_one_isolated, write_atomic, Ctx, RunResult};
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: experiments [--quick] [--trials N] [--seed S] [--threads T] [--out FILE] [--json FILE] [--checkpoint FILE] [--list] [ids...]\n       experiments bench [--trials N] [--seed S] [--threads T] [--out FILE (default BENCH_e2e.json)]\n\n--threads bounds worker parallelism only; results are identical for any value";
+const USAGE: &str = "usage: experiments [--quick] [--trials N] [--seed S] [--threads T] [--out FILE] [--json FILE] [--checkpoint FILE] [--metrics FILE] [--progress] [--quiet] [--list] [ids...]\n       experiments bench [--trials N] [--seed S] [--threads T] [--out FILE (default BENCH_e2e.json)] [--metrics FILE] [--quiet]\n\n--threads bounds worker parallelism only; results are identical for any value\n--metrics/--progress/--quiet are observational only and never change results";
 
 struct Args {
     ctx: Ctx,
@@ -26,6 +32,9 @@ struct Args {
     out_path: Option<PathBuf>,
     json_path: Option<PathBuf>,
     checkpoint_path: Option<PathBuf>,
+    metrics_path: Option<PathBuf>,
+    progress: bool,
+    quiet: bool,
     list: bool,
     help: bool,
 }
@@ -37,6 +46,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
         out_path: None,
         json_path: None,
         checkpoint_path: None,
+        metrics_path: None,
+        progress: false,
+        quiet: false,
         list: false,
         help: false,
     };
@@ -73,6 +85,11 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
             "--checkpoint" => {
                 parsed.checkpoint_path = Some(args.next().ok_or("--checkpoint needs a path")?.into());
             }
+            "--metrics" => {
+                parsed.metrics_path = Some(args.next().ok_or("--metrics needs a path")?.into());
+            }
+            "--progress" => parsed.progress = true,
+            "--quiet" => parsed.quiet = true,
             "--list" => parsed.list = true,
             "--help" | "-h" => parsed.help = true,
             other if other.starts_with("--") => return Err(format!("unknown flag {other:?}")),
@@ -80,6 +97,15 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
         }
     }
     Ok(parsed)
+}
+
+/// Writes the process telemetry snapshot to `path` as pretty JSON.
+fn emit_metrics(path: &Path) -> Result<(), mmr_bench::Error> {
+    let snapshot = obs::snapshot();
+    let json = serde_json::to_string_pretty(&snapshot).expect("serializable snapshot");
+    write_atomic(path, &json)?;
+    obs::info!("metrics snapshot written to {}", path.display());
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -91,6 +117,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if args.quiet {
+        obs::log::set_level(obs::log::Level::Quiet);
+    }
+    obs::progress::set_enabled(args.progress);
 
     if args.help {
         println!("{USAGE}");
@@ -134,10 +165,15 @@ fn run_bench(args: &Args) -> Result<(), mmr_bench::Error> {
         .clone()
         .unwrap_or_else(|| PathBuf::from("BENCH_e2e.json"));
     let report = mmr_bench::perf::run(args.ctx.trials, args.ctx.seed, args.ctx.threads);
-    eprint!("{}", report.summary());
+    if obs::log::enabled(obs::log::Level::Info) {
+        eprint!("{}", report.summary());
+    }
     let json = serde_json::to_string_pretty(&report).expect("serializable report");
     write_atomic(&out, &json)?;
-    eprintln!("benchmark trajectory written to {}", out.display());
+    obs::info!("benchmark trajectory written to {}", out.display());
+    if let Some(path) = &args.metrics_path {
+        emit_metrics(path)?;
+    }
     Ok(())
 }
 
@@ -152,7 +188,7 @@ fn run(args: &Args) -> Result<ExitCode, mmr_bench::Error> {
             if checkpoint::matches_ctx(&prev, &args.ctx) {
                 done = prev.experiments;
             } else {
-                eprintln!(
+                obs::info!(
                     "checkpoint {} was recorded with trials = {}, seed = {}; \
                      ignoring it (current trials = {}, seed = {})",
                     path.display(),
@@ -169,15 +205,18 @@ fn run(args: &Args) -> Result<ExitCode, mmr_bench::Error> {
     let mut state = RunResult {
         trials: args.ctx.trials,
         seed: args.ctx.seed,
+        threads: args.ctx.threads,
+        host_cores: mmr_bench::default_threads(),
         experiments: done,
     };
     let mut ordered = Vec::with_capacity(selected.len());
     for e in selected {
         if let Some(prev) = state.experiments.iter().find(|r| r.id == e.id) {
-            eprintln!("checkpoint: skipping {} (already complete)", e.id);
+            obs::info!("checkpoint: skipping {} (already complete)", e.id);
             ordered.push(prev.clone());
             continue;
         }
+        obs::debug!("running {}", e.id);
         let result = run_one_isolated(e, &args.ctx);
         state.experiments.push(result.clone());
         if let Some(path) = &args.checkpoint_path {
@@ -185,6 +224,7 @@ fn run(args: &Args) -> Result<ExitCode, mmr_bench::Error> {
         }
         ordered.push(result);
     }
+    obs::progress::finish("experiments", ordered.len() as u64, started);
 
     let mut report = String::new();
     report.push_str("# Experiment report — PODC 2011 memory-model reliability reproduction\n\n");
@@ -212,24 +252,29 @@ fn run(args: &Args) -> Result<ExitCode, mmr_bench::Error> {
         let result = RunResult {
             trials: args.ctx.trials,
             seed: args.ctx.seed,
+            threads: args.ctx.threads,
+            host_cores: mmr_bench::default_threads(),
             experiments: ordered.clone(),
         };
         let json = serde_json::to_string_pretty(&result).expect("serializable results");
         write_atomic(path, &json)?;
-        eprintln!("structured results written to {}", path.display());
+        obs::info!("structured results written to {}", path.display());
     }
     match &args.out_path {
         Some(path) => {
             write_atomic(path, &report)?;
-            eprintln!("report written to {}", path.display());
+            obs::info!("report written to {}", path.display());
         }
         None if args.json_path.is_none() => print!("{report}"),
         None => {}
     }
+    if let Some(path) = &args.metrics_path {
+        emit_metrics(path)?;
+    }
 
     let reproduced: usize = ordered.iter().map(|r| r.reproduced).sum();
     let mismatched: usize = ordered.iter().map(|r| r.mismatched).sum();
-    eprintln!("\n{reproduced} checks REPRODUCED, {mismatched} MISMATCH");
+    obs::info!("\n{reproduced} checks REPRODUCED, {mismatched} MISMATCH");
     Ok(if mismatched > 0 {
         ExitCode::FAILURE
     } else {

@@ -215,7 +215,7 @@ pub fn verdict(ok: bool) -> &'static str {
 }
 
 /// Machine-readable result of one experiment run.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct ExperimentResult {
     /// Experiment id.
     pub id: String,
@@ -225,20 +225,46 @@ pub struct ExperimentResult {
     pub reproduced: usize,
     /// Number of individual checks that mismatched.
     pub mismatched: usize,
+    /// Wall-clock seconds the experiment took. Timing only — every other
+    /// field is a deterministic function of `(trials, seed)`.
+    pub elapsed_secs: f64,
     /// The full text section.
     pub report: String,
 }
 
 /// Machine-readable result of a whole run (the `--json` output and the
 /// `--checkpoint` on-disk format).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct RunResult {
     /// Trial count of the context.
     pub trials: u64,
     /// Master seed of the context.
     pub seed: u64,
+    /// Worker threads the run used (wall-clock only; results are
+    /// thread-count invariant).
+    pub threads: usize,
+    /// Available parallelism of the host that produced the run.
+    pub host_cores: usize,
     /// Per-experiment results.
     pub experiments: Vec<ExperimentResult>,
+}
+
+impl RunResult {
+    /// A copy with every environment/timing field normalized to zero
+    /// (`elapsed_secs`, `threads`, `host_cores`). What remains is exactly
+    /// the deterministic payload: two runs of the same `(trials, seed)`
+    /// must compare equal after stripping, on any machine at any thread
+    /// count.
+    #[must_use]
+    pub fn strip_timing(&self) -> RunResult {
+        let mut stripped = self.clone();
+        stripped.threads = 0;
+        stripped.host_cores = 0;
+        for e in &mut stripped.experiments {
+            e.elapsed_secs = 0.0;
+        }
+        stripped
+    }
 }
 
 /// Runs one experiment behind an unwind boundary.
@@ -249,7 +275,16 @@ pub struct RunResult {
 #[must_use]
 pub fn run_one_isolated(e: &Experiment, ctx: &Ctx) -> ExperimentResult {
     let run = e.run;
-    let outcome = std::panic::catch_unwind(move || run(ctx));
+    let started = std::time::Instant::now();
+    let outcome = {
+        let _span = obs::span(e.id);
+        std::panic::catch_unwind(move || run(ctx))
+    };
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    let tele = obs::global();
+    tele.counter(&format!("exp.{}.runs", e.id)).inc();
+    tele.counter(&format!("exp.{}.elapsed_us", e.id))
+        .add(started.elapsed().as_micros() as u64);
     let report = match outcome {
         Ok(report) => report,
         Err(payload) => {
@@ -266,6 +301,7 @@ pub fn run_one_isolated(e: &Experiment, ctx: &Ctx) -> ExperimentResult {
         artifact: e.artifact.to_owned(),
         reproduced: report.matches("REPRODUCED").count(),
         mismatched: report.matches("MISMATCH").count(),
+        elapsed_secs,
         report,
     }
 }
@@ -285,6 +321,8 @@ pub fn try_run_experiments_structured(ids: &[String], ctx: &Ctx) -> Result<RunRe
     Ok(RunResult {
         trials: ctx.trials,
         seed: ctx.seed,
+        threads: ctx.threads,
+        host_cores: default_threads(),
         experiments,
     })
 }

@@ -105,6 +105,19 @@ pub struct JoinedSpeedup {
     pub speedup: f64,
 }
 
+/// Telemetry cost of the pool-dispatched pipeline for one model:
+/// `joined_mt` with metric recording on vs. off in the same binary.
+/// Values near 1.0 mean the instrumentation is free at chunk granularity
+/// (the compile-time-disabled build removes even the remaining loads).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TelemetryOverhead {
+    /// Memory model short name.
+    pub model: String,
+    /// `joined_mt` (recording on) throughput divided by `joined_mt_notel`
+    /// (recording off) throughput.
+    pub throughput_ratio: f64,
+}
+
 /// The full machine-readable benchmark report (`BENCH_e2e.json`).
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct BenchReport {
@@ -124,6 +137,11 @@ pub struct BenchReport {
     pub pipelines: Vec<PipelineResult>,
     /// Joined-pipeline speedups, one per memory model.
     pub joined_speedup_vs_legacy: Vec<JoinedSpeedup>,
+    /// Recording-on vs. recording-off `joined_mt` throughput, per model.
+    pub telemetry_overhead: Vec<TelemetryOverhead>,
+    /// Telemetry snapshot taken after all pipelines ran: per-stage span
+    /// timings, runner/pool counters, and per-model trial counts.
+    pub telemetry: obs::Snapshot,
 }
 
 /// Timed repetitions per pipeline; the best (least-disturbed) one is
@@ -201,58 +219,78 @@ pub fn run(trials: u64, seed: u64, threads: usize) -> BenchReport {
     let mut pipelines = Vec::new();
 
     // Raw geometric samplers: the flip loop vs the trailing_zeros trick.
+    // Each stage runs under an RAII span so the emitted snapshot attributes
+    // bench wall-clock per stage.
     let proc = ShiftProcess::canonical();
-    pipelines.push(measure("geom", "-", trials, || {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        move || proc.sample_shift(&mut rng)
-    }));
-    pipelines.push(measure("geom_fast", "-", trials, || {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        move || proc.sample_shift_fast(&mut rng)
-    }));
+    {
+        let _span = obs::span("bench.geom");
+        pipelines.push(measure("geom", "-", trials, || {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            move || proc.sample_shift(&mut rng)
+        }));
+        pipelines.push(measure("geom_fast", "-", trials, || {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            move || proc.sample_shift_fast(&mut rng)
+        }));
+    }
 
     // The disjointness kernel over fixed segment lengths.
-    pipelines.push(measure("shift", "-", trials, || {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut shift_scratch = ShiftScratch::with_capacity(SHIFT_LENGTHS.len());
-        move || u64::from(proc.simulate_disjoint_into(&SHIFT_LENGTHS, &mut shift_scratch, &mut rng))
-    }));
+    {
+        let _span = obs::span("bench.shift");
+        pipelines.push(measure("shift", "-", trials, || {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut shift_scratch = ShiftScratch::with_capacity(SHIFT_LENGTHS.len());
+            move || {
+                u64::from(proc.simulate_disjoint_into(&SHIFT_LENGTHS, &mut shift_scratch, &mut rng))
+            }
+        }));
+    }
 
     // Per model: the settle kernel and both joined pipelines.
     let mut speedups = Vec::new();
+    let mut telemetry_overhead = Vec::new();
     for model in MemoryModel::NAMED {
         let rm = ReliabilityModel::new(model, N).with_filler_len(M);
         let short = model.short_name();
         let settler = *rm.settler();
 
-        pipelines.push(measure("settle", short, trials, || {
-            let mut scratch = rm.scratch();
-            let mut rng = SmallRng::seed_from_u64(seed);
-            move || {
-                let w = rm.sample_windows_scratch(&mut scratch, &mut rng);
-                w.iter().sum::<u64>()
-            }
-        }));
-
-        let joined = measure("joined", short, trials, || {
-            let mut scratch = rm.scratch();
-            let mut rng = SmallRng::seed_from_u64(seed);
-            move || u64::from(rm.simulate_survival_once_scratch(&mut scratch, &mut rng))
+        pipelines.push({
+            let _span = obs::span("bench.settle");
+            measure("settle", short, trials, || {
+                let mut scratch = rm.scratch();
+                let mut rng = SmallRng::seed_from_u64(seed);
+                move || {
+                    let w = rm.sample_windows_scratch(&mut scratch, &mut rng);
+                    w.iter().sum::<u64>()
+                }
+            })
         });
+
+        let joined = {
+            let _span = obs::span("bench.joined");
+            measure("joined", short, trials, || {
+                let mut scratch = rm.scratch();
+                let mut rng = SmallRng::seed_from_u64(seed);
+                move || u64::from(rm.simulate_survival_once_scratch(&mut scratch, &mut rng))
+            })
+        };
 
         // The pre-scratch route: everything allocated per trial, settling
         // through the frozen pre-PR kernel in [`legacy`].
-        let legacy_run = measure("joined_legacy", short, trials, || {
-            let gen = ProgramGenerator::new(M);
-            let mut rng = SmallRng::seed_from_u64(seed);
-            move || {
-                let program = gen.generate(&mut rng);
-                let windows: Vec<u64> = (0..N)
-                    .map(|_| legacy::window_len(&settler, &program, &mut rng))
-                    .collect();
-                u64::from(proc.simulate_disjoint(&windows, &mut rng))
-            }
-        });
+        let legacy_run = {
+            let _span = obs::span("bench.joined_legacy");
+            measure("joined_legacy", short, trials, || {
+                let gen = ProgramGenerator::new(M);
+                let mut rng = SmallRng::seed_from_u64(seed);
+                move || {
+                    let program = gen.generate(&mut rng);
+                    let windows: Vec<u64> = (0..N)
+                        .map(|_| legacy::window_len(&settler, &program, &mut rng))
+                        .collect();
+                    u64::from(proc.simulate_disjoint(&windows, &mut rng))
+                }
+            })
+        };
 
         assert_eq!(
             joined.checksum, legacy_run.checksum,
@@ -269,7 +307,7 @@ pub fn run(trials: u64, seed: u64, threads: usize) -> BenchReport {
         // (fixed-width chunks, counter-derived streams). Its checksum is the
         // success count — a different RNG layout than the serial loops, but
         // identical at every thread count and on every rep.
-        pipelines.push(measure_batch("joined_mt", short, trials, || {
+        let mt_batch = move || {
             montecarlo::Runner::new(montecarlo::Seed(seed))
                 .with_threads(threads)
                 .bernoulli_scratch(
@@ -278,7 +316,27 @@ pub fn run(trials: u64, seed: u64, threads: usize) -> BenchReport {
                     move |scratch, rng| rm.simulate_survival_once_scratch(scratch, rng),
                 )
                 .successes()
-        }));
+        };
+        let mt = {
+            let _span = obs::span("bench.joined_mt");
+            measure_batch("joined_mt", short, trials, mt_batch)
+        };
+        // The identical batch with metric recording paused: the telemetry
+        // invariant in numbers. Checksum equality proves out-of-band-ness;
+        // the throughput ratio prices the enabled instrumentation.
+        obs::set_recording(false);
+        let mt_notel = measure_batch("joined_mt_notel", short, trials, mt_batch);
+        obs::set_recording(true);
+        assert_eq!(
+            mt.checksum, mt_notel.checksum,
+            "{short}: telemetry recording changed the joined_mt outcome fold"
+        );
+        telemetry_overhead.push(TelemetryOverhead {
+            model: short.to_owned(),
+            throughput_ratio: mt.trials_per_sec / mt_notel.trials_per_sec,
+        });
+        pipelines.push(mt);
+        pipelines.push(mt_notel);
     }
 
     BenchReport {
@@ -291,6 +349,8 @@ pub fn run(trials: u64, seed: u64, threads: usize) -> BenchReport {
             .unwrap_or(1),
         pipelines,
         joined_speedup_vs_legacy: speedups,
+        telemetry_overhead,
+        telemetry: obs::snapshot(),
     }
 }
 
@@ -315,6 +375,13 @@ impl BenchReport {
         for s in &self.joined_speedup_vs_legacy {
             let _ = writeln!(out, "joined speedup {:<4} {:.2}x", s.model, s.speedup);
         }
+        for t in &self.telemetry_overhead {
+            let _ = writeln!(
+                out,
+                "telemetry on/off {:<4} {:.3}x",
+                t.model, t.throughput_ratio
+            );
+        }
         out
     }
 }
@@ -326,18 +393,46 @@ mod tests {
     #[test]
     fn report_is_complete_and_serializable() {
         let report = run(2_000, 9, 2);
-        // 3 model-independent + 4 per named model.
-        assert_eq!(report.pipelines.len(), 3 + 4 * MemoryModel::NAMED.len());
+        // 3 model-independent + 5 per named model.
+        assert_eq!(report.pipelines.len(), 3 + 5 * MemoryModel::NAMED.len());
         assert_eq!(report.joined_speedup_vs_legacy.len(), MemoryModel::NAMED.len());
+        assert_eq!(report.telemetry_overhead.len(), MemoryModel::NAMED.len());
+        assert!(report
+            .telemetry_overhead
+            .iter()
+            .all(|t| t.throughput_ratio > 0.0));
         assert!(report.pipelines.iter().all(|p| p.trials_per_sec > 0.0));
         assert_eq!(report.threads, 2);
         assert_eq!(report.chunk_width, montecarlo::CHUNK_WIDTH);
         assert!(report.host_cores >= 1);
+        // The embedded snapshot carries the runner counters and the
+        // per-stage spans the bench just produced.
+        assert!(report.telemetry.counter("mc.runner.runs").unwrap_or(0) >= 1);
+        assert!(report.telemetry.span("bench.joined_mt").is_some());
         let json = serde_json::to_string(&report).unwrap();
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
         assert!(report.summary().contains("joined speedup"));
         assert!(report.summary().contains("chunk width"));
+        assert!(report.summary().contains("telemetry on/off"));
+    }
+
+    #[test]
+    fn telemetry_recording_does_not_change_joined_mt_checksums() {
+        // run() asserts joined_mt == joined_mt_notel internally; pin the
+        // pairing explicitly as a regression guard.
+        let report = run(1_000, 4, 2);
+        for model in MemoryModel::NAMED {
+            let at = |name: &str| {
+                report
+                    .pipelines
+                    .iter()
+                    .find(|p| p.name == name && p.model == model.short_name())
+                    .expect("pipeline present")
+                    .checksum
+            };
+            assert_eq!(at("joined_mt"), at("joined_mt_notel"), "{model}");
+        }
     }
 
     #[test]

@@ -59,24 +59,46 @@ fn rejects_bad_threads() {
 #[test]
 fn results_are_identical_across_thread_counts() {
     // The executor's determinism contract, observed end to end through the
-    // binary: a seeded run's structured output is byte-identical whether
-    // the grid runs on one worker or four.
+    // binary: a seeded run's structured output is identical (modulo timing
+    // metadata, which strip_timing zeroes) whether the grid runs on one
+    // worker or eight — and telemetry collection does not perturb it.
     let dir = temp_dir("threads");
-    let json1 = dir.join("t1.json");
-    let json4 = dir.join("t4.json");
     let base = ["--quick", "--seed", "7", "t1", "lem42"];
-    let out = experiments(
-        &[&base[..], &["--threads", "1", "--json", json1.to_str().unwrap()]].concat(),
-    );
-    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
-    let out = experiments(
-        &[&base[..], &["--threads", "4", "--json", json4.to_str().unwrap()]].concat(),
-    );
-    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
-    assert_eq!(
-        std::fs::read_to_string(&json1).unwrap(),
-        std::fs::read_to_string(&json4).unwrap()
-    );
+    let mut runs: Vec<mmr_bench::RunResult> = Vec::new();
+    for threads in ["1", "2", "3", "8"] {
+        let json = dir.join(format!("t{threads}.json"));
+        let metrics = dir.join(format!("m{threads}.json"));
+        let out = experiments(
+            &[
+                &base[..],
+                &[
+                    "--threads",
+                    threads,
+                    "--json",
+                    json.to_str().unwrap(),
+                    "--metrics",
+                    metrics.to_str().unwrap(),
+                ],
+            ]
+            .concat(),
+        );
+        assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+        let parsed: mmr_bench::RunResult =
+            serde_json::from_str(&std::fs::read_to_string(&json).unwrap())
+                .expect("valid run result json");
+        assert_eq!(parsed.threads, threads.parse::<usize>().unwrap());
+        assert!(parsed.experiments.iter().all(|e| e.elapsed_secs >= 0.0));
+        // Telemetry was collected alongside and parses back as a snapshot.
+        let snap: obs::Snapshot =
+            serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap())
+                .expect("valid metrics snapshot json");
+        assert!(snap.counter("mc.runner.runs").unwrap_or(0) > 0);
+        runs.push(parsed);
+    }
+    let baseline = runs[0].strip_timing();
+    for run in &runs[1..] {
+        assert_eq!(baseline, run.strip_timing());
+    }
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -39,6 +39,7 @@ mod model;
 pub mod pairs;
 mod scaling;
 mod survival;
+mod telemetry;
 
 pub use compare::{ModelComparison, ModelRow};
 pub use model::{ReliabilityModel, TrialScratch, DEFAULT_M};

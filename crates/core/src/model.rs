@@ -221,11 +221,13 @@ impl ReliabilityModel {
 
     fn survival_runner(&self, runner: Runner, trials: u64) -> BernoulliEstimate {
         let this = *self;
-        runner.bernoulli_scratch(
-            trials,
-            move || this.scratch(),
-            move |scratch, rng| this.simulate_survival_once_scratch(scratch, rng),
-        )
+        crate::telemetry::timed_run(self.model, trials, move || {
+            runner.bernoulli_scratch(
+                trials,
+                move || this.scratch(),
+                move |scratch, rng| this.simulate_survival_once_scratch(scratch, rng),
+            )
+        })
     }
 
     /// Empirical distribution of the per-thread window growth `γ = Γ − 2`,
@@ -245,15 +247,17 @@ impl ReliabilityModel {
 
     fn histogram_runner(&self, runner: Runner, trials: u64) -> Histogram {
         let this = *self;
-        runner.histogram_scratch(
-            trials,
-            move || this.scratch(),
-            move |scratch, rng| {
-                this.generator().regenerate(&mut scratch.program, rng);
-                this.settler
-                    .sample_gamma_scratch(&scratch.program, &mut scratch.settle, rng)
-            },
-        )
+        crate::telemetry::timed_run(self.model, trials, move || {
+            runner.histogram_scratch(
+                trials,
+                move || this.scratch(),
+                move |scratch, rng| {
+                    this.generator().regenerate(&mut scratch.program, rng);
+                    this.settler
+                        .sample_gamma_scratch(&scratch.program, &mut scratch.settle, rng)
+                },
+            )
+        })
     }
 }
 

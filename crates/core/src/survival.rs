@@ -64,14 +64,16 @@ impl ReliabilityModel {
 
     fn rb_runner(&self, runner: Runner, trials: u64) -> RbSurvival {
         let this = *self;
-        let stats: Welford = runner.mean_scratch(
-            trials,
-            move || this.scratch(),
-            move |scratch, rng| {
-                let windows = this.sample_windows_scratch(scratch, rng);
-                exchangeable::sample_factor(windows, 2)
-            },
-        );
+        let stats: Welford = crate::telemetry::timed_run(self.memory_model(), trials, move || {
+            runner.mean_scratch(
+                trials,
+                move || this.scratch(),
+                move |scratch, rng| {
+                    let windows = this.sample_windows_scratch(scratch, rng);
+                    exchangeable::sample_factor(windows, 2)
+                },
+            )
+        });
         let mean = stats.mean();
         RbSurvival {
             log2_survival: exchangeable::log2_survival(

@@ -36,6 +36,7 @@ pub mod pool;
 mod rng;
 mod runner;
 mod stats;
+mod telemetry;
 
 pub use chi2::{chi_square_gof, GofResult};
 pub use error::Error;

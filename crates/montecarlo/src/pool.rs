@@ -21,9 +21,15 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
 
-/// A unit of queued work.
-type Ticket = Box<dyn FnOnce() + Send + 'static>;
+/// A unit of queued work, stamped at submission so the pool can report
+/// queue wait. The stamp is `None` whenever telemetry is off, keeping the
+/// disabled path free of clock reads.
+struct Ticket {
+    enqueued: Option<Instant>,
+    run: Box<dyn FnOnce() + Send + 'static>,
+}
 
 /// Pool state behind the queue mutex.
 struct Queue {
@@ -62,12 +68,19 @@ fn pool() -> &'static Pool {
 /// Enqueues a ticket, spawning a new detached worker when no idle worker
 /// could pick it up. Workers are never torn down; across a whole process
 /// the pool converges on the peak concurrency actually requested.
-fn submit(ticket: Ticket) {
+fn submit(run: Box<dyn FnOnce() + Send + 'static>) {
+    let tele = crate::telemetry::pool();
+    tele.tickets_submitted.inc();
+    let ticket = Ticket {
+        enqueued: obs::recording().then(Instant::now),
+        run,
+    };
     let p = pool();
     let mut q = lock(&p.queue);
     q.tickets.push_back(ticket);
     if q.tickets.len() > q.idle {
         q.spawned += 1;
+        tele.workers_spawned.set(q.spawned as u64);
         let name = format!("mc-pool-{}", q.spawned);
         drop(q);
         // A failed spawn is fine: the ticket stays queued and the
@@ -85,9 +98,20 @@ fn worker_loop(p: &'static Pool) {
     loop {
         if let Some(ticket) = q.tickets.pop_front() {
             drop(q);
+            let tele = crate::telemetry::pool();
+            if let Some(enqueued) = ticket.enqueued {
+                tele.queue_wait_us.record(enqueued.elapsed().as_micros() as u64);
+            }
+            tele.workers_busy.inc();
+            let started = obs::recording().then(Instant::now);
             // Isolate the pool from panicking tickets; scatter tickets
             // record the panic payload and re-raise it at the join point.
-            let _ = catch_unwind(AssertUnwindSafe(ticket));
+            let _ = catch_unwind(AssertUnwindSafe(ticket.run));
+            if let Some(started) = started {
+                tele.ticket_busy_us.record(started.elapsed().as_micros() as u64);
+            }
+            tele.workers_busy.dec();
+            tele.tickets_run.inc();
             q = lock(&p.queue);
         } else {
             q.idle += 1;
@@ -161,6 +185,7 @@ where
     if count == 0 {
         return Vec::new();
     }
+    crate::telemetry::pool().scatter_calls.inc();
     let state = Arc::new(Scatter {
         job,
         count,

@@ -104,6 +104,10 @@ struct Ctl {
     completed: AtomicU64,
     cancel: AtomicBool,
     retried: AtomicU64,
+    /// Trials requested, so the progress heartbeat can report done/total.
+    target: u64,
+    /// Set when an expired deadline had to keep running for `min_trials`.
+    floor_bound: AtomicBool,
 }
 
 impl Runner {
@@ -255,11 +259,15 @@ impl Runner {
         }
         let n_chunks =
             usize::try_from(trials.div_ceil(CHUNK_WIDTH)).expect("chunk count fits in usize");
+        let tele = crate::telemetry::runner();
+        tele.runs.inc();
         let ctl = Arc::new(Ctl {
             start: Instant::now(),
             completed: AtomicU64::new(0),
             cancel: AtomicBool::new(false),
             retried: AtomicU64::new(0),
+            target: trials,
+            floor_bound: AtomicBool::new(false),
         });
         // The base accumulator is taken before `init` moves into the job.
         let mut value = init();
@@ -273,7 +281,15 @@ impl Runner {
                 // contribute an empty chunk instead of wasted work.
                 return ChunkOutcome::Done { acc: init(), ran: 0 };
             }
-            runner.run_chunk(idx, count, &scratch_init, &init, &trial, &fold, &job_ctl)
+            let tele = crate::telemetry::runner();
+            tele.chunks_claimed.inc();
+            let chunk_started = obs::recording().then(Instant::now);
+            let outcome =
+                runner.run_chunk(idx, count, &scratch_init, &init, &trial, &fold, &job_ctl);
+            if let Some(started) = chunk_started {
+                tele.chunk_wall_us.record(started.elapsed().as_micros() as u64);
+            }
+            outcome
         });
 
         let mut trials_completed = 0u64;
@@ -293,11 +309,19 @@ impl Runner {
                 }
             }
         }
+        let truncated = trials_completed < trials;
+        tele.trials_completed.add(trials_completed);
+        if truncated {
+            tele.deadline_truncations.inc();
+        }
+        if ctl.floor_bound.load(Ordering::Relaxed) {
+            tele.min_trials_floor_hits.inc();
+        }
         Ok(RunReport {
             value,
             trials_requested: trials,
             trials_completed,
-            truncated: trials_completed < trials,
+            truncated,
             retried_chunks: ctl.retried.load(Ordering::Relaxed),
         })
     }
@@ -340,10 +364,17 @@ impl Runner {
                     ran += batch;
                     counted.set(counted.get() + batch);
                     let total = ctl.completed.fetch_add(batch, Ordering::Relaxed) + batch;
+                    obs::progress::tick("trials", total, ctl.target, ctl.start);
                     if let Some(limit) = self.deadline {
-                        if total >= self.min_trials && ctl.start.elapsed() >= limit {
-                            ctl.cancel.store(true, Ordering::Relaxed);
-                            break;
+                        if ctl.start.elapsed() >= limit {
+                            if total >= self.min_trials {
+                                ctl.cancel.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                            // Deadline expired but the statistical floor
+                            // has not been met yet: keep going, remember
+                            // the floor was what kept this run alive.
+                            ctl.floor_bound.store(true, Ordering::Relaxed);
                         }
                     }
                 }
@@ -365,6 +396,7 @@ impl Runner {
                         };
                     }
                     ctl.retried.fetch_add(1, Ordering::Relaxed);
+                    crate::telemetry::runner().chunks_retried.inc();
                 }
             }
         }

@@ -1,0 +1,79 @@
+//! Cached telemetry handles for the runner and pool hot paths.
+//!
+//! Handles into the [`obs::global`] registry are resolved once per process
+//! (a `OnceLock` each) so instrumented code never touches the registry
+//! lock. Everything recorded here is strictly out-of-band — chunk- or
+//! ticket-granularity counters and timings that cannot influence RNG
+//! streams, chunk tiling, or merge order. With `montecarlo` built without
+//! its `telemetry` feature, every handle is a zero-sized no-op.
+
+use std::sync::OnceLock;
+
+/// Runner-level metrics (`mc.runner.*`).
+pub(crate) struct RunnerMetrics {
+    /// Completed `try_fold_scratch` runs (every entry point funnels here).
+    pub runs: obs::Counter,
+    /// Trials that contributed to merged results.
+    pub trials_completed: obs::Counter,
+    /// Chunks claimed and executed (excludes cancelled empty chunks).
+    pub chunks_claimed: obs::Counter,
+    /// Chunk attempts that panicked and were replayed.
+    pub chunks_retried: obs::Counter,
+    /// Runs a deadline stopped before `trials_requested`.
+    pub deadline_truncations: obs::Counter,
+    /// Runs where an expired deadline had to keep going for `min_trials`.
+    pub min_trials_floor_hits: obs::Counter,
+    /// Wall time of one chunk (all attempts), microseconds.
+    pub chunk_wall_us: obs::Histogram,
+}
+
+pub(crate) fn runner() -> &'static RunnerMetrics {
+    static METRICS: OnceLock<RunnerMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let g = obs::global();
+        RunnerMetrics {
+            runs: g.counter("mc.runner.runs"),
+            trials_completed: g.counter("mc.runner.trials_completed"),
+            chunks_claimed: g.counter("mc.runner.chunks_claimed"),
+            chunks_retried: g.counter("mc.runner.chunks_retried"),
+            deadline_truncations: g.counter("mc.runner.deadline_truncations"),
+            min_trials_floor_hits: g.counter("mc.runner.min_trials_floor_hits"),
+            chunk_wall_us: g.histogram("mc.runner.chunk_wall_us"),
+        }
+    })
+}
+
+/// Pool-level metrics (`mc.pool.*`).
+pub(crate) struct PoolMetrics {
+    /// `scatter` dispatches.
+    pub scatter_calls: obs::Counter,
+    /// Tickets enqueued (scatter helpers requested of the pool).
+    pub tickets_submitted: obs::Counter,
+    /// Tickets a pool worker finished running.
+    pub tickets_run: obs::Counter,
+    /// Workers ever spawned (high-water mark of requested concurrency).
+    pub workers_spawned: obs::Gauge,
+    /// Workers currently running a ticket (occupancy; excludes the
+    /// submitting thread, which always participates directly).
+    pub workers_busy: obs::Gauge,
+    /// Queue wait from submit to pop, microseconds.
+    pub queue_wait_us: obs::Histogram,
+    /// Time a worker spent inside one ticket, microseconds.
+    pub ticket_busy_us: obs::Histogram,
+}
+
+pub(crate) fn pool() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let g = obs::global();
+        PoolMetrics {
+            scatter_calls: g.counter("mc.pool.scatter_calls"),
+            tickets_submitted: g.counter("mc.pool.tickets_submitted"),
+            tickets_run: g.counter("mc.pool.tickets_run"),
+            workers_spawned: g.gauge("mc.pool.workers_spawned"),
+            workers_busy: g.gauge("mc.pool.workers_busy"),
+            queue_wait_us: g.histogram("mc.pool.queue_wait_us"),
+            ticket_busy_us: g.histogram("mc.pool.ticket_busy_us"),
+        }
+    })
+}

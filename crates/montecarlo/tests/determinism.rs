@@ -119,6 +119,33 @@ fn scratch_kernels_identical_across_thread_counts() {
 }
 
 #[test]
+fn rng_stream_checksum_unchanged_by_telemetry() {
+    // Telemetry is out-of-band by construction; this pins it empirically.
+    // The same order-sensitive checksum as above, with metric recording
+    // explicitly enabled, must match at every thread count. (Recording is
+    // the default, so the other tests in this suite double as coverage of
+    // the instrumented path; this one makes the claim explicit.)
+    obs::set_recording(true);
+    let run = |threads| {
+        Runner::new(Seed(2015)).with_threads(threads).fold(
+            TRIALS,
+            || 0u64,
+            |rng| rng.gen::<u64>(),
+            |acc, x| *acc = acc.wrapping_mul(0x100_0003).wrapping_add(x),
+            |a, b| *a = a.wrapping_mul(0x9E37_79B9).wrapping_add(b),
+        )
+    };
+    let base = run(1);
+    for threads in THREADS {
+        assert_eq!(run(threads), base, "telemetry perturbed threads={threads}");
+    }
+    assert!(
+        obs::snapshot().counter("mc.runner.runs").unwrap_or(0) >= 5,
+        "recording was on, runner metrics must have advanced"
+    );
+}
+
+#[test]
 fn repeated_runs_are_stable() {
     // Same seed + same workload twice at an asymmetric thread count: the
     // dynamic chunk-claim order differs run to run, the result must not.

@@ -1,0 +1,200 @@
+//! In-process telemetry for the reproduction: a metrics registry of atomic
+//! counters/gauges/histograms, RAII span timers with a ring-buffer event
+//! sink, a throttled progress heartbeat, and a small leveled stderr logger.
+//!
+//! The crate exists so that the Monte-Carlo stack (pool → runner → model →
+//! experiments) can report what it is doing without perturbing what it
+//! computes. Two invariants define the design:
+//!
+//! * **Strictly out-of-band.** Telemetry never touches an RNG stream,
+//!   never reorders work, and never feeds back into any seeded
+//!   computation. Handles are updated with relaxed atomics off the hot
+//!   path (per chunk / per run, never per trial), so every seeded result
+//!   is bit-for-bit identical whether collection is on, off, or absent.
+//! * **The disabled path is a compile-time no-op.** Built without the
+//!   `enabled` feature (`--no-default-features`), every handle is a
+//!   zero-sized struct with empty inlined methods and [`snapshot`] returns
+//!   an empty [`Snapshot`]. A runtime master switch ([`set_recording`])
+//!   additionally pauses collection in `enabled` builds, which is what the
+//!   overhead benchmarks toggle.
+//!
+//! Collection is process-global: every crate in the workspace feeds the
+//! same [`global`] registry, and a binary emits one JSON [`Snapshot`] at
+//! exit (the `--metrics <path>` flag).
+//!
+//! # Example
+//!
+//! ```
+//! let hits = obs::global().counter("example.hits");
+//! hits.add(3);
+//! let snap = obs::snapshot();
+//! # #[cfg(feature = "enabled")]
+//! assert!(snap.counter("example.hits").unwrap() >= 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod log;
+mod metrics;
+pub mod progress;
+mod span;
+
+pub use metrics::{
+    Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramBucket,
+    HistogramSnapshot, Registry,
+};
+pub use span::{span, SpanEventSnapshot, SpanGuard, SpanSnapshot};
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The process-wide registry every instrumented crate records into.
+#[must_use]
+pub fn global() -> &'static Registry {
+    static GLOBAL: Registry = Registry::new();
+    &GLOBAL
+}
+
+/// Runtime master switch; collection starts enabled.
+static RECORDING: AtomicBool = AtomicBool::new(true);
+
+/// Pauses (`false`) or resumes (`true`) all metric and span collection at
+/// runtime. Purely observational: results of instrumented code are
+/// identical either way.
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Ordering::Relaxed);
+}
+
+/// Whether collection is currently recording (always `false` in builds
+/// without the `enabled` feature).
+#[must_use]
+pub fn recording() -> bool {
+    cfg!(feature = "enabled") && RECORDING.load(Ordering::Relaxed)
+}
+
+/// One coherent JSON-serializable view of everything collected so far:
+/// counters, gauges, histograms, per-name span aggregates, and the recent
+/// span events still in the ring buffer. Collection is out-of-band, so a
+/// snapshot may be taken at any time from any thread.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Per-name span aggregates, sorted by name.
+    pub spans: Vec<SpanSnapshot>,
+    /// The most recent span events, oldest first (bounded ring buffer).
+    pub span_events: Vec<SpanEventSnapshot>,
+}
+
+impl Snapshot {
+    /// The value of a counter, if present.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// The value of a gauge, if present.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// A histogram by name, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// A span aggregate by name, if present.
+    #[must_use]
+    pub fn span(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+}
+
+/// Snapshots the [`global`] registry plus the span sink.
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    let mut snap = global().snapshot();
+    let (spans, span_events) = span::snapshot();
+    snap.spans = spans;
+    snap.span_events = span_events;
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The master switch is process-global, so tests that toggle or depend
+    /// on it serialize through this lock.
+    fn recording_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn recording_switch_roundtrips() {
+        let _guard = recording_lock();
+        set_recording(true);
+        assert_eq!(recording(), cfg!(feature = "enabled"));
+        set_recording(false);
+        assert!(!recording());
+        set_recording(true);
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_build_is_a_zero_sized_no_op() {
+        assert_eq!(std::mem::size_of::<Counter>(), 0);
+        assert_eq!(std::mem::size_of::<Gauge>(), 0);
+        assert_eq!(std::mem::size_of::<Histogram>(), 0);
+        assert_eq!(std::mem::size_of::<SpanGuard>(), 0);
+        let c = global().counter("disabled.counter");
+        c.add(7);
+        let h = global().histogram("disabled.hist");
+        h.record(7);
+        drop(span("disabled.span"));
+        let snap = snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.spans.is_empty());
+        assert!(snap.span_events.is_empty());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn snapshot_sees_global_updates() {
+        let _guard = recording_lock();
+        let c = global().counter("lib.test.counter");
+        c.add(41);
+        c.inc();
+        let g = global().gauge("lib.test.gauge");
+        g.set(17);
+        let h = global().histogram("lib.test.hist");
+        h.record(100);
+        drop(span("lib.test.span"));
+        let snap = snapshot();
+        assert!(snap.counter("lib.test.counter").unwrap() >= 42);
+        assert_eq!(snap.gauge("lib.test.gauge"), Some(17));
+        assert!(snap.histogram("lib.test.hist").unwrap().count >= 1);
+        assert!(snap.span("lib.test.span").unwrap().count >= 1);
+        assert!(snap.counter("lib.test.missing").is_none());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn paused_recording_drops_updates() {
+        let _guard = recording_lock();
+        let c = global().counter("lib.test.paused");
+        set_recording(false);
+        c.add(1000);
+        set_recording(true);
+        assert_eq!(snapshot().counter("lib.test.paused"), Some(0));
+    }
+}

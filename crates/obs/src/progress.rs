@@ -1,0 +1,115 @@
+//! Opt-in throttled progress heartbeat on stderr.
+//!
+//! The Monte-Carlo runner calls [`tick`] once per completed chunk; when
+//! progress is enabled (`--progress`) and at least [`MIN_INTERVAL_MS`] has
+//! elapsed since the last line, one `progress: …` line with done/total,
+//! percentage, trials/sec, and an ETA is printed. The throttle is a single
+//! relaxed compare-exchange on a timestamp cell, so the disabled path (the
+//! default) costs one atomic load per chunk and prints nothing.
+//!
+//! Progress output is observational only: it never feeds back into the
+//! computation, and it goes to stderr so piped stdout stays clean.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Minimum milliseconds between heartbeat lines.
+pub const MIN_INTERVAL_MS: u64 = 500;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Milliseconds (since [`clock`] epoch) of the last printed line.
+static LAST_PRINT_MS: AtomicU64 = AtomicU64::new(0);
+
+fn clock() -> Instant {
+    static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Turns the heartbeat on or off (off by default; `--progress` turns it on).
+pub fn set_enabled(on: bool) {
+    // Pin the epoch before the first tick so elapsed math never underflows.
+    let _ = clock();
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether the heartbeat is currently enabled.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Reports progress of a run: `done` of `total` work units complete,
+/// `started` when the run began. Throttled; most calls return after one
+/// atomic load. `label` names the unit (e.g. `"trials"`).
+pub fn tick(label: &str, done: u64, total: u64, started: Instant) {
+    if !enabled() {
+        return;
+    }
+    let now_ms = clock().elapsed().as_millis() as u64;
+    let last = LAST_PRINT_MS.load(Ordering::Relaxed);
+    if now_ms.saturating_sub(last) < MIN_INTERVAL_MS {
+        return;
+    }
+    // One printer per interval; losers of the race skip quietly.
+    if LAST_PRINT_MS
+        .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+        .is_err()
+    {
+        return;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let rate = if elapsed > 0.0 {
+        done as f64 / elapsed
+    } else {
+        0.0
+    };
+    let pct = if total > 0 {
+        100.0 * done as f64 / total as f64
+    } else {
+        0.0
+    };
+    let eta = if rate > 0.0 && total > done {
+        (total - done) as f64 / rate
+    } else {
+        0.0
+    };
+    eprintln!(
+        "progress: {done}/{total} {label} ({pct:.1}%), {rate:.0} {label}/s, eta {eta:.1}s"
+    );
+}
+
+/// Prints one final un-throttled line for a finished run (only when
+/// enabled), so short runs that never crossed the throttle still report.
+pub fn finish(label: &str, done: u64, started: Instant) {
+    if !enabled() {
+        return;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let rate = if elapsed > 0.0 {
+        done as f64 / elapsed
+    } else {
+        0.0
+    };
+    eprintln!("progress: {done} {label} done in {elapsed:.2}s ({rate:.0} {label}/s)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tick_is_silent_and_cheap() {
+        // Default-off; tick must be callable without side effects.
+        assert!(!enabled());
+        tick("trials", 10, 100, Instant::now());
+        finish("trials", 10, Instant::now());
+    }
+
+    #[test]
+    fn toggle_roundtrips() {
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+    }
+}

@@ -13,6 +13,11 @@
 //! `--threads` is the *simulated* core count `n` of the model; `--workers`
 //! is how many OS threads run the Monte-Carlo trials. Workers only change
 //! wall-clock time — every result is identical for any worker count.
+//!
+//! Observability flags (all strictly out-of-band — no result changes):
+//! `--metrics FILE` writes the process telemetry snapshot as JSON at exit,
+//! `--progress` enables a throttled stderr heartbeat during long runs, and
+//! `--quiet` suppresses status lines (errors still print).
 
 use memmodel::MemoryModel;
 use mmreliab::analytic::general::{GeneralWindowLaws, Params};
@@ -32,6 +37,9 @@ struct Args {
     m: usize,
     param: String,
     workers: usize,
+    metrics: Option<std::path::PathBuf>,
+    progress: bool,
+    quiet: bool,
 }
 
 fn parse_args() -> Result<Args, mmreliab::Error> {
@@ -46,6 +54,9 @@ fn parse_args() -> Result<Args, mmreliab::Error> {
         workers: std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1),
+        metrics: None,
+        progress: false,
+        quiet: false,
     };
     let invalid = mmreliab::Error::InvalidArgs;
     let mut it = std::env::args().skip(1);
@@ -60,6 +71,9 @@ fn parse_args() -> Result<Args, mmreliab::Error> {
             "--m" => args.m = value()?.parse().map_err(|e| invalid(format!("{e}")))?,
             "--param" => args.param = value()?,
             "--workers" => args.workers = value()?.parse().map_err(|e| invalid(format!("{e}")))?,
+            "--metrics" => args.metrics = Some(value()?.into()),
+            "--progress" => args.progress = true,
+            "--quiet" => args.quiet = true,
             other => return Err(invalid(format!("unknown flag {other}\n{}", usage()))),
         }
     }
@@ -82,7 +96,7 @@ fn usage() -> String {
     String::from(
         "usage: mmreliab <table1|survival|windows|trace|opsim|litmus|sweep> \
          [--model sc|tso|pso|wo] [--threads N] [--trials N] [--seed S] [--m M] [--param s|p|q] \
-         [--workers W]",
+         [--workers W] [--metrics FILE] [--progress] [--quiet]",
     )
 }
 
@@ -94,6 +108,10 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.quiet {
+        obs::log::set_level(obs::log::Level::Quiet);
+    }
+    obs::progress::set_enabled(args.progress);
     let result = match args.command.as_str() {
         "table1" => {
             cmd_table1();
@@ -128,6 +146,14 @@ fn main() {
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);
+    }
+    if let Some(path) = &args.metrics {
+        let json = serde_json::to_string_pretty(&obs::snapshot()).expect("serializable snapshot");
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: cannot write metrics snapshot {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        obs::info!("metrics snapshot written to {}", path.display());
     }
 }
 

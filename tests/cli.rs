@@ -107,6 +107,50 @@ fn survival_output_is_identical_across_worker_counts() {
 }
 
 #[test]
+fn metrics_flag_writes_parseable_snapshot_and_quiet_is_quiet() {
+    let dir = std::env::temp_dir().join(format!("mmreliab-cli-metrics-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("metrics.json");
+
+    let (ok, stdout, stderr) = run(&[
+        "survival",
+        "--model",
+        "tso",
+        "--trials",
+        "4000",
+        "--seed",
+        "5",
+        "--quiet",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    // Results go to stdout regardless of --quiet; status lines are gone.
+    assert!(stdout.contains("paper bounds"));
+    assert!(stderr.is_empty(), "{stderr}");
+
+    let snap: obs::Snapshot =
+        serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap())
+            .expect("metrics snapshot parses");
+    assert!(snap.counter("mc.runner.trials_completed").unwrap_or(0) >= 4000);
+
+    // Telemetry flags do not perturb the seeded result.
+    let (ok_plain, plain, _) =
+        run(&["survival", "--model", "tso", "--trials", "4000", "--seed", "5"]);
+    assert!(ok_plain);
+    assert_eq!(stdout, plain);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn progress_flag_is_accepted() {
+    let (ok, stdout, _) = run(&["opsim", "--trials", "2000", "--progress"]);
+    assert!(ok, "{stdout}");
+}
+
+#[test]
 fn unknown_flag_fails_with_usage() {
     let (ok, _, stderr) = run(&["survival", "--bogus"]);
     assert!(!ok);

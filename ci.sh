@@ -11,19 +11,72 @@ cargo build --offline -p obs --no-default-features
 cargo test -q --offline -p obs --no-default-features
 cargo build --offline -p montecarlo --no-default-features
 
-# Fast benchmark smoke: the trajectory must run end to end and emit valid JSON.
-BENCH_OUT="$(mktemp -d)/BENCH_smoke.json"
-cargo run --release --offline -p mmr-bench --bin experiments -- bench --trials 2000 --out "$BENCH_OUT"
+# Fast benchmark smoke: the trajectory must run end to end and emit valid
+# JSON, plus structurally valid Chrome-trace and Prometheus exports.
+BENCH_DIR="$(mktemp -d)"
+BENCH_OUT="$BENCH_DIR/BENCH_smoke.json"
+cargo run --release --offline -p mmr-bench --bin experiments -- bench --trials 2000 \
+  --out "$BENCH_OUT" --trace "$BENCH_DIR/trace.json" \
+  --metrics "$BENCH_DIR/metrics.prom" --metrics-format prom
 grep -q '"trials_per_sec"' "$BENCH_OUT"
 grep -q '"joined_speedup_vs_legacy"' "$BENCH_OUT"
 grep -q '"chunk_width"' "$BENCH_OUT"
 grep -q '"telemetry_overhead"' "$BENCH_OUT"
-rm -rf "$(dirname "$BENCH_OUT")"
+grep -q '"history"' "$BENCH_OUT"
+# The trace must be JSON with a non-empty traceEvents array.
+python3 - "$BENCH_DIR/trace.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert isinstance(events, list) and events, "traceEvents must be non-empty"
+EOF
+# The exposition must lint clean: TYPE before samples, monotone cumulative
+# buckets, +Inf == _count.
+python3 - "$BENCH_DIR/metrics.prom" <<'EOF'
+import sys
+types, hist = {}, {}
+for line in open(sys.argv[1]):
+    line = line.rstrip("\n")
+    if line.startswith("# TYPE "):
+        _, _, name, kind = line.split(" ")
+        types[name] = kind
+        continue
+    if not line or line.startswith("#"):
+        continue
+    sample = line.split(" ")[0]
+    name = sample.split("{")[0]
+    base = name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            base = name[: -len(suffix)]
+    assert base in types, f"sample {name} has no TYPE declaration"
+    if types[base] == "histogram":
+        h = hist.setdefault(base, {"buckets": [], "count": None})
+        if name.endswith("_bucket"):
+            le = sample.split('le="')[1].split('"')[0]
+            h["buckets"].append((le, int(line.split(" ")[1])))
+        elif name.endswith("_count"):
+            h["count"] = int(line.split(" ")[1])
+for base, h in hist.items():
+    values = [v for _, v in h["buckets"]]
+    assert values == sorted(values), f"{base}: buckets not cumulative"
+    assert h["buckets"][-1][0] == "+Inf", f"{base}: missing +Inf bucket"
+    assert values[-1] == h["count"], f"{base}: +Inf != _count"
+print(f"prom lint ok: {len(types)} series, {len(hist)} histograms")
+EOF
+# Perf gate, warn-only: compare against the checked-in trajectory but do
+# not fail CI on throughput noise from the host running this script.
+cargo run --release --offline -p mmr-bench --bin experiments -- bench --trials 2000 \
+  --baseline BENCH_e2e.json --out "$BENCH_DIR/BENCH_gated.json" \
+  || echo "warning: perf gate regressed vs BENCH_e2e.json (soft check)"
+rm -rf "$BENCH_DIR"
 
 # Cross-thread-count determinism smoke: a seeded experiment run must emit
 # identical structured results at --threads 1 and --threads 4 once the
-# timing/environment metadata (elapsed_secs, threads, host_cores) is
-# filtered out — with telemetry collection live on both runs.
+# timing/environment metadata (elapsed_secs, threads, host_cores,
+# trials_per_sec) is filtered out — with telemetry collection live on both
+# runs. The statistical diagnostics (mean, ci95, rse) stay in the diff.
 DET_DIR="$(mktemp -d)"
 cargo run --release --offline -p mmr-bench --bin experiments -- \
   --quick --seed 20110606 --threads 1 --json "$DET_DIR/t1.json" \
@@ -31,12 +84,14 @@ cargo run --release --offline -p mmr-bench --bin experiments -- \
 cargo run --release --offline -p mmr-bench --bin experiments -- \
   --quick --seed 20110606 --threads 4 --json "$DET_DIR/t4.json" \
   --metrics "$DET_DIR/m4.json" lem42 thm62
-grep -vE '"(elapsed_secs|threads|host_cores)":' "$DET_DIR/t1.json" > "$DET_DIR/t1.stripped"
-grep -vE '"(elapsed_secs|threads|host_cores)":' "$DET_DIR/t4.json" > "$DET_DIR/t4.stripped"
+grep -vE '"(elapsed_secs|threads|host_cores|trials_per_sec)":' "$DET_DIR/t1.json" > "$DET_DIR/t1.stripped"
+grep -vE '"(elapsed_secs|threads|host_cores|trials_per_sec)":' "$DET_DIR/t4.json" > "$DET_DIR/t4.stripped"
 diff "$DET_DIR/t1.stripped" "$DET_DIR/t4.stripped"
 grep -q '"mc.runner.chunks_claimed"' "$DET_DIR/m4.json"
 rm -rf "$DET_DIR"
 
 # Metrics snapshot schema check: a full registry run with --metrics must
-# emit every runner/pool/per-model counter (validated in-process).
+# emit every runner/pool/per-model counter (validated in-process), and
+# METRICS.md must document every name such a run emits.
 cargo test -q --offline -p mmr-bench --test metrics_schema
+cargo test -q --offline -p mmr-bench --test metrics_doc

@@ -15,16 +15,29 @@
 //! and a restart skips everything already done under the same context.
 //!
 //! Telemetry is strictly out-of-band: `--metrics` dumps the process
-//! metric/span snapshot as JSON at exit, `--progress` enables a throttled
-//! stderr heartbeat, and neither changes any seeded result. `--quiet`
-//! suppresses status lines (errors still print; exit codes are unchanged).
+//! metric/span snapshot at exit (JSON by default, Prometheus text
+//! exposition with `--metrics-format prom`), `--trace` writes the span
+//! ring as Chrome trace-event JSON, `--progress` enables a throttled
+//! stderr heartbeat, and none of them change any seeded result. `--quiet`
+//! suppresses status lines (errors still print; exit codes are unchanged)
+//! and wins over `--progress`.
+//!
+//! `experiments bench --baseline BENCH_e2e.json` additionally runs the
+//! noise-aware perf-regression gate against the checked-in trajectory and
+//! exits non-zero on a regression.
 
 use mmr_bench::{checkpoint, registry, run_one_isolated, write_atomic, Ctx, RunResult};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: experiments [--quick] [--trials N] [--seed S] [--threads T] [--out FILE] [--json FILE] [--checkpoint FILE] [--metrics FILE] [--progress] [--quiet] [--list] [ids...]\n       experiments bench [--trials N] [--seed S] [--threads T] [--out FILE (default BENCH_e2e.json)] [--metrics FILE] [--quiet]\n\n--threads bounds worker parallelism only; results are identical for any value\n--metrics/--progress/--quiet are observational only and never change results";
+const USAGE: &str = "usage: experiments [--quick] [--trials N] [--seed S] [--threads T] [--out FILE] [--json FILE] [--checkpoint FILE] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--progress] [--quiet] [--list] [ids...]\n       experiments bench [--trials N] [--seed S] [--threads T] [--out FILE (default BENCH_e2e.json)] [--baseline FILE] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--quiet]\n\n--threads bounds worker parallelism only; results are identical for any value\n--metrics/--metrics-format/--trace/--progress/--quiet are observational only and never change results\nbench --baseline compares throughput against a prior BENCH_e2e.json and fails on regression";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Json,
+    Prom,
+}
 
 struct Args {
     ctx: Ctx,
@@ -33,6 +46,9 @@ struct Args {
     json_path: Option<PathBuf>,
     checkpoint_path: Option<PathBuf>,
     metrics_path: Option<PathBuf>,
+    metrics_format: MetricsFormat,
+    trace_path: Option<PathBuf>,
+    baseline_path: Option<PathBuf>,
     progress: bool,
     quiet: bool,
     list: bool,
@@ -47,6 +63,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
         json_path: None,
         checkpoint_path: None,
         metrics_path: None,
+        metrics_format: MetricsFormat::Json,
+        trace_path: None,
+        baseline_path: None,
         progress: false,
         quiet: false,
         list: false,
@@ -88,6 +107,20 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
             "--metrics" => {
                 parsed.metrics_path = Some(args.next().ok_or("--metrics needs a path")?.into());
             }
+            "--metrics-format" => {
+                let v = args.next().ok_or("--metrics-format needs json or prom")?;
+                parsed.metrics_format = match v.as_str() {
+                    "json" => MetricsFormat::Json,
+                    "prom" => MetricsFormat::Prom,
+                    other => return Err(format!("--metrics-format takes json or prom, got {other:?}")),
+                };
+            }
+            "--trace" => {
+                parsed.trace_path = Some(args.next().ok_or("--trace needs a path")?.into());
+            }
+            "--baseline" => {
+                parsed.baseline_path = Some(args.next().ok_or("--baseline needs a path")?.into());
+            }
             "--progress" => parsed.progress = true,
             "--quiet" => parsed.quiet = true,
             "--list" => parsed.list = true,
@@ -99,12 +132,25 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
     Ok(parsed)
 }
 
-/// Writes the process telemetry snapshot to `path` as pretty JSON.
-fn emit_metrics(path: &Path) -> Result<(), mmr_bench::Error> {
+/// Writes the process telemetry snapshot to `path` in the selected format.
+fn emit_metrics(path: &Path, format: MetricsFormat) -> Result<(), mmr_bench::Error> {
     let snapshot = obs::snapshot();
-    let json = serde_json::to_string_pretty(&snapshot).expect("serializable snapshot");
-    write_atomic(path, &json)?;
+    let text = match format {
+        MetricsFormat::Json => {
+            serde_json::to_string_pretty(&snapshot).expect("serializable snapshot")
+        }
+        MetricsFormat::Prom => obs::export::prometheus(&snapshot),
+    };
+    write_atomic(path, &text)?;
     obs::info!("metrics snapshot written to {}", path.display());
+    Ok(())
+}
+
+/// Writes the span ring as Chrome trace-event JSON to `path`.
+fn emit_trace(path: &Path) -> Result<(), mmr_bench::Error> {
+    let trace = obs::export::chrome_trace(&obs::snapshot());
+    write_atomic(path, &trace)?;
+    obs::info!("chrome trace written to {}", path.display());
     Ok(())
 }
 
@@ -121,7 +167,8 @@ fn main() -> ExitCode {
     if args.quiet {
         obs::log::set_level(obs::log::Level::Quiet);
     }
-    obs::progress::set_enabled(args.progress);
+    // --quiet wins over --progress: quiet means a silent stderr.
+    obs::progress::set_enabled(args.progress && !args.quiet);
 
     if args.help {
         println!("{USAGE}");
@@ -140,7 +187,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         return match run_bench(&args) {
-            Ok(()) => ExitCode::SUCCESS,
+            Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");
                 ExitCode::from(2)
@@ -157,24 +204,56 @@ fn main() -> ExitCode {
     }
 }
 
-/// The `bench` subcommand: measure kernel throughput and emit the
-/// machine-readable `BENCH_e2e.json` trajectory.
-fn run_bench(args: &Args) -> Result<(), mmr_bench::Error> {
+/// The `bench` subcommand: measure kernel throughput, optionally gate it
+/// against a baseline trajectory, and emit `BENCH_e2e.json`.
+///
+/// With `--baseline`, the written report's `history` is the baseline's
+/// accumulated history plus this run, and a throughput regression beyond
+/// the noise-aware tolerance exits with code 1.
+fn run_bench(args: &Args) -> Result<ExitCode, mmr_bench::Error> {
     let out = args
         .out_path
         .clone()
         .unwrap_or_else(|| PathBuf::from("BENCH_e2e.json"));
-    let report = mmr_bench::perf::run(args.ctx.trials, args.ctx.seed, args.ctx.threads);
+    let mut report = mmr_bench::perf::run(args.ctx.trials, args.ctx.seed, args.ctx.threads);
     if obs::log::enabled(obs::log::Level::Info) {
         eprint!("{}", report.summary());
     }
+
+    let mut regressed = false;
+    if let Some(path) = &args.baseline_path {
+        let text = std::fs::read_to_string(path).map_err(|source| mmr_bench::Error::Io {
+            path: path.clone(),
+            source,
+        })?;
+        let baseline: mmr_bench::perf::BenchReport =
+            serde_json::from_str(&text).map_err(|e| mmr_bench::Error::BadBaseline {
+                path: path.clone(),
+                detail: e.to_string(),
+            })?;
+        let outcome = mmr_bench::gate::compare(&baseline, &report);
+        eprint!("{}", outcome.render());
+        regressed = outcome.regressed;
+        // Accumulate the trajectory: baseline history, then this run.
+        let own = report.history.clone();
+        report.history = baseline.history;
+        report.history.extend(own);
+    }
+
     let json = serde_json::to_string_pretty(&report).expect("serializable report");
     write_atomic(&out, &json)?;
     obs::info!("benchmark trajectory written to {}", out.display());
-    if let Some(path) = &args.metrics_path {
-        emit_metrics(path)?;
+    if let Some(path) = &args.trace_path {
+        emit_trace(path)?;
     }
-    Ok(())
+    if let Some(path) = &args.metrics_path {
+        emit_metrics(path, args.metrics_format)?;
+    }
+    Ok(if regressed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn run(args: &Args) -> Result<ExitCode, mmr_bench::Error> {
@@ -241,6 +320,17 @@ fn run(args: &Args) -> Result<ExitCode, mmr_bench::Error> {
             r.artifact,
             r.report
         );
+        if !r.diagnostics.is_empty() {
+            report.push_str("convergence diagnostics (mean ± ci95, rse):\n\n");
+            for d in &r.diagnostics {
+                let _ = writeln!(
+                    report,
+                    "- `{}`: {:.6} ± {:.6} (rse {:.4}, {} trials, {:.0} trials/sec)",
+                    d.name, d.mean, d.ci95_half_width, d.rse, d.trials, d.trials_per_sec
+                );
+            }
+            report.push('\n');
+        }
     }
     let _ = write!(
         report,
@@ -268,8 +358,11 @@ fn run(args: &Args) -> Result<ExitCode, mmr_bench::Error> {
         None if args.json_path.is_none() => print!("{report}"),
         None => {}
     }
+    if let Some(path) = &args.trace_path {
+        emit_trace(path)?;
+    }
     if let Some(path) = &args.metrics_path {
-        emit_metrics(path)?;
+        emit_metrics(path, args.metrics_format)?;
     }
 
     let reproduced: usize = ordered.iter().map(|r| r.reproduced).sum();

@@ -20,13 +20,15 @@ pub fn run(ctx: &Ctx) -> String {
     let mut table = Table::new(vec!["i", "paper X_i", "measured", "covered"]);
     for (k, i) in [1usize, 2, 3, 4, 8, 16, 48].into_iter().enumerate() {
         let gen = ProgramGenerator::new(48);
-        let est = Runner::new(Seed(ctx.seed.wrapping_add(k as u64))).with_threads(ctx.threads).bernoulli(
-            ctx.trials,
-            move |rng| {
+        let report = Runner::new(Seed(ctx.seed.wrapping_add(k as u64)))
+            .with_threads(ctx.threads)
+            .try_bernoulli(ctx.trials, move |rng| {
                 let program = gen.generate(rng);
                 events::observe_bottom_store(&settler, &program, i, rng)
-            },
-        );
+            })
+            .expect("panic-free simulation");
+        crate::diag::record_report(format!("clm43.i{i}"), &report);
+        let est = report.value;
         let paper = recurrence::bottom_store_fraction(0.5, 0.5, i as u64);
         let covered = est.covers(paper, 0.999);
         ok &= covered;

@@ -55,24 +55,32 @@ pub fn run(ctx: &Ctx) -> String {
                 },
             );
             // End-to-end survival.
-            let est = Runner::new(Seed(seed ^ 1)).with_threads(ctx.threads).bernoulli_scratch(
-                ctx.trials / 2,
-                move || {
-                    (
-                        template(fence),
-                        SettleScratch::new(),
-                        [0u64; 2],
-                        ShiftScratch::with_capacity(2),
-                    )
-                },
-                move |(program, scratch, windows, shift), rng| {
-                    gen.regenerate(program, rng);
-                    for w in windows.iter_mut() {
-                        *w = settler.sample_gamma_scratch(program, scratch, rng) + 2;
-                    }
-                    ShiftProcess::canonical().simulate_disjoint_into(&windows[..], shift, rng)
-                },
+            let report = Runner::new(Seed(seed ^ 1))
+                .with_threads(ctx.threads)
+                .try_bernoulli_scratch(
+                    ctx.trials / 2,
+                    move || {
+                        (
+                            template(fence),
+                            SettleScratch::new(),
+                            [0u64; 2],
+                            ShiftScratch::with_capacity(2),
+                        )
+                    },
+                    move |(program, scratch, windows, shift), rng| {
+                        gen.regenerate(program, rng);
+                        for w in windows.iter_mut() {
+                            *w = settler.sample_gamma_scratch(program, scratch, rng) + 2;
+                        }
+                        ShiftProcess::canonical().simulate_disjoint_into(&windows[..], shift, rng)
+                    },
+                )
+                .expect("panic-free simulation");
+            crate::diag::record_report(
+                format!("fence.{}.v{vi}", model.short_name()),
+                &report,
             );
+            let est = report.value;
             if fence.is_some() {
                 // Fenced windows must be pinned at gamma = 0 for these
                 // placements (nothing can hoist past the barrier).

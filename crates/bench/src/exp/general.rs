@@ -157,9 +157,9 @@ pub fn run(ctx: &Ctx) -> String {
     let sim = |model: MemoryModel, salt: u64| {
         let st = settler(model, 0.8);
         let gen = ProgramGenerator::new(M);
-        Runner::new(Seed(ctx.seed ^ salt))
+        let report = Runner::new(Seed(ctx.seed ^ salt))
             .with_threads(ctx.threads)
-            .bernoulli_scratch(
+            .try_bernoulli_scratch(
                 ctx.trials,
                 move || (blank_program(), SettleScratch::new(), [0u64; 2], ShiftScratch::new()),
                 move |(program, scratch, windows, shift), rng| {
@@ -170,6 +170,12 @@ pub fn run(ctx: &Ctx) -> String {
                     ShiftProcess::canonical().simulate_disjoint_into(&windows[..], shift, rng)
                 },
             )
+            .expect("panic-free simulation");
+        crate::diag::record_report(
+            format!("general.high_s.{}", model.short_name()),
+            &report,
+        );
+        report.value
     };
     let wo_sim = sim(MemoryModel::Wo, 0x701);
     let tso_sim = sim(MemoryModel::Tso, 0x702);

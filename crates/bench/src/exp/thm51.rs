@@ -30,13 +30,16 @@ pub fn run(ctx: &Ctx) -> String {
         let rational = exact::pr_disjoint_exact(lengths).to_f64();
         let agree = (perm - dp).abs() < 1e-10 && (dp - rational).abs() < 1e-10;
         let proc = ShiftProcess::canonical();
-        let est = Runner::new(Seed(ctx.seed.wrapping_add(i as u64)))
+        let report = Runner::new(Seed(ctx.seed.wrapping_add(i as u64)))
             .with_threads(ctx.threads)
-            .bernoulli_scratch(
-            ctx.trials,
-            move || ShiftScratch::with_capacity(lengths.len()),
-            move |scratch, rng| proc.simulate_disjoint_into(lengths, scratch, rng),
-        );
+            .try_bernoulli_scratch(
+                ctx.trials,
+                move || ShiftScratch::with_capacity(lengths.len()),
+                move |scratch, rng| proc.simulate_disjoint_into(lengths, scratch, rng),
+            )
+            .expect("panic-free simulation");
+        crate::diag::record_report(format!("thm51.case{i}"), &report);
+        let est = report.value;
         let covered = est.covers(dp, 0.999);
         ok &= agree && covered;
         table.row(vec![

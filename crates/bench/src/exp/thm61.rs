@@ -48,25 +48,35 @@ pub fn run(ctx: &Ctx) -> String {
     // Position-invariance: the single-term factor must be exchangeable —
     // permuting a window vector changes the factor but not its expectation.
     let rm = ReliabilityModel::new(MemoryModel::Tso, 3);
-    let forward = Runner::new(Seed(ctx.seed ^ 0x611)).with_threads(ctx.threads).mean_scratch(
-        ctx.trials / 2,
-        move || rm.scratch(),
-        move |scratch, rng| {
-            let w = rm.sample_windows_scratch(scratch, rng);
-            exchangeable::sample_factor(w, 2)
-        },
-    );
-    let reversed = Runner::new(Seed(ctx.seed ^ 0x612)).with_threads(ctx.threads).mean_scratch(
-        ctx.trials / 2,
-        move || (rm.scratch(), Vec::new()),
-        move |(scratch, buf), rng| {
-            let w = rm.sample_windows_scratch(scratch, rng);
-            buf.clear();
-            buf.extend_from_slice(w);
-            buf.reverse();
-            exchangeable::sample_factor(buf, 2)
-        },
-    );
+    let forward_report = Runner::new(Seed(ctx.seed ^ 0x611))
+        .with_threads(ctx.threads)
+        .try_mean_scratch(
+            ctx.trials / 2,
+            move || rm.scratch(),
+            move |scratch, rng| {
+                let w = rm.sample_windows_scratch(scratch, rng);
+                exchangeable::sample_factor(w, 2)
+            },
+        )
+        .expect("panic-free simulation");
+    crate::diag::record_report("thm61.factor_forward", &forward_report);
+    let forward = forward_report.value;
+    let reversed_report = Runner::new(Seed(ctx.seed ^ 0x612))
+        .with_threads(ctx.threads)
+        .try_mean_scratch(
+            ctx.trials / 2,
+            move || (rm.scratch(), Vec::new()),
+            move |(scratch, buf), rng| {
+                let w = rm.sample_windows_scratch(scratch, rng);
+                buf.clear();
+                buf.extend_from_slice(w);
+                buf.reverse();
+                exchangeable::sample_factor(buf, 2)
+            },
+        )
+        .expect("panic-free simulation");
+    crate::diag::record_report("thm61.factor_reversed", &reversed_report);
+    let reversed = reversed_report.value;
     let rel = (forward.mean() - reversed.mean()).abs() / forward.mean();
     let sym_ok = rel < 0.05;
     ok &= sym_ok;

@@ -47,7 +47,16 @@ pub fn run(ctx: &Ctx) -> String {
     );
 
     // End-to-end simulation of every named model.
+    let started = std::time::Instant::now();
     let cmp = ModelComparison::run_with(2, ctx.trials, ctx.seed ^ 0x62, ctx.threads);
+    let cmp_elapsed = started.elapsed();
+    for row in cmp.rows() {
+        crate::diag::record(crate::diag::EstimatorDiag::from_stats(
+            format!("thm62.{}", row.model.short_name()),
+            &row.estimate,
+            cmp_elapsed,
+        ));
+    }
     out.push_str(&cmp.to_string());
 
     let mut ok = cmp.rows().iter().all(|r| r.consistent(0.999));

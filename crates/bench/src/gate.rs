@@ -1,0 +1,183 @@
+//! Noise-aware throughput regression gate over two [`BenchReport`]s.
+//!
+//! The gate compares per-pipeline `trials_per_sec` of a current run against
+//! a checked-in baseline (`BENCH_e2e.json`). Raw throughput is noisy —
+//! especially on shared or single-core hosts — so the pass/fail threshold
+//! is derived from the reports themselves: both runs carry telemetry
+//! on/off overhead arms (`joined_mt` vs `joined_mt_notel` per model) that
+//! measure the *same* workload twice, and the spread of those ratios
+//! around 1.0 is a direct read of the machine's run-to-run jitter. The
+//! tolerance is `clamp(0.30 + 2 * max |ratio - 1|, 0.30, 0.45)`: never
+//! tighter than 30% (ordinary scheduling noise), never looser than 45%
+//! (so a genuine 2x slowdown — ratio 0.5 — always fails).
+
+use crate::perf::BenchReport;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use textplot::BarChart;
+
+/// One pipeline's baseline-vs-current comparison.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct GateRow {
+    /// Pipeline id.
+    pub name: String,
+    /// Memory model short name, or `-`.
+    pub model: String,
+    /// Baseline throughput.
+    pub baseline_tps: f64,
+    /// Current throughput.
+    pub current_tps: f64,
+    /// `current / baseline`; below `1 - tolerance` regresses.
+    pub ratio: f64,
+    /// Whether this pipeline regressed.
+    pub regressed: bool,
+}
+
+/// The gate's verdict over every pipeline present in both reports.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct GateOutcome {
+    /// Per-pipeline comparisons, in the current report's order.
+    pub rows: Vec<GateRow>,
+    /// The noise-aware relative slowdown threshold used.
+    pub tolerance: f64,
+    /// Whether any pipeline regressed.
+    pub regressed: bool,
+}
+
+/// The relative-slowdown threshold for a baseline/current pair, derived
+/// from both reports' telemetry-overhead arms (see the module docs).
+#[must_use]
+pub fn tolerance(baseline: &BenchReport, current: &BenchReport) -> f64 {
+    let jitter = baseline
+        .telemetry_overhead
+        .iter()
+        .chain(current.telemetry_overhead.iter())
+        .map(|t| (t.throughput_ratio - 1.0).abs())
+        .fold(0.0f64, f64::max);
+    (0.30 + 2.0 * jitter).clamp(0.30, 0.45)
+}
+
+/// Compares `current` against `baseline`, pipeline by pipeline.
+///
+/// Pipelines are matched by `(name, model)`; pipelines present on only one
+/// side are skipped (the gate guards regressions, not coverage).
+#[must_use]
+pub fn compare(baseline: &BenchReport, current: &BenchReport) -> GateOutcome {
+    let tol = tolerance(baseline, current);
+    let mut rows = Vec::new();
+    for cur in &current.pipelines {
+        let Some(base) = baseline
+            .pipelines
+            .iter()
+            .find(|p| p.name == cur.name && p.model == cur.model)
+        else {
+            continue;
+        };
+        if base.trials_per_sec <= 0.0 {
+            continue;
+        }
+        let ratio = cur.trials_per_sec / base.trials_per_sec;
+        rows.push(GateRow {
+            name: cur.name.clone(),
+            model: cur.model.clone(),
+            baseline_tps: base.trials_per_sec,
+            current_tps: cur.trials_per_sec,
+            ratio,
+            regressed: ratio < 1.0 - tol,
+        });
+    }
+    GateOutcome {
+        regressed: rows.iter().any(|r| r.regressed),
+        tolerance: tol,
+        rows,
+    }
+}
+
+impl GateOutcome {
+    /// A human-readable comparison: a bar chart of current/baseline ratios
+    /// (1.00 = parity) with regressed pipelines called out.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "perf gate: {} pipelines, tolerance {:.0}% ({})",
+            self.rows.len(),
+            self.tolerance * 100.0,
+            if self.regressed { "REGRESSED" } else { "ok" }
+        );
+        let mut bars = BarChart::new(40);
+        for r in &self.rows {
+            let label = if r.model == "-" {
+                r.name.clone()
+            } else {
+                format!("{}/{}", r.name, r.model)
+            };
+            bars.bar(label, r.ratio);
+        }
+        out.push_str(&bars.render());
+        for r in self.rows.iter().filter(|r| r.regressed) {
+            let _ = writeln!(
+                out,
+                "REGRESSION {:<14} {:<4} {:>12.0} -> {:>12.0} trials/sec ({:.2}x)",
+                r.name, r.model, r.baseline_tps, r.current_tps, r.ratio
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf;
+
+    #[test]
+    fn clean_self_comparison_passes() {
+        let report = perf::run(500, 7, 1);
+        let outcome = compare(&report, &report);
+        assert!(!outcome.regressed);
+        assert_eq!(outcome.rows.len(), report.pipelines.len());
+        assert!(outcome.rows.iter().all(|r| (r.ratio - 1.0).abs() < 1e-12));
+        assert!(outcome.render().contains("perf gate"));
+    }
+
+    #[test]
+    fn doubled_baseline_regresses() {
+        // A baseline claiming 2x the throughput models a 50% slowdown in
+        // the current run: ratio 0.5 < 1 - 0.45, below even the loosest
+        // tolerance, so the gate must fail.
+        let report = perf::run(500, 7, 1);
+        let mut doctored = report.clone();
+        for p in &mut doctored.pipelines {
+            p.trials_per_sec *= 2.0;
+        }
+        let outcome = compare(&doctored, &report);
+        assert!(outcome.regressed);
+        assert!(outcome.rows.iter().all(|r| r.regressed));
+        assert!(outcome.render().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn tolerance_tracks_overhead_jitter_within_bounds() {
+        let report = perf::run(500, 7, 1);
+        let tol = tolerance(&report, &report);
+        assert!((0.30..=0.45).contains(&tol), "tolerance {tol}");
+        // Wildly jittery overhead arms saturate at the cap.
+        let mut noisy = report.clone();
+        for t in &mut noisy.telemetry_overhead {
+            t.throughput_ratio = 0.5;
+        }
+        assert_eq!(tolerance(&noisy, &report), 0.45);
+    }
+
+    #[test]
+    fn unmatched_pipelines_are_skipped() {
+        let report = perf::run(500, 7, 1);
+        let mut pruned = report.clone();
+        pruned.pipelines.retain(|p| p.name != "geom");
+        let outcome = compare(&pruned, &report);
+        assert!(outcome.rows.iter().all(|r| r.name != "geom"));
+        assert!(!outcome.regressed);
+    }
+}

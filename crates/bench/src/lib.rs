@@ -9,7 +9,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diag;
 pub mod exp;
+pub mod gate;
 pub mod perf;
 pub mod sweep;
 
@@ -40,6 +42,13 @@ pub enum Error {
         /// Why it was rejected.
         detail: String,
     },
+    /// A perf-gate baseline file exists but is not a benchmark report.
+    BadBaseline {
+        /// The baseline file.
+        path: PathBuf,
+        /// Why it was rejected.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -53,6 +62,9 @@ impl std::fmt::Display for Error {
             }
             Error::BadCheckpoint { path, detail } => {
                 write!(f, "bad checkpoint {}: {detail}", path.display())
+            }
+            Error::BadBaseline { path, detail } => {
+                write!(f, "bad perf baseline {}: {detail}", path.display())
             }
         }
     }
@@ -226,10 +238,14 @@ pub struct ExperimentResult {
     /// Number of individual checks that mismatched.
     pub mismatched: usize,
     /// Wall-clock seconds the experiment took. Timing only — every other
-    /// field is a deterministic function of `(trials, seed)`.
+    /// field except the diagnostics' throughput is a deterministic
+    /// function of `(trials, seed)`.
     pub elapsed_secs: f64,
     /// The full text section.
     pub report: String,
+    /// Convergence diagnostics of every named estimate the experiment
+    /// recorded (see [`diag`]); empty for purely analytic experiments.
+    pub diagnostics: Vec<diag::EstimatorDiag>,
 }
 
 /// Machine-readable result of a whole run (the `--json` output and the
@@ -265,6 +281,22 @@ impl RunResult {
         }
         stripped
     }
+
+    /// [`strip_timing`](RunResult::strip_timing) extended to the
+    /// diagnostics layer: per-estimator throughput is zeroed alongside the
+    /// environment fields. After stripping, everything left — including
+    /// every diagnostic mean, half-width, RSE, and trial count — is the
+    /// deterministic payload.
+    #[must_use]
+    pub fn strip_diagnostics(&self) -> RunResult {
+        let mut stripped = self.strip_timing();
+        for e in &mut stripped.experiments {
+            for d in &mut e.diagnostics {
+                d.trials_per_sec = 0.0;
+            }
+        }
+        stripped
+    }
 }
 
 /// Runs one experiment behind an unwind boundary.
@@ -275,12 +307,15 @@ impl RunResult {
 #[must_use]
 pub fn run_one_isolated(e: &Experiment, ctx: &Ctx) -> ExperimentResult {
     let run = e.run;
+    let session = diag::session();
     let started = std::time::Instant::now();
     let outcome = {
         let _span = obs::span(e.id);
         std::panic::catch_unwind(move || run(ctx))
     };
     let elapsed_secs = started.elapsed().as_secs_f64();
+    let diagnostics = session.drain();
+    drop(session);
     let tele = obs::global();
     tele.counter(&format!("exp.{}.runs", e.id)).inc();
     tele.counter(&format!("exp.{}.elapsed_us", e.id))
@@ -303,6 +338,7 @@ pub fn run_one_isolated(e: &Experiment, ctx: &Ctx) -> ExperimentResult {
         mismatched: report.matches("MISMATCH").count(),
         elapsed_secs,
         report,
+        diagnostics,
     }
 }
 

@@ -118,6 +118,40 @@ pub struct TelemetryOverhead {
     pub throughput_ratio: f64,
 }
 
+/// One pipeline's throughput in a [`TrajectoryEntry`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Pipeline id.
+    pub name: String,
+    /// Memory model short name, or `-`.
+    pub model: String,
+    /// Measured throughput at that revision.
+    pub trials_per_sec: f64,
+}
+
+/// A compact record of one bench run, kept in the report's `history` so
+/// `BENCH_e2e.json` accumulates a performance trajectory across revisions
+/// (the regression gate appends one entry per `--baseline` run).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TrajectoryEntry {
+    /// Source revision that produced the run (`git rev-parse --short`,
+    /// `"unknown"` outside a checkout).
+    pub git_rev: String,
+    /// Worker threads of the `joined_mt` pipelines.
+    pub threads: usize,
+    /// Trials per pipeline.
+    pub trials: u64,
+    /// Logical cores of the producing machine.
+    pub host_cores: usize,
+    /// Per-pipeline throughput at this revision.
+    pub points: Vec<TrajectoryPoint>,
+    /// Runner trials completed during this bench run alone (diagnostics
+    /// from a [`obs::Snapshot::diff`] over the run).
+    pub runner_trials: u64,
+    /// Runner chunks claimed during this bench run alone.
+    pub runner_chunks: u64,
+}
+
 /// The full machine-readable benchmark report (`BENCH_e2e.json`).
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct BenchReport {
@@ -125,6 +159,9 @@ pub struct BenchReport {
     pub trials: u64,
     /// RNG seed.
     pub seed: u64,
+    /// Source revision that produced the report (`"unknown"` outside a
+    /// git checkout).
+    pub git_rev: String,
     /// Worker threads used by the `joined_mt` pipelines.
     pub threads: usize,
     /// The runner's fixed chunk width (trials per pool task).
@@ -142,6 +179,23 @@ pub struct BenchReport {
     /// Telemetry snapshot taken after all pipelines ran: per-stage span
     /// timings, runner/pool counters, and per-model trial counts.
     pub telemetry: obs::Snapshot,
+    /// Performance trajectory: this run's [`TrajectoryEntry`], preceded by
+    /// the baseline's accumulated history when the regression gate ran.
+    pub history: Vec<TrajectoryEntry>,
+}
+
+/// The working tree's short revision, `"unknown"` when git is unavailable.
+#[must_use]
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
 }
 
 /// Timed repetitions per pipeline; the best (least-disturbed) one is
@@ -216,6 +270,7 @@ fn measure_batch(
 /// threads for the pool-dispatched `joined_mt` pipelines.
 #[must_use]
 pub fn run(trials: u64, seed: u64, threads: usize) -> BenchReport {
+    let before = obs::snapshot();
     let mut pipelines = Vec::new();
 
     // Raw geometric samplers: the flip loop vs the trailing_zeros trick.
@@ -339,18 +394,40 @@ pub fn run(trials: u64, seed: u64, threads: usize) -> BenchReport {
         pipelines.push(mt_notel);
     }
 
+    let telemetry = obs::snapshot();
+    let delta = telemetry.diff(&before);
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let git_rev = git_rev();
+    let entry = TrajectoryEntry {
+        git_rev: git_rev.clone(),
+        threads,
+        trials,
+        host_cores,
+        points: pipelines
+            .iter()
+            .map(|p| TrajectoryPoint {
+                name: p.name.clone(),
+                model: p.model.clone(),
+                trials_per_sec: p.trials_per_sec,
+            })
+            .collect(),
+        runner_trials: delta.counter("mc.runner.trials_completed").unwrap_or(0),
+        runner_chunks: delta.counter("mc.runner.chunks_claimed").unwrap_or(0),
+    };
     BenchReport {
         trials,
         seed,
+        git_rev,
         threads,
         chunk_width: montecarlo::CHUNK_WIDTH,
-        host_cores: std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
+        host_cores,
         pipelines,
         joined_speedup_vs_legacy: speedups,
         telemetry_overhead,
-        telemetry: obs::snapshot(),
+        telemetry,
+        history: vec![entry],
     }
 }
 
@@ -409,6 +486,15 @@ mod tests {
         // per-stage spans the bench just produced.
         assert!(report.telemetry.counter("mc.runner.runs").unwrap_or(0) >= 1);
         assert!(report.telemetry.span("bench.joined_mt").is_some());
+        // One trajectory entry covering this run alone, one point per
+        // pipeline, with the run's own runner activity attributed to it.
+        assert_eq!(report.history.len(), 1);
+        let entry = &report.history[0];
+        assert_eq!(entry.points.len(), report.pipelines.len());
+        assert_eq!(entry.git_rev, report.git_rev);
+        assert!(!entry.git_rev.is_empty());
+        assert!(entry.runner_trials >= 1);
+        assert!(entry.runner_chunks >= 1);
         let json = serde_json::to_string(&report).unwrap();
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);

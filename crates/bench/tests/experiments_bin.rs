@@ -60,10 +60,11 @@ fn rejects_bad_threads() {
 fn results_are_identical_across_thread_counts() {
     // The executor's determinism contract, observed end to end through the
     // binary: a seeded run's structured output is identical (modulo timing
-    // metadata, which strip_timing zeroes) whether the grid runs on one
-    // worker or eight — and telemetry collection does not perturb it.
+    // metadata and throughput diagnostics, which strip_diagnostics zeroes)
+    // whether the grid runs on one worker or eight — and telemetry
+    // collection does not perturb it.
     let dir = temp_dir("threads");
-    let base = ["--quick", "--seed", "7", "t1", "lem42"];
+    let base = ["--quick", "--seed", "7", "t1", "lem42", "thm51"];
     let mut runs: Vec<mmr_bench::RunResult> = Vec::new();
     for threads in ["1", "2", "3", "8"] {
         let json = dir.join(format!("t{threads}.json"));
@@ -95,10 +96,157 @@ fn results_are_identical_across_thread_counts() {
         assert!(snap.counter("mc.runner.runs").unwrap_or(0) > 0);
         runs.push(parsed);
     }
-    let baseline = runs[0].strip_timing();
+    let baseline = runs[0].strip_diagnostics();
+    assert!(
+        baseline.experiments.iter().any(|e| !e.diagnostics.is_empty()),
+        "estimator experiments should surface convergence diagnostics"
+    );
     for run in &runs[1..] {
-        assert_eq!(baseline, run.strip_timing());
+        assert_eq!(baseline, run.strip_diagnostics());
     }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn quiet_wins_over_progress() {
+    // The two stderr flags compose predictably: --quiet silences both the
+    // status lines and the --progress heartbeat.
+    let out = experiments(&["--quick", "--quiet", "--progress", "t1"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.is_empty(), "expected silent stderr, got: {stderr}");
+}
+
+#[test]
+fn unwritable_metrics_is_typed_error_after_results_land() {
+    // A bad --metrics path is a typed I/O error (exit 2) — and because
+    // exports run last, the partial results written before it are intact.
+    let dir = temp_dir("unwritable");
+    let json = dir.join("results.json");
+    let metrics = dir.join("no-such-subdir").join("metrics.json");
+    let out = experiments(&[
+        "--quick",
+        "--json",
+        json.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+        "t1",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot access"), "{stderr}");
+    let parsed: mmr_bench::RunResult =
+        serde_json::from_str(&std::fs::read_to_string(&json).unwrap())
+            .expect("results written before the failed export");
+    assert_eq!(parsed.experiments.len(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn trace_and_prom_exports_are_structurally_valid() {
+    let dir = temp_dir("exports");
+    let trace = dir.join("trace.json");
+    let prom = dir.join("metrics.prom");
+    let out = experiments(&[
+        "--quick",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--metrics",
+        prom.to_str().unwrap(),
+        "--metrics-format",
+        "prom",
+        "t1",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // The Chrome trace parses and carries at least the experiment span.
+    let parsed: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&trace).unwrap())
+            .expect("valid trace json");
+    let serde_json::Value::Object(fields) = &parsed else {
+        panic!("trace root should be an object");
+    };
+    let serde_json::Value::Array(events) = serde_json::Value::field(fields, "traceEvents")
+    else {
+        panic!("traceEvents should be an array");
+    };
+    assert!(!events.is_empty(), "trace should carry at least one span");
+
+    // The Prometheus exposition passes the exporter's own lint.
+    let text = std::fs::read_to_string(&prom).unwrap();
+    obs::export::lint(&text).expect("prom exposition lints clean");
+    assert!(text.contains("exp_t1_runs"), "{text}");
+
+    // An unknown format is rejected up front.
+    let out = experiments(&["--quick", "--metrics-format", "xml", "t1"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("json or prom"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bench_gate_fails_on_injected_regression_and_passes_clean() {
+    let dir = temp_dir("gate");
+    let first = dir.join("first.json");
+
+    let out = experiments(&["bench", "--trials", "400", "--out", first.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let report: mmr_bench::perf::BenchReport =
+        serde_json::from_str(&std::fs::read_to_string(&first).unwrap()).unwrap();
+
+    // Inject a 50% slowdown by doubling the baseline's throughput: even
+    // the loosest tolerance (45%) must flag it, and the process exits 1.
+    let mut doctored = report.clone();
+    for p in &mut doctored.pipelines {
+        p.trials_per_sec *= 2.0;
+    }
+    let baseline = dir.join("doctored.json");
+    std::fs::write(&baseline, serde_json::to_string_pretty(&doctored).unwrap()).unwrap();
+    let second = dir.join("second.json");
+    let out = experiments(&[
+        "bench",
+        "--trials",
+        "400",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--out",
+        second.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("REGRESSION"));
+
+    // A clean re-run against the genuine baseline passes and extends the
+    // trajectory with a second entry.
+    let third = dir.join("third.json");
+    let out = experiments(&[
+        "bench",
+        "--trials",
+        "400",
+        "--baseline",
+        first.to_str().unwrap(),
+        "--out",
+        third.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let chained: mmr_bench::perf::BenchReport =
+        serde_json::from_str(&std::fs::read_to_string(&third).unwrap()).unwrap();
+    assert_eq!(chained.history.len(), report.history.len() + 1);
+
+    // A garbage baseline is a typed error, not a panic.
+    std::fs::write(&baseline, "not json at all").unwrap();
+    let out = experiments(&[
+        "bench",
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--trials",
+        "400",
+        "--out",
+        second.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad perf baseline"));
+
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

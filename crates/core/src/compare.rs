@@ -118,12 +118,18 @@ impl fmt::Display for ModelComparison {
                 Some((lo, hi)) => format!("∈ ({lo:.6}, {hi:.6})"),
                 None => String::from("(no closed form)"),
             };
+            let (ci_lo, ci_hi) = row.estimate.wilson_ci(0.95);
             writeln!(
                 f,
-                "  {:<4} paper {:<22} measured {}",
+                "  {:<4} paper {:<22} measured {:.6} ± {:.6} [{:.6}, {:.6}] ({}/{})",
                 row.model.short_name(),
                 bounds,
-                row.estimate
+                row.estimate.point(),
+                (ci_hi - ci_lo) / 2.0,
+                ci_lo,
+                ci_hi,
+                row.estimate.successes(),
+                row.estimate.trials()
             )?;
         }
         Ok(())

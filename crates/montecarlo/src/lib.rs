@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 mod chi2;
+mod converge;
 mod error;
 #[cfg(any(test, feature = "fault-inject"))]
 pub mod fault;
@@ -39,8 +40,9 @@ mod stats;
 mod telemetry;
 
 pub use chi2::{chi_square_gof, GofResult};
+pub use converge::EstimatorStats;
 pub use error::Error;
 pub use hist::Histogram;
 pub use rng::{task_rng, Seed};
 pub use runner::{RunReport, Runner, CHUNK_WIDTH};
-pub use stats::{BernoulliEstimate, Welford};
+pub use stats::{normal_quantile, BernoulliEstimate, Welford};

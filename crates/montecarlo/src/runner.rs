@@ -62,6 +62,7 @@ pub struct Runner {
     deadline: Option<Duration>,
     min_trials: u64,
     max_chunk_retries: u32,
+    target_rse: Option<f64>,
 }
 
 /// The outcome of a `try_*` run: the folded value plus the metadata needed
@@ -71,7 +72,7 @@ pub struct Runner {
 /// `trials_completed` trials that actually ran, so downstream statistics
 /// (Wilson intervals, standard errors) are automatically computed at the
 /// reduced — honest, wider — sample size.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy)]
 pub struct RunReport<A> {
     /// The merged accumulator over all completed trials.
     pub value: A,
@@ -83,12 +84,48 @@ pub struct RunReport<A> {
     pub truncated: bool,
     /// Number of chunk attempts that panicked and were retried.
     pub retried_chunks: u64,
+    /// True when a [`with_target_rse`](Runner::with_target_rse) target was
+    /// met before all requested trials ran. Early convergence is success,
+    /// not truncation: the run stopped because the estimate was already
+    /// precise enough.
+    pub converged_early: bool,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
 }
+
+/// Equality ignores `elapsed`: two runs of the same seeded workload are
+/// "the same result" when every deterministic field matches, regardless of
+/// how long the wall clock said they took. This is what lets determinism
+/// tests compare whole reports across thread counts.
+impl<A: PartialEq> PartialEq for RunReport<A> {
+    fn eq(&self, other: &RunReport<A>) -> bool {
+        self.value == other.value
+            && self.trials_requested == other.trials_requested
+            && self.trials_completed == other.trials_completed
+            && self.truncated == other.truncated
+            && self.retried_chunks == other.retried_chunks
+            && self.converged_early == other.converged_early
+    }
+}
+
+impl<A: Eq> Eq for RunReport<A> {}
 
 impl<A> RunReport<A> {
     /// Unwraps the accumulator, discarding the run metadata.
     pub fn into_value(self) -> A {
         self.value
+    }
+
+    /// Effective throughput: completed trials per wall-clock second
+    /// (0 when nothing ran or the clock read zero).
+    #[must_use]
+    pub fn trials_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if self.trials_completed == 0 || secs <= 0.0 {
+            0.0
+        } else {
+            self.trials_completed as f64 / secs
+        }
     }
 }
 
@@ -124,6 +161,7 @@ impl Runner {
             deadline: None,
             min_trials: 0,
             max_chunk_retries: 2,
+            target_rse: None,
         }
     }
 
@@ -175,6 +213,32 @@ impl Runner {
         self
     }
 
+    /// Stops an estimator run as soon as its relative standard error
+    /// (see [`EstimatorStats::rse`](crate::EstimatorStats::rse)) reaches
+    /// `rse`, instead of always burning the full trial budget.
+    ///
+    /// Sequential stopping is evaluated only at geometric chunk-count
+    /// checkpoints (4, 8, 16, … chunks), so the stopping point is a pure
+    /// function of `(seed, rse)` and rounds to whole chunks — bit-for-bit
+    /// identical for any thread count, exactly like a fixed-budget run.
+    /// `trials` becomes a cap: a run that converges early reports
+    /// [`converged_early`](RunReport::converged_early) (not `truncated`)
+    /// with the trials it actually needed.
+    ///
+    /// Only the estimator entry points (`try_bernoulli*`, `try_mean*` and
+    /// their infallible wrappers) evaluate the target; generic folds and
+    /// histograms have no scalar standard error and ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rse` is not finite and positive.
+    #[must_use]
+    pub fn with_target_rse(mut self, rse: f64) -> Runner {
+        assert!(rse.is_finite() && rse > 0.0, "target RSE must be positive");
+        self.target_rse = Some(rse);
+        self
+    }
+
     /// The master seed.
     #[must_use]
     pub fn seed(&self) -> Seed {
@@ -203,6 +267,12 @@ impl Runner {
     #[must_use]
     pub fn max_chunk_retries(&self) -> u32 {
         self.max_chunk_retries
+    }
+
+    /// The sequential-stopping RSE target, if any.
+    #[must_use]
+    pub fn target_rse(&self) -> Option<f64> {
+        self.target_rse
     }
 
     /// Runs `trials` independent trials with per-chunk scratch state,
@@ -251,6 +321,36 @@ impl Runner {
     where
         A: Send + 'static,
     {
+        self.try_fold_scratch_stop(trials, scratch_init, init, trial, fold, merge, |_| false)
+    }
+
+    /// [`try_fold_scratch`](Runner::try_fold_scratch) with a sequential
+    /// stopping predicate, the primitive behind
+    /// [`with_target_rse`](Runner::with_target_rse).
+    ///
+    /// Without an RSE target every chunk is dispatched in one wave and
+    /// `stop` is never consulted — the behaviour (and the merged result)
+    /// is identical to the plain fold. With a target, chunks are
+    /// dispatched in geometrically growing waves (up to 4, 8, 16, …
+    /// chunks done) and `stop` is evaluated on the merged prefix at each
+    /// wave boundary; a `true` verdict ends the run with
+    /// [`converged_early`](RunReport::converged_early) set. Because waves
+    /// are a pure function of the chunk count and merging stays in chunk
+    /// order, the stopping point cannot depend on thread scheduling.
+    #[allow(clippy::too_many_arguments)]
+    fn try_fold_scratch_stop<S, T, A>(
+        &self,
+        trials: u64,
+        scratch_init: impl Fn() -> S + Send + Sync + 'static,
+        init: impl Fn() -> A + Send + Sync + 'static,
+        trial: impl Fn(&mut S, &mut SmallRng) -> T + Send + Sync + 'static,
+        fold: impl Fn(&mut A, T) + Send + Sync + 'static,
+        merge: impl Fn(&mut A, A),
+        stop: impl Fn(&A) -> bool,
+    ) -> Result<RunReport<A>, Error>
+    where
+        A: Send + 'static,
+    {
         if self.min_trials > trials {
             return Err(Error::MinTrialsExceedRequested {
                 min_trials: self.min_trials,
@@ -269,47 +369,74 @@ impl Runner {
             target: trials,
             floor_bound: AtomicBool::new(false),
         });
-        // The base accumulator is taken before `init` moves into the job.
-        let mut value = init();
-        let runner = *self;
-        let job_ctl = Arc::clone(&ctl);
-        let outcomes = pool::scatter(n_chunks, self.threads, move |idx| {
-            let idx = idx as u64;
-            let count = CHUNK_WIDTH.min(trials - idx * CHUNK_WIDTH);
-            if job_ctl.cancel.load(Ordering::Relaxed) {
-                // Deadline already hit (or the run already failed):
-                // contribute an empty chunk instead of wasted work.
-                return ChunkOutcome::Done { acc: init(), ran: 0 };
-            }
-            let tele = crate::telemetry::runner();
-            tele.chunks_claimed.inc();
-            let chunk_started = obs::recording().then(Instant::now);
-            let outcome =
-                runner.run_chunk(idx, count, &scratch_init, &init, &trial, &fold, &job_ctl);
-            if let Some(started) = chunk_started {
-                tele.chunk_wall_us.record(started.elapsed().as_micros() as u64);
-            }
-            outcome
-        });
+        // Closures are shared across waves, so they live behind `Arc`s
+        // that each wave's scatter job clones.
+        let scratch_init = Arc::new(scratch_init);
+        let init = Arc::new(init);
+        let trial = Arc::new(trial);
+        let fold = Arc::new(fold);
 
+        let mut value = init();
         let mut trials_completed = 0u64;
-        for (idx, outcome) in outcomes.into_iter().enumerate() {
-            match outcome {
-                ChunkOutcome::Done { acc, ran } => {
-                    trials_completed += ran;
-                    merge(&mut value, acc);
+        let mut converged_early = false;
+        let mut done_chunks = 0usize;
+        while done_chunks < n_chunks {
+            let until = match self.target_rse {
+                None => n_chunks,
+                Some(_) => next_checkpoint(done_chunks).min(n_chunks),
+            };
+            let base = done_chunks;
+            let runner = *self;
+            let job_ctl = Arc::clone(&ctl);
+            let (sci, ini, tri, fol) = (
+                Arc::clone(&scratch_init),
+                Arc::clone(&init),
+                Arc::clone(&trial),
+                Arc::clone(&fold),
+            );
+            let outcomes = pool::scatter(until - base, self.threads, move |i| {
+                let idx = (base + i) as u64;
+                let count = CHUNK_WIDTH.min(trials - idx * CHUNK_WIDTH);
+                if job_ctl.cancel.load(Ordering::Relaxed) {
+                    // Deadline already hit (or the run already failed):
+                    // contribute an empty chunk instead of wasted work.
+                    return ChunkOutcome::Done { acc: ini(), ran: 0 };
                 }
-                ChunkOutcome::Failed { attempts, payload } => {
-                    return Err(Error::WorkerPanicked {
-                        chunk: idx as u64,
-                        seed: self.seed,
-                        attempts,
-                        payload,
-                    });
+                let tele = crate::telemetry::runner();
+                tele.chunks_claimed.inc();
+                let chunk_started = obs::recording().then(Instant::now);
+                let outcome =
+                    runner.run_chunk(idx, count, &*sci, &*ini, &*tri, &*fol, &job_ctl);
+                if let Some(started) = chunk_started {
+                    tele.chunk_wall_us.record(started.elapsed().as_micros() as u64);
                 }
+                outcome
+            });
+
+            for (i, outcome) in outcomes.into_iter().enumerate() {
+                match outcome {
+                    ChunkOutcome::Done { acc, ran } => {
+                        trials_completed += ran;
+                        merge(&mut value, acc);
+                    }
+                    ChunkOutcome::Failed { attempts, payload } => {
+                        return Err(Error::WorkerPanicked {
+                            chunk: (base + i) as u64,
+                            seed: self.seed,
+                            attempts,
+                            payload,
+                        });
+                    }
+                }
+            }
+            done_chunks = until;
+            if self.target_rse.is_some() && done_chunks < n_chunks && stop(&value) {
+                converged_early = true;
+                break;
             }
         }
-        let truncated = trials_completed < trials;
+
+        let truncated = trials_completed < trials && !converged_early;
         tele.trials_completed.add(trials_completed);
         if truncated {
             tele.deadline_truncations.inc();
@@ -317,12 +444,22 @@ impl Runner {
         if ctl.floor_bound.load(Ordering::Relaxed) {
             tele.min_trials_floor_hits.inc();
         }
+        if self.target_rse.is_some() {
+            let conv = crate::telemetry::converge();
+            if converged_early {
+                conv.early_stops.inc();
+            }
+            conv.extra_chunks
+                .add(done_chunks.saturating_sub(next_checkpoint(0).min(n_chunks)) as u64);
+        }
         Ok(RunReport {
             value,
             trials_requested: trials,
             trials_completed,
             truncated,
             retried_chunks: ctl.retried.load(Ordering::Relaxed),
+            converged_early,
+            elapsed: ctl.start.elapsed(),
         })
     }
 
@@ -433,13 +570,17 @@ impl Runner {
         scratch_init: impl Fn() -> S + Send + Sync + 'static,
         trial: impl Fn(&mut S, &mut SmallRng) -> bool + Send + Sync + 'static,
     ) -> Result<RunReport<BernoulliEstimate>, Error> {
-        self.try_fold_scratch(
+        // NaN RSE (empty or all-failure prefix) compares false: a
+        // degenerate estimate is never "converged".
+        let target = self.target_rse.unwrap_or(0.0);
+        self.try_fold_scratch_stop(
             trials,
             scratch_init,
             BernoulliEstimate::new,
             trial,
             |acc, hit| acc.record(hit),
             |a, b| a.merge(&b),
+            move |acc| crate::EstimatorStats::rse(acc) <= target,
         )
     }
 
@@ -454,13 +595,15 @@ impl Runner {
         scratch_init: impl Fn() -> S + Send + Sync + 'static,
         trial: impl Fn(&mut S, &mut SmallRng) -> f64 + Send + Sync + 'static,
     ) -> Result<RunReport<Welford>, Error> {
-        self.try_fold_scratch(
+        let target = self.target_rse.unwrap_or(0.0);
+        self.try_fold_scratch_stop(
             trials,
             scratch_init,
             Welford::new,
             trial,
             |acc, x| acc.record(x),
             |a, b| a.merge(&b),
+            move |acc| crate::EstimatorStats::rse(acc) <= target,
         )
     }
 
@@ -497,13 +640,7 @@ impl Runner {
         trials: u64,
         trial: impl Fn(&mut SmallRng) -> bool + Send + Sync + 'static,
     ) -> Result<RunReport<BernoulliEstimate>, Error> {
-        self.try_fold(
-            trials,
-            BernoulliEstimate::new,
-            trial,
-            |acc, hit| acc.record(hit),
-            |a, b| a.merge(&b),
-        )
+        self.try_bernoulli_scratch(trials, || (), move |_, rng| trial(rng))
     }
 
     /// Estimates a mean: `trial` returns one observation.
@@ -516,13 +653,7 @@ impl Runner {
         trials: u64,
         trial: impl Fn(&mut SmallRng) -> f64 + Send + Sync + 'static,
     ) -> Result<RunReport<Welford>, Error> {
-        self.try_fold(
-            trials,
-            Welford::new,
-            trial,
-            |acc, x| acc.record(x),
-            |a, b| a.merge(&b),
-        )
+        self.try_mean_scratch(trials, || (), move |_, rng| trial(rng))
     }
 
     /// Builds an empirical histogram: `trial` returns one integer sample.
@@ -662,6 +793,18 @@ impl Runner {
 impl Default for Runner {
     fn default() -> Runner {
         Runner::new(Seed::default())
+    }
+}
+
+/// Geometric sequential-stopping checkpoints: after 4 chunks, then
+/// doubling (8, 16, 32, …). Checking convergence only at these chunk
+/// counts keeps the stopping point a pure function of the merged prefix —
+/// and amortizes the wave barrier to O(log chunks) synchronizations.
+fn next_checkpoint(done_chunks: usize) -> usize {
+    if done_chunks == 0 {
+        4
+    } else {
+        done_chunks.saturating_mul(2)
     }
 }
 

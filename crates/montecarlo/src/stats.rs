@@ -96,6 +96,15 @@ impl BernoulliEstimate {
         ((centre - half).max(0.0), (centre + half).min(1.0))
     }
 
+    /// Standard error of the point estimate, `sqrt(p(1-p)/n)`
+    /// (`NaN` with no trials).
+    #[must_use]
+    pub fn sem(&self) -> f64 {
+        let n = self.trials as f64;
+        let p = self.point();
+        (p * (1.0 - p) / n).sqrt()
+    }
+
     /// Whether the Wilson interval at `confidence` covers `value`.
     #[must_use]
     pub fn covers(&self, value: f64, confidence: f64) -> bool {

@@ -16,6 +16,14 @@ const TRIALS: u64 = 3 * CHUNK_WIDTH + 1234;
 
 const THREADS: [usize; 4] = [1, 2, 3, 8];
 
+/// Serializes tests that toggle the process-global recording flag, so a
+/// test that briefly disables recording cannot starve a concurrent test
+/// that asserts metrics advanced.
+fn recording_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 #[test]
 fn bernoulli_identical_across_thread_counts() {
     let run = |threads| {
@@ -125,6 +133,7 @@ fn rng_stream_checksum_unchanged_by_telemetry() {
     // explicitly enabled, must match at every thread count. (Recording is
     // the default, so the other tests in this suite double as coverage of
     // the instrumented path; this one makes the claim explicit.)
+    let _guard = recording_lock();
     obs::set_recording(true);
     let run = |threads| {
         Runner::new(Seed(2015)).with_threads(threads).fold(
@@ -143,6 +152,50 @@ fn rng_stream_checksum_unchanged_by_telemetry() {
         obs::snapshot().counter("mc.runner.runs").unwrap_or(0) >= 5,
         "recording was on, runner metrics must have advanced"
     );
+}
+
+#[test]
+fn sequential_stopping_point_identical_across_thread_counts() {
+    // The RSE target stops the run at a geometric chunk-count checkpoint
+    // chosen from the merged prefix alone, so both the stopping point and
+    // the stopped estimate are thread-invariant — including the
+    // converged_early flag and the whole-chunk trial count.
+    let run = |threads| {
+        Runner::new(Seed(2018))
+            .with_threads(threads)
+            .with_target_rse(0.02)
+            .try_bernoulli(64 * CHUNK_WIDTH, |rng| rng.gen_bool(0.42))
+            .expect("panic-free run")
+    };
+    let base = run(1);
+    assert!(base.converged_early, "target must be reachable for this test");
+    assert_eq!(base.trials_completed % CHUNK_WIDTH, 0);
+    for threads in THREADS {
+        let report = run(threads);
+        assert_eq!(report, base, "stopping point drifted at threads={threads}");
+        assert_eq!(report.trials_completed, base.trials_completed);
+    }
+}
+
+#[test]
+fn sequential_stopping_unchanged_by_recording_state() {
+    // The convergence decision reads only merged estimator state, never
+    // telemetry, so toggling recording cannot move the stopping point.
+    let run = || {
+        Runner::new(Seed(2019))
+            .with_threads(3)
+            .with_target_rse(0.03)
+            .try_mean(64 * CHUNK_WIDTH, |rng| rng.gen_range(1.0..9.0))
+            .expect("panic-free run")
+    };
+    let _guard = recording_lock();
+    obs::set_recording(true);
+    let on = run();
+    obs::set_recording(false);
+    let off = run();
+    obs::set_recording(true);
+    assert_eq!(on, off, "recording state moved the stopping point");
+    assert!(on.converged_early);
 }
 
 #[test]

@@ -1,0 +1,110 @@
+//! Chrome trace-event JSON from the span ring buffer.
+//!
+//! The output follows the Trace Event Format's JSON-object form: a
+//! top-level `"traceEvents"` array of complete (`"ph": "X"`) events, one
+//! per ring-buffer span, with microsecond `ts`/`dur` — exactly what
+//! Perfetto and `chrome://tracing` open directly. Aggregate-only data
+//! (counters, per-name span totals) has no timeline and is summarized in
+//! `"otherData"` instead.
+
+use super::json_escape;
+use crate::Snapshot;
+use std::fmt::Write as _;
+
+/// Renders the snapshot's span timeline as Chrome trace-event JSON.
+///
+/// Every ring-buffer event becomes one complete event: `ts` is the span's
+/// start in microseconds since the process span epoch, `dur` its duration,
+/// `pid` is always 1 (one process), and `tid` is the recorder's stable
+/// small thread id. The ring keeps only the most recent 1024 spans
+/// (drop-oldest); `otherData.spans_dropped` reports how many earlier
+/// events were evicted before this export.
+#[must_use]
+pub fn chrome_trace(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"traceEvents\": [");
+    for (i, e) in snapshot.span_events.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"name\": \"{}\", \"cat\": \"span\", \"ph\": \"X\", \
+             \"ts\": {}, \"dur\": {}, \"pid\": 1, \"tid\": {}}}",
+            if i == 0 { "" } else { "," },
+            json_escape(&e.name),
+            e.start_us,
+            e.dur_us,
+            e.tid
+        );
+    }
+    if !snapshot.span_events.is_empty() {
+        out.push_str("\n  ");
+    }
+    let _ = write!(
+        out,
+        "],\n  \"displayTimeUnit\": \"ms\",\n  \"otherData\": {{\"spans_dropped\": \"{}\"}}\n}}\n",
+        snapshot.counter("obs.spans_dropped").unwrap_or(0)
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpanEventSnapshot, Snapshot};
+
+    fn empty() -> Snapshot {
+        Snapshot {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+            spans: Vec::new(),
+            span_events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_and_has_empty_array() {
+        let text = chrome_trace(&empty());
+        assert!(text.contains("\"traceEvents\": []"));
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        drop(value);
+    }
+
+    #[test]
+    fn events_become_complete_trace_events() {
+        let mut snap = empty();
+        snap.span_events = vec![
+            SpanEventSnapshot {
+                name: "alpha".into(),
+                start_us: 10,
+                dur_us: 5,
+                tid: 1,
+            },
+            SpanEventSnapshot {
+                name: "beta \"quoted\"".into(),
+                start_us: 20,
+                dur_us: 7,
+                tid: 2,
+            },
+        ];
+        let text = chrome_trace(&snap);
+        // Parses as JSON and carries both events with the X phase.
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        drop(value);
+        assert_eq!(text.matches("\"ph\": \"X\"").count(), 2);
+        assert!(text.contains("\"name\": \"alpha\""));
+        assert!(text.contains("beta \\\"quoted\\\""));
+        assert!(text.contains("\"ts\": 10"));
+        assert!(text.contains("\"dur\": 7"));
+        assert!(text.contains("\"tid\": 2"));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn live_snapshot_round_trips() {
+        drop(crate::span("export.test.chrome"));
+        let text = chrome_trace(&crate::snapshot());
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        drop(value);
+        assert!(text.contains("export.test.chrome"));
+    }
+}

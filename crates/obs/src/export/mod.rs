@@ -1,0 +1,48 @@
+//! Interoperable exports of a [`Snapshot`](crate::Snapshot): Chrome
+//! trace-event JSON ([`chrome_trace`]) for Perfetto / `chrome://tracing`,
+//! and Prometheus text exposition ([`prometheus`]) for scrape-style
+//! tooling.
+//!
+//! Both exporters are pure functions of snapshot data — no sockets, no
+//! background threads, no new dependencies. A binary collects out-of-band
+//! telemetry exactly as before and only the final serialization changes
+//! (`--trace FILE`, `--metrics-format prom`). In builds without the
+//! `enabled` feature the snapshot is empty and the exporters emit the
+//! corresponding empty-but-valid documents.
+
+mod chrome;
+mod prom;
+
+pub use chrome::chrome_trace;
+pub use prom::{lint, prometheus};
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain.name"), "plain.name");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny\t\u{1}"), "x\\ny\\t\\u0001");
+    }
+}

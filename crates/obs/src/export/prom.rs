@@ -1,0 +1,301 @@
+//! Prometheus text-format exposition of a [`Snapshot`], plus a lint for
+//! the invariants scrapers rely on.
+//!
+//! Mapping:
+//!
+//! * counters → `# TYPE name counter` and one sample;
+//! * gauges → `# TYPE name gauge` and one sample;
+//! * histograms → `# TYPE name histogram` with cumulative `name_bucket`
+//!   samples over the log₂ buckets (`le` is the inclusive upper bound of
+//!   each integer bucket: `0` for the zero bucket, `2·lo − 1` for
+//!   `[lo, 2·lo)`), a `+Inf` bucket, `name_sum`, and `name_count`;
+//! * spans → `span_<name>_count` / `span_<name>_total_us` counters and a
+//!   `span_<name>_max_us` gauge (the `span_` prefix keeps aggregate span
+//!   names from colliding with metric names after sanitization).
+//!
+//! Metric names are sanitized to `[a-zA-Z0-9_:]` (dots become
+//! underscores), matching the exposition-format grammar.
+
+use crate::Snapshot;
+use std::fmt::Write as _;
+
+/// Replaces every character outside the Prometheus metric-name alphabet
+/// with `_` (and prefixes `_` when the name starts with a digit).
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphabetic() || c == '_' || c == ':' || (c.is_ascii_digit() && i > 0) {
+            out.push(c);
+        } else if c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders the snapshot in the Prometheus text exposition format.
+#[must_use]
+pub fn prometheus(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for c in &snapshot.counters {
+        let name = sanitize(&c.name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {}", c.value);
+    }
+    for g in &snapshot.gauges {
+        let name = sanitize(&g.name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", g.value);
+    }
+    for h in &snapshot.histograms {
+        let name = sanitize(&h.name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for b in &h.buckets {
+            cumulative += b.count;
+            // Inclusive integer upper bound of the log2 bucket.
+            let le = if b.lo == 0 { 0 } else { 2 * b.lo - 1 };
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+    for s in &snapshot.spans {
+        let name = format!("span_{}", sanitize(&s.name));
+        let _ = writeln!(out, "# TYPE {name}_count counter");
+        let _ = writeln!(out, "{name}_count {}", s.count);
+        let _ = writeln!(out, "# TYPE {name}_total_us counter");
+        let _ = writeln!(out, "{name}_total_us {}", s.total_us);
+        let _ = writeln!(out, "# TYPE {name}_max_us gauge");
+        let _ = writeln!(out, "{name}_max_us {}", s.max_us);
+    }
+    out
+}
+
+/// Checks the invariants scrape consumers rely on:
+///
+/// 1. every sample line belongs to a metric declared by a preceding
+///    `# TYPE` line (histogram `_bucket`/`_sum`/`_count` samples belong to
+///    their base name);
+/// 2. histogram bucket counts are monotone non-decreasing in declaration
+///    order;
+/// 3. every histogram's `+Inf` bucket equals its `_count` sample.
+///
+/// # Errors
+///
+/// The first violated invariant, as a human-readable message with the
+/// offending line.
+pub fn lint(text: &str) -> Result<(), String> {
+    let mut declared: Vec<(String, String)> = Vec::new(); // (name, type)
+    let mut last_bucket: Option<(String, u64)> = None; // (histogram, cumulative)
+    let mut inf_buckets: Vec<(String, u64)> = Vec::new();
+    let mut counts: Vec<(String, u64)> = Vec::new();
+
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with("# HELP") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or(format!("bare TYPE line: {line:?}"))?;
+            let kind = parts.next().ok_or(format!("TYPE without kind: {line:?}"))?;
+            declared.push((name.to_owned(), kind.to_owned()));
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("unknown comment form: {line:?}"));
+        }
+        // Sample line: `name[{labels}] value`.
+        let metric_end = line
+            .find(['{', ' '])
+            .ok_or(format!("malformed sample line: {line:?}"))?;
+        let metric = &line[..metric_end];
+        let value: u64 = line
+            .rsplit(' ')
+            .next()
+            .and_then(|v| v.parse().ok())
+            .ok_or(format!("sample without an integer value: {line:?}"))?;
+
+        // Resolve the declared family this sample belongs to.
+        let family = declared
+            .iter()
+            .rev()
+            .find(|(name, kind)| {
+                metric == name
+                    || (kind == "histogram"
+                        && [
+                            format!("{name}_bucket"),
+                            format!("{name}_sum"),
+                            format!("{name}_count"),
+                        ]
+                        .contains(&metric.to_owned()))
+            })
+            .ok_or(format!("sample not preceded by a # TYPE: {line:?}"))?
+            .clone();
+
+        if family.1 == "histogram" && metric == format!("{}_bucket", family.0) {
+            if line.contains("le=\"+Inf\"") {
+                inf_buckets.push((family.0.clone(), value));
+            }
+            match &last_bucket {
+                Some((name, prev)) if *name == family.0 && value < *prev => {
+                    return Err(format!(
+                        "histogram {} buckets not monotone: {} after {}",
+                        family.0, value, prev
+                    ));
+                }
+                _ => {}
+            }
+            last_bucket = Some((family.0.clone(), value));
+        } else {
+            last_bucket = None;
+            if family.1 == "histogram" && metric == format!("{}_count", family.0) {
+                counts.push((family.0.clone(), value));
+            }
+        }
+    }
+
+    for (name, inf) in &inf_buckets {
+        let count = counts
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| *c)
+            .ok_or(format!("histogram {name} has +Inf bucket but no _count"))?;
+        if *inf != count {
+            return Err(format!(
+                "histogram {name}: +Inf bucket {inf} != _count {count}"
+            ));
+        }
+    }
+    for (name, _) in &counts {
+        if !inf_buckets.iter().any(|(n, _)| n == name) {
+            return Err(format!("histogram {name} lacks a +Inf bucket"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        CounterSnapshot, GaugeSnapshot, HistogramBucket, HistogramSnapshot, SpanSnapshot,
+    };
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            counters: vec![CounterSnapshot {
+                name: "mc.runner.runs".into(),
+                value: 3,
+            }],
+            gauges: vec![GaugeSnapshot {
+                name: "mc.pool.workers_busy".into(),
+                value: 2,
+            }],
+            histograms: vec![HistogramSnapshot {
+                name: "mc.runner.chunk_wall_us".into(),
+                count: 7,
+                sum: 900,
+                min: 0,
+                max: 600,
+                buckets: vec![
+                    HistogramBucket { lo: 0, count: 1 },
+                    HistogramBucket { lo: 64, count: 4 },
+                    HistogramBucket { lo: 512, count: 2 },
+                ],
+            }],
+            spans: vec![SpanSnapshot {
+                name: "thm62".into(),
+                count: 1,
+                total_us: 1500,
+                max_us: 1500,
+            }],
+            span_events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize("mc.runner.runs"), "mc_runner_runs");
+        assert_eq!(sanitize("exp.t1.runs"), "exp_t1_runs");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn exposition_has_types_buckets_and_passes_lint() {
+        let text = prometheus(&sample());
+        assert!(text.contains("# TYPE mc_runner_runs counter"));
+        assert!(text.contains("mc_runner_runs 3"));
+        assert!(text.contains("# TYPE mc_pool_workers_busy gauge"));
+        assert!(text.contains("# TYPE mc_runner_chunk_wall_us histogram"));
+        // Cumulative buckets with inclusive integer bounds: 0 | [64,128) →
+        // le=127 | [512,1024) → le=1023, then +Inf == count.
+        assert!(text.contains("mc_runner_chunk_wall_us_bucket{le=\"0\"} 1"));
+        assert!(text.contains("mc_runner_chunk_wall_us_bucket{le=\"127\"} 5"));
+        assert!(text.contains("mc_runner_chunk_wall_us_bucket{le=\"1023\"} 7"));
+        assert!(text.contains("mc_runner_chunk_wall_us_bucket{le=\"+Inf\"} 7"));
+        assert!(text.contains("mc_runner_chunk_wall_us_sum 900"));
+        assert!(text.contains("mc_runner_chunk_wall_us_count 7"));
+        assert!(text.contains("span_thm62_count 1"));
+        assert!(text.contains("span_thm62_total_us 1500"));
+        lint(&text).unwrap();
+    }
+
+    #[test]
+    fn empty_snapshot_is_lintable() {
+        let snap = Snapshot {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+            spans: Vec::new(),
+            span_events: Vec::new(),
+        };
+        let text = prometheus(&snap);
+        assert!(text.is_empty());
+        lint(&text).unwrap();
+    }
+
+    #[test]
+    fn lint_rejects_undeclared_samples() {
+        let err = lint("orphan_metric 5\n").unwrap_err();
+        assert!(err.contains("not preceded by a # TYPE"), "{err}");
+    }
+
+    #[test]
+    fn lint_rejects_non_monotone_buckets() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 5\n\
+                    h_bucket{le=\"3\"} 4\n\
+                    h_bucket{le=\"+Inf\"} 5\n\
+                    h_sum 9\n\
+                    h_count 5\n";
+        let err = lint(text).unwrap_err();
+        assert!(err.contains("not monotone"), "{err}");
+    }
+
+    #[test]
+    fn lint_rejects_inf_count_mismatch() {
+        let text = "# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 4\n\
+                    h_bucket{le=\"+Inf\"} 4\n\
+                    h_sum 9\n\
+                    h_count 5\n";
+        let err = lint(text).unwrap_err();
+        assert!(err.contains("+Inf bucket 4 != _count 5"), "{err}");
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn live_snapshot_passes_lint() {
+        crate::global().counter("export.test.prom").add(2);
+        crate::global().histogram("export.test.prom_hist").record(100);
+        drop(crate::span("export.test.prom_span"));
+        lint(&prometheus(&crate::snapshot())).unwrap();
+    }
+}

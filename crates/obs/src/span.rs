@@ -8,6 +8,16 @@
 //! timeline. Timestamps are microseconds since the first span of the
 //! process (a lazily pinned [`Instant`] epoch), which keeps every snapshot
 //! field an integer.
+//!
+//! # Overflow semantics
+//!
+//! The ring holds exactly [`RING_CAP`] (1024) events. Once full, every new
+//! event **overwrites the oldest surviving event** — aggregates keep
+//! counting forever, only the individual timeline is bounded. Each
+//! overwrite increments the `obs.spans_dropped` counter, so a snapshot (or
+//! a Chrome trace exported from it) always states how much of the timeline
+//! was evicted: `spans_dropped + len(span_events)` equals the total number
+//! of events ever recorded.
 
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +47,27 @@ struct Event {
     name: &'static str,
     start_us: u64,
     dur_us: u64,
+    tid: u64,
+}
+
+/// A small stable id for the recording thread, assigned on first use.
+/// Purely for trace-event attribution (Chrome trace `tid` lanes); it is
+/// not the OS thread id.
+#[cfg(feature = "enabled")]
+fn current_tid() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Cached handle onto the eviction counter; resolved once per process.
+#[cfg(feature = "enabled")]
+fn spans_dropped() -> &'static crate::Counter {
+    static DROPPED: OnceLock<crate::Counter> = OnceLock::new();
+    DROPPED.get_or_init(|| crate::global().counter("obs.spans_dropped"))
 }
 
 #[cfg(feature = "enabled")]
@@ -90,10 +121,13 @@ fn record(name: &'static str, start_us: u64, dur_us: u64) {
         name,
         start_us,
         dur_us,
+        tid: current_tid(),
     };
     if sink.ring.len() < RING_CAP {
         sink.ring.push(event);
     } else {
+        // Drop-oldest: the slot at `next` holds the oldest surviving event.
+        spans_dropped().inc();
         let slot = sink.next;
         sink.ring[slot] = event;
     }
@@ -178,6 +212,9 @@ pub struct SpanEventSnapshot {
     pub start_us: u64,
     /// Duration, microseconds.
     pub dur_us: u64,
+    /// Small stable id of the recording thread (trace-lane attribution;
+    /// not the OS thread id).
+    pub tid: u64,
 }
 
 /// Current aggregates (sorted by name) and ring contents (oldest first).
@@ -212,6 +249,7 @@ pub(crate) fn snapshot() -> (Vec<SpanSnapshot>, Vec<SpanEventSnapshot>) {
                 name: e.name.to_owned(),
                 start_us: e.start_us,
                 dur_us: e.dur_us,
+                tid: e.tid,
             });
         }
         (spans, events)
@@ -269,5 +307,37 @@ mod tests {
             .map(|e| e.start_us)
             .collect();
         assert!(floods.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn ring_overflow_counts_dropped_spans() {
+        // Flooding RING_CAP + 50 events can keep at most RING_CAP of them,
+        // so at least 50 evictions must be accounted to obs.spans_dropped
+        // (other tests in this process may evict more; never fewer).
+        let before = spans_dropped().get();
+        for _ in 0..(RING_CAP + 50) {
+            drop(span("span.test.drop_count"));
+        }
+        let after = spans_dropped().get();
+        assert!(
+            after >= before + 50,
+            "expected >= 50 drops, got {}",
+            after - before
+        );
+        // The snapshot surfaces the same counter.
+        assert_eq!(crate::snapshot().counter("obs.spans_dropped"), Some(after));
+    }
+
+    #[test]
+    fn events_carry_a_stable_thread_id() {
+        drop(span("span.test.tid"));
+        let (_, events) = snapshot();
+        let mine = current_tid();
+        assert!(events
+            .iter()
+            .any(|e| e.name == "span.test.tid" && e.tid == mine));
+        // A different thread gets a different id.
+        let other = std::thread::spawn(current_tid).join().unwrap();
+        assert_ne!(mine, other);
     }
 }

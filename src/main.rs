@@ -15,9 +15,13 @@
 //! wall-clock time — every result is identical for any worker count.
 //!
 //! Observability flags (all strictly out-of-band — no result changes):
-//! `--metrics FILE` writes the process telemetry snapshot as JSON at exit,
-//! `--progress` enables a throttled stderr heartbeat during long runs, and
-//! `--quiet` suppresses status lines (errors still print).
+//! `--metrics FILE` writes the process telemetry snapshot at exit (JSON by
+//! default; `--metrics-format prom` switches to Prometheus text
+//! exposition), `--trace FILE` writes the span ring as Chrome trace-event
+//! JSON, `--progress` enables a throttled stderr heartbeat during long
+//! runs, and `--quiet` suppresses status lines (errors still print) and
+//! wins over `--progress`. Export failures exit with code 2 after the
+//! results have printed.
 
 use memmodel::MemoryModel;
 use mmreliab::analytic::general::{GeneralWindowLaws, Params};
@@ -38,6 +42,8 @@ struct Args {
     param: String,
     workers: usize,
     metrics: Option<std::path::PathBuf>,
+    metrics_prom: bool,
+    trace: Option<std::path::PathBuf>,
     progress: bool,
     quiet: bool,
 }
@@ -55,6 +61,8 @@ fn parse_args() -> Result<Args, mmreliab::Error> {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1),
         metrics: None,
+        metrics_prom: false,
+        trace: None,
         progress: false,
         quiet: false,
     };
@@ -72,6 +80,18 @@ fn parse_args() -> Result<Args, mmreliab::Error> {
             "--param" => args.param = value()?,
             "--workers" => args.workers = value()?.parse().map_err(|e| invalid(format!("{e}")))?,
             "--metrics" => args.metrics = Some(value()?.into()),
+            "--metrics-format" => {
+                args.metrics_prom = match value()?.as_str() {
+                    "prom" => true,
+                    "json" => false,
+                    other => {
+                        return Err(invalid(format!(
+                            "--metrics-format takes json or prom, got {other}"
+                        )))
+                    }
+                }
+            }
+            "--trace" => args.trace = Some(value()?.into()),
             "--progress" => args.progress = true,
             "--quiet" => args.quiet = true,
             other => return Err(invalid(format!("unknown flag {other}\n{}", usage()))),
@@ -96,7 +116,8 @@ fn usage() -> String {
     String::from(
         "usage: mmreliab <table1|survival|windows|trace|opsim|litmus|sweep> \
          [--model sc|tso|pso|wo] [--threads N] [--trials N] [--seed S] [--m M] [--param s|p|q] \
-         [--workers W] [--metrics FILE] [--progress] [--quiet]",
+         [--workers W] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] \
+         [--progress] [--quiet]",
     )
 }
 
@@ -111,7 +132,8 @@ fn main() {
     if args.quiet {
         obs::log::set_level(obs::log::Level::Quiet);
     }
-    obs::progress::set_enabled(args.progress);
+    // --quiet wins over --progress: quiet means a silent stderr.
+    obs::progress::set_enabled(args.progress && !args.quiet);
     let result = match args.command.as_str() {
         "table1" => {
             cmd_table1();
@@ -147,14 +169,37 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(1);
     }
+    // Telemetry exports run last, so a bad export path never disturbs the
+    // results above; their failures are typed and exit with code 2.
+    if let Err(e) = emit_exports(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+/// Writes the `--trace` and `--metrics` exports, if requested.
+fn emit_exports(args: &Args) -> Result<(), mmreliab::Error> {
+    let write = |path: &std::path::Path, text: String| {
+        std::fs::write(path, text).map_err(|e| mmreliab::Error::Export {
+            path: path.to_owned(),
+            detail: e.to_string(),
+        })
+    };
+    if let Some(path) = &args.trace {
+        write(path, obs::export::chrome_trace(&obs::snapshot()))?;
+        obs::info!("chrome trace written to {}", path.display());
+    }
     if let Some(path) = &args.metrics {
-        let json = serde_json::to_string_pretty(&obs::snapshot()).expect("serializable snapshot");
-        if let Err(e) = std::fs::write(path, json) {
-            eprintln!("error: cannot write metrics snapshot {}: {e}", path.display());
-            std::process::exit(1);
-        }
+        let snapshot = obs::snapshot();
+        let text = if args.metrics_prom {
+            obs::export::prometheus(&snapshot)
+        } else {
+            serde_json::to_string_pretty(&snapshot).expect("serializable snapshot")
+        };
+        write(path, text)?;
         obs::info!("metrics snapshot written to {}", path.display());
     }
+    Ok(())
 }
 
 fn cmd_table1() {

@@ -95,3 +95,53 @@ rm -rf "$DET_DIR"
 # METRICS.md must document every name such a run emits.
 cargo test -q --offline -p mmr-bench --test metrics_schema
 cargo test -q --offline -p mmr-bench --test metrics_doc
+
+# Chaos smoke: a seeded fault-injection run (panics, stalls, corruption,
+# torn journal writes) must recover to results bit-identical with the
+# fault-free run above, modulo timing metadata and the fault ledger.
+CHAOS_DIR="$(mktemp -d)"
+cargo run --release --offline -p mmr-bench --bin experiments -- \
+  --quick --seed 20110606 --json "$CHAOS_DIR/clean.json" lem42 thm62
+cargo run --release --offline -p mmr-bench --bin experiments -- \
+  --quick --seed 20110606 --json "$CHAOS_DIR/chaos.json" \
+  --checkpoint "$CHAOS_DIR/chaos.mmrj" --chaos 20110606:mixed lem42 thm62
+python3 - "$CHAOS_DIR/clean.json" "$CHAOS_DIR/chaos.json" <<'EOF2'
+import json, sys
+def strip(node):
+    if isinstance(node, dict):
+        for key in ("elapsed_secs", "threads", "host_cores", "trials_per_sec", "fault_ledger"):
+            node.pop(key, None)
+        for value in node.values():
+            strip(value)
+    elif isinstance(node, list):
+        for value in node:
+            strip(value)
+clean, chaos = (json.load(open(p)) for p in sys.argv[1:3])
+strip(clean); strip(chaos)
+assert clean == chaos, "chaos run diverged from the fault-free run"
+print("chaos smoke ok: recovered run is bit-identical")
+EOF2
+# Torn-journal recovery: a partial (kill -9 style) trailing record must be
+# truncated on the next open and the victim experiment re-run losslessly.
+printf 'MMRJ 1 exp deadbeef {"id":"f2","trunc' >> "$CHAOS_DIR/chaos.mmrj"
+cargo run --release --offline -p mmr-bench --bin experiments -- \
+  --quick --seed 20110606 --json "$CHAOS_DIR/resumed.json" \
+  --checkpoint "$CHAOS_DIR/chaos.mmrj" lem42 thm62 2> "$CHAOS_DIR/resume.log"
+grep -q "skipping lem42" "$CHAOS_DIR/resume.log"
+python3 - "$CHAOS_DIR/clean.json" "$CHAOS_DIR/resumed.json" <<'EOF2'
+import json, sys
+def strip(node):
+    if isinstance(node, dict):
+        for key in ("elapsed_secs", "threads", "host_cores", "trials_per_sec", "fault_ledger"):
+            node.pop(key, None)
+        for value in node.values():
+            strip(value)
+    elif isinstance(node, list):
+        for value in node:
+            strip(value)
+clean, resumed = (json.load(open(p)) for p in sys.argv[1:3])
+strip(clean); strip(resumed)
+assert clean == resumed, "torn-journal resume diverged from the fault-free run"
+print("torn-journal recovery ok")
+EOF2
+rm -rf "$CHAOS_DIR"

@@ -25,13 +25,20 @@
 //! `experiments bench --baseline BENCH_e2e.json` additionally runs the
 //! noise-aware perf-regression gate against the checked-in trajectory and
 //! exits non-zero on a regression.
+//!
+//! `--chaos SEED[:PROFILE]` installs a deterministic fault plan for the
+//! whole run (see `montecarlo::fault`): seeded chunk panics, worker
+//! stalls, scratch corruption, torn checkpoint writes, and exporter I/O
+//! errors, reproducible from the spec alone. Recoverable profiles leave
+//! results bit-identical to the fault-free run; the `hard` profile
+//! degrades gracefully instead of failing (exit code 3).
 
-use mmr_bench::{checkpoint, registry, run_one_isolated, write_atomic, Ctx, RunResult};
+use mmr_bench::{journal, registry, run_one_isolated, write_atomic, Ctx, RunResult};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: experiments [--quick] [--trials N] [--seed S] [--threads T] [--out FILE] [--json FILE] [--checkpoint FILE] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--progress] [--quiet] [--list] [ids...]\n       experiments bench [--trials N] [--seed S] [--threads T] [--out FILE (default BENCH_e2e.json)] [--baseline FILE] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--quiet]\n\n--threads bounds worker parallelism only; results are identical for any value\n--metrics/--metrics-format/--trace/--progress/--quiet are observational only and never change results\nbench --baseline compares throughput against a prior BENCH_e2e.json and fails on regression";
+const USAGE: &str = "usage: experiments [--quick] [--trials N] [--seed S] [--threads T] [--out FILE] [--json FILE] [--checkpoint FILE] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--chaos SEED[:PROFILE]] [--progress] [--quiet] [--list] [ids...]\n       experiments bench [--trials N] [--seed S] [--threads T] [--out FILE (default BENCH_e2e.json)] [--baseline FILE] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--quiet]\n\n--threads bounds worker parallelism only; results are identical for any value\n--metrics/--metrics-format/--trace/--progress/--quiet are observational only and never change results\n--chaos injects a seeded, reproducible fault schedule; profiles: mixed (default) | panics | stalls | corrupt | torn | export | hard\nbench --baseline compares throughput against a prior BENCH_e2e.json and fails on regression\nexit codes: 0 success, 1 mismatch, 2 usage/IO/bad-checkpoint error, 3 degraded run (partial results)";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum MetricsFormat {
@@ -49,6 +56,7 @@ struct Args {
     metrics_format: MetricsFormat,
     trace_path: Option<PathBuf>,
     baseline_path: Option<PathBuf>,
+    chaos: Option<String>,
     progress: bool,
     quiet: bool,
     list: bool,
@@ -66,6 +74,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
         metrics_format: MetricsFormat::Json,
         trace_path: None,
         baseline_path: None,
+        chaos: None,
         progress: false,
         quiet: false,
         list: false,
@@ -121,6 +130,12 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
             "--baseline" => {
                 parsed.baseline_path = Some(args.next().ok_or("--baseline needs a path")?.into());
             }
+            "--chaos" => {
+                let v = args.next().ok_or("--chaos needs SEED[:PROFILE]")?;
+                // Validate at parse time so a bad spec is a usage error.
+                montecarlo::fault::FaultPlan::parse(&v)?;
+                parsed.chaos = Some(v);
+            }
             "--progress" => parsed.progress = true,
             "--quiet" => parsed.quiet = true,
             "--list" => parsed.list = true,
@@ -132,8 +147,23 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
     Ok(parsed)
 }
 
+/// Chaos seam for the exporters: under the `export` profile every export
+/// attempt fails with a typed I/O error, exercising the same error path a
+/// full disk or revoked permission would take.
+fn chaos_export_fault(path: &Path) -> Result<(), mmr_bench::Error> {
+    if montecarlo::fault::active().is_some_and(|p| p.export_fault()) {
+        montecarlo::fault::ledger().note_injected_export_fault();
+        return Err(mmr_bench::Error::Io {
+            path: path.to_path_buf(),
+            source: std::io::Error::other("injected export fault (chaos)"),
+        });
+    }
+    Ok(())
+}
+
 /// Writes the process telemetry snapshot to `path` in the selected format.
 fn emit_metrics(path: &Path, format: MetricsFormat) -> Result<(), mmr_bench::Error> {
+    chaos_export_fault(path)?;
     let snapshot = obs::snapshot();
     let text = match format {
         MetricsFormat::Json => {
@@ -148,6 +178,7 @@ fn emit_metrics(path: &Path, format: MetricsFormat) -> Result<(), mmr_bench::Err
 
 /// Writes the span ring as Chrome trace-event JSON to `path`.
 fn emit_trace(path: &Path) -> Result<(), mmr_bench::Error> {
+    chaos_export_fault(path)?;
     let trace = obs::export::chrome_trace(&obs::snapshot());
     write_atomic(path, &trace)?;
     obs::info!("chrome trace written to {}", path.display());
@@ -179,6 +210,16 @@ fn main() -> ExitCode {
             println!("{:<8} {}", e.id, e.artifact);
         }
         return ExitCode::SUCCESS;
+    }
+
+    if let Some(spec) = &args.chaos {
+        let plan = montecarlo::fault::FaultPlan::parse(spec).expect("spec validated at parse time");
+        obs::info!(
+            "chaos: fault plan engaged (seed = {}, profile = {})",
+            plan.seed(),
+            plan.profile()
+        );
+        montecarlo::fault::install(plan);
     }
 
     if args.ids.first().map(String::as_str) == Some("bench") {
@@ -260,46 +301,48 @@ fn run(args: &Args) -> Result<ExitCode, mmr_bench::Error> {
     let registry = registry();
     let selected = mmr_bench::select(&registry, &args.ids)?;
 
-    // Resume from a checkpoint recorded under the same context, if any.
-    let mut done: Vec<mmr_bench::ExperimentResult> = Vec::new();
+    // Resume from the append-only checkpoint journal, if asked for. A
+    // corrupt (non-torn) journal is a hard error before any work starts;
+    // an unwritable path downgrades to an un-checkpointed run, but the
+    // failure is still reported and forces exit code 2 after the results
+    // land — same contract as `--metrics` on an unwritable path.
+    let mut journal: Option<journal::Journal> = None;
+    let mut journal_err: Option<mmr_bench::Error> = None;
     if let Some(path) = &args.checkpoint_path {
-        if let Some(prev) = checkpoint::load(path)? {
-            if checkpoint::matches_ctx(&prev, &args.ctx) {
-                done = prev.experiments;
-            } else {
-                obs::info!(
-                    "checkpoint {} was recorded with trials = {}, seed = {}; \
-                     ignoring it (current trials = {}, seed = {})",
-                    path.display(),
-                    prev.trials,
-                    prev.seed,
-                    args.ctx.trials,
-                    args.ctx.seed
-                );
+        match journal::Journal::open(path, &args.ctx) {
+            Ok(j) => journal = Some(j),
+            Err(e @ mmr_bench::Error::BadCheckpoint { .. }) => return Err(e),
+            Err(e) => {
+                eprintln!("warning: checkpointing disabled: {e}");
+                journal_err = Some(e);
             }
         }
     }
+    let done: Vec<mmr_bench::ExperimentResult> = journal
+        .as_ref()
+        .map(|j| j.experiments().to_vec())
+        .unwrap_or_default();
 
     let started = std::time::Instant::now();
-    let mut state = RunResult {
-        trials: args.ctx.trials,
-        seed: args.ctx.seed,
-        threads: args.ctx.threads,
-        host_cores: mmr_bench::default_threads(),
-        experiments: done,
-    };
     let mut ordered = Vec::with_capacity(selected.len());
     for e in selected {
-        if let Some(prev) = state.experiments.iter().find(|r| r.id == e.id) {
+        if let Some(prev) = done.iter().find(|r| r.id == e.id) {
             obs::info!("checkpoint: skipping {} (already complete)", e.id);
             ordered.push(prev.clone());
             continue;
         }
         obs::debug!("running {}", e.id);
         let result = run_one_isolated(e, &args.ctx);
-        state.experiments.push(result.clone());
-        if let Some(path) = &args.checkpoint_path {
-            checkpoint::save(path, &state)?;
+        let mut append_failed = false;
+        if let Some(j) = journal.as_mut() {
+            if let Err(e) = j.append(&result) {
+                eprintln!("warning: checkpointing disabled: {e}");
+                journal_err = Some(e);
+                append_failed = true;
+            }
+        }
+        if append_failed {
+            journal = None;
         }
         ordered.push(result);
     }
@@ -367,8 +410,17 @@ fn run(args: &Args) -> Result<ExitCode, mmr_bench::Error> {
 
     let reproduced: usize = ordered.iter().map(|r| r.reproduced).sum();
     let mismatched: usize = ordered.iter().map(|r| r.mismatched).sum();
-    obs::info!("\n{reproduced} checks REPRODUCED, {mismatched} MISMATCH");
-    Ok(if mismatched > 0 {
+    let degraded: usize = ordered.iter().filter(|r| r.degraded).count();
+    obs::info!("\n{reproduced} checks REPRODUCED, {mismatched} MISMATCH, {degraded} DEGRADED");
+    // Exit-code precedence: I/O failure (2) > degraded (3) > mismatch (1).
+    // A degraded run's verdicts are partial, so flagging the degradation
+    // outranks reporting a mismatch computed from partial estimates.
+    if let Some(e) = journal_err {
+        return Err(e);
+    }
+    Ok(if degraded > 0 {
+        ExitCode::from(3)
+    } else if mismatched > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -12,6 +12,7 @@
 pub mod diag;
 pub mod exp;
 pub mod gate;
+pub mod journal;
 pub mod perf;
 pub mod sweep;
 
@@ -246,6 +247,58 @@ pub struct ExperimentResult {
     /// Convergence diagnostics of every named estimate the experiment
     /// recorded (see [`diag`]); empty for purely analytic experiments.
     pub diagnostics: Vec<diag::EstimatorDiag>,
+    /// True when the experiment survived on partial estimates: at least
+    /// one Monte-Carlo chunk exhausted its retries under a degradation
+    /// policy (chaos `hard` profile or an explicit runner setting). A
+    /// degraded result is honest about its reduced sample sizes but its
+    /// REPRODUCED/MISMATCH verdicts are unreliable — the suite exit-code
+    /// policy reports it separately.
+    #[serde(default)]
+    pub degraded: bool,
+    /// Faults injected and recovery actions taken while this experiment
+    /// ran (deltas of the process-wide `montecarlo::fault` ledger). All
+    /// zeros on fault-free runs.
+    #[serde(default)]
+    pub fault_ledger: FaultLedger,
+}
+
+/// Per-experiment fault and recovery tallies, copied from the
+/// [`montecarlo::fault::Ledger`] deltas around the experiment's run.
+///
+/// Serialized with every [`ExperimentResult`] so JSON output, checkpoints,
+/// and degraded reports carry their fault history. Timing-profile entries
+/// (which faults fired when) can legitimately differ between bit-identical
+/// runs — e.g. a capped stall landing on a different chunk — so
+/// [`RunResult::strip_diagnostics`] zeroes the ledger for equality
+/// comparisons, exactly like throughput numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)] // field names mirror the ledger; see montecarlo::fault
+pub struct FaultLedger {
+    pub injected_panics: u64,
+    pub injected_stalls: u64,
+    pub injected_corruptions: u64,
+    pub injected_torn_writes: u64,
+    pub injected_export_faults: u64,
+    pub chunks_retried: u64,
+    pub watchdog_requeues: u64,
+    pub chunks_abandoned: u64,
+    pub journal_torn_tails: u64,
+}
+
+impl From<montecarlo::fault::LedgerSnapshot> for FaultLedger {
+    fn from(s: montecarlo::fault::LedgerSnapshot) -> FaultLedger {
+        FaultLedger {
+            injected_panics: s.injected_panics,
+            injected_stalls: s.injected_stalls,
+            injected_corruptions: s.injected_corruptions,
+            injected_torn_writes: s.injected_torn_writes,
+            injected_export_faults: s.injected_export_faults,
+            chunks_retried: s.chunks_retried,
+            watchdog_requeues: s.watchdog_requeues,
+            chunks_abandoned: s.chunks_abandoned,
+            journal_torn_tails: s.journal_torn_tails,
+        }
+    }
 }
 
 /// Machine-readable result of a whole run (the `--json` output and the
@@ -294,6 +347,10 @@ impl RunResult {
             for d in &mut e.diagnostics {
                 d.trials_per_sec = 0.0;
             }
+            // Which faults fired is a timing profile (stall caps, watchdog
+            // races), not payload; `degraded` stays — it changes the
+            // meaning of the results.
+            e.fault_ledger = FaultLedger::default();
         }
         stripped
     }
@@ -308,19 +365,21 @@ impl RunResult {
 pub fn run_one_isolated(e: &Experiment, ctx: &Ctx) -> ExperimentResult {
     let run = e.run;
     let session = diag::session();
+    let ledger_before = montecarlo::fault::ledger().snapshot();
     let started = std::time::Instant::now();
     let outcome = {
         let _span = obs::span(e.id);
         std::panic::catch_unwind(move || run(ctx))
     };
     let elapsed_secs = started.elapsed().as_secs_f64();
+    let ledger_delta = montecarlo::fault::ledger().snapshot().since(&ledger_before);
     let diagnostics = session.drain();
     drop(session);
     let tele = obs::global();
     tele.counter(&format!("exp.{}.runs", e.id)).inc();
     tele.counter(&format!("exp.{}.elapsed_us", e.id))
         .add(started.elapsed().as_micros() as u64);
-    let report = match outcome {
+    let mut report = match outcome {
         Ok(report) => report,
         Err(payload) => {
             let msg = payload
@@ -331,6 +390,18 @@ pub fn run_one_isolated(e: &Experiment, ctx: &Ctx) -> ExperimentResult {
             format!("experiment PANICKED: {msg}\n\noverall: MISMATCH\n")
         }
     };
+    let degraded = ledger_delta.chunks_abandoned > 0 || ledger_delta.degraded_runs > 0;
+    if degraded {
+        tele.counter("exp.degraded").inc();
+        // Keep the status word distinct from the REPRODUCED/MISMATCH
+        // substrings the verdict counters scan for.
+        let _ = writeln!(
+            report,
+            "\nstatus: DEGRADED — {} chunk(s) abandoned after exhausted retries; \
+             estimates are partial and verdicts above are unreliable",
+            ledger_delta.chunks_abandoned
+        );
+    }
     ExperimentResult {
         id: e.id.to_owned(),
         artifact: e.artifact.to_owned(),
@@ -339,6 +410,8 @@ pub fn run_one_isolated(e: &Experiment, ctx: &Ctx) -> ExperimentResult {
         elapsed_secs,
         report,
         diagnostics,
+        degraded,
+        fault_ledger: FaultLedger::from(ledger_delta),
     }
 }
 
@@ -399,22 +472,29 @@ pub fn write_atomic(path: &Path, contents: &str) -> Result<(), Error> {
 
 /// Checkpoint persistence for long experiment batches.
 ///
-/// The on-disk format is the same JSON as `--json` output: a [`RunResult`]
-/// whose `experiments` list grows as experiments complete. A restart loads
-/// it, verifies the context matches, and skips everything already present.
+/// The on-disk format is the append-only CRC-framed journal of
+/// [`journal`]: a `ctx` record followed by one `exp` record per completed
+/// experiment, each durably appended the moment the experiment finishes —
+/// a kill -9 mid-write never loses completed records, and recovery
+/// truncates any torn tail. A restart opens the journal
+/// ([`journal::Journal::open`]), verifies the context matches, and skips
+/// everything already present. Legacy whole-file JSON checkpoints are
+/// still read (and converted on open). This module keeps the read-only
+/// load/save API used by tools that don't hold a journal open.
 pub mod checkpoint {
-    use super::{Ctx, Error, RunResult};
+    use super::{journal, Ctx, Error, RunResult};
     use std::path::Path;
 
-    /// Loads a checkpoint; `Ok(None)` when `path` does not exist.
+    /// Loads a checkpoint (journal or legacy JSON) read-only; `Ok(None)`
+    /// when `path` does not exist or holds no complete records.
     ///
     /// # Errors
     ///
     /// [`Error::Io`] on read failure, [`Error::BadCheckpoint`] when the
-    /// file is not a valid checkpoint JSON.
+    /// file is neither a journal nor a legacy checkpoint JSON.
     pub fn load(path: &Path) -> Result<Option<RunResult>, Error> {
-        let text = match std::fs::read_to_string(path) {
-            Ok(text) => text,
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(source) => {
                 return Err(Error::Io {
@@ -423,12 +503,7 @@ pub mod checkpoint {
                 })
             }
         };
-        serde_json::from_str(&text)
-            .map(Some)
-            .map_err(|e| Error::BadCheckpoint {
-                path: path.to_path_buf(),
-                detail: e.to_string(),
-            })
+        journal::parse(path, &bytes)
     }
 
     /// Whether a loaded checkpoint belongs to this run context; resuming
@@ -439,15 +514,21 @@ pub mod checkpoint {
         prev.trials == ctx.trials && prev.seed == ctx.seed
     }
 
-    /// Persists the checkpoint atomically (see [`super::write_atomic`]).
+    /// Persists a full checkpoint atomically in journal format (see
+    /// [`super::write_atomic`]). Incremental appends should use
+    /// [`journal::Journal`] instead.
     ///
     /// # Errors
     ///
     /// [`Error::Io`] when the file cannot be written.
     pub fn save(path: &Path, state: &RunResult) -> Result<(), Error> {
-        let json = serde_json::to_string_pretty(state)
-            .expect("RunResult serialization is infallible");
-        super::write_atomic(path, &json)
+        let ctx_rec = journal::CtxRecord {
+            trials: state.trials,
+            seed: state.seed,
+            threads: state.threads,
+            host_cores: state.host_cores,
+        };
+        super::write_atomic(path, &journal::render(&ctx_rec, &state.experiments))
     }
 }
 

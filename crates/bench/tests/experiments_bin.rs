@@ -278,12 +278,13 @@ fn checkpoint_write_resume_skip_roundtrip() {
     let ckpt = dir.join("state.json");
     let ckpt_s = ckpt.to_str().unwrap();
 
-    // First run completes t1 and writes the checkpoint.
+    // First run completes t1 and writes the journal (CRC-framed lines).
     let out = experiments(&["--quick", "--checkpoint", ckpt_s, "t1"]);
     assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
     assert!(ckpt.exists());
     let state = std::fs::read_to_string(&ckpt).unwrap();
-    assert!(state.contains("\"id\": \"t1\""));
+    assert!(state.starts_with("MMRJ "), "{state}");
+    assert!(state.contains("\"id\":\"t1\""), "{state}");
 
     // Second run over a superset skips t1 and completes f2.
     let out = experiments(&["--quick", "--checkpoint", ckpt_s, "t1", "f2"]);
@@ -292,7 +293,7 @@ fn checkpoint_write_resume_skip_roundtrip() {
     assert!(stderr.contains("skipping t1"), "{stderr}");
     assert!(!stderr.contains("skipping f2"), "{stderr}");
     let state = std::fs::read_to_string(&ckpt).unwrap();
-    assert!(state.contains("\"id\": \"t1\"") && state.contains("\"id\": \"f2\""));
+    assert!(state.contains("\"id\":\"t1\"") && state.contains("\"id\":\"f2\""));
 
     // Both skipped results still land in the report, in request order.
     let out = experiments(&["--quick", "--checkpoint", ckpt_s, "t1", "f2"]);
@@ -317,6 +318,195 @@ fn checkpoint_write_resume_skip_roundtrip() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("bad checkpoint"));
 
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_journal_tail_is_recovered_on_resume() {
+    // kill -9 mid-append leaves a partial last line; the next open must
+    // truncate it, keep every completed record, and resume from there.
+    let dir = temp_dir("torn");
+    let ckpt = dir.join("state.mmrj");
+    let ckpt_s = ckpt.to_str().unwrap();
+
+    let out = experiments(&["--quick", "--checkpoint", ckpt_s, "t1"]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let intact = std::fs::read_to_string(&ckpt).unwrap();
+
+    // Simulate the torn write: a frame that stops mid-JSON, no newline.
+    let mut torn = intact.clone();
+    torn.push_str("MMRJ 1 exp deadbeef {\"id\":\"f2\",\"trunc");
+    std::fs::write(&ckpt, &torn).unwrap();
+
+    let out = experiments(&["--quick", "--checkpoint", ckpt_s, "t1", "f2"]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("skipping t1"), "{stderr}");
+    assert!(!stderr.contains("skipping f2"), "torn f2 must re-run: {stderr}");
+    let state = std::fs::read_to_string(&ckpt).unwrap();
+    assert!(state.contains("\"id\":\"t1\"") && state.contains("\"id\":\"f2\""));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unwritable_checkpoint_is_typed_error_after_results_land() {
+    // Satellite contract, mirroring --metrics: an unwritable --checkpoint
+    // path must not abort the batch — the run completes, the results are
+    // written, and the exit code is the typed-I/O 2.
+    let dir = temp_dir("ckpt-unwritable");
+    let json = dir.join("results.json");
+    let ckpt = dir.join("no-such-subdir").join("state.mmrj");
+    let out = experiments(&[
+        "--quick",
+        "--json",
+        json.to_str().unwrap(),
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "t1",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot access"), "{stderr}");
+    let parsed: mmr_bench::RunResult =
+        serde_json::from_str(&std::fs::read_to_string(&json).unwrap())
+            .expect("results written despite the failed checkpoint");
+    assert_eq!(parsed.experiments.len(), 1);
+    assert!(!parsed.experiments[0].degraded);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn chaos_spec_is_validated_at_parse_time() {
+    let out = experiments(&["--chaos", "zebra", "t1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--chaos takes SEED"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    let out = experiments(&["--chaos", "7:nope", "t1"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("mixed|panics|stalls|corrupt|torn|export|hard"), "{stderr}");
+
+    let out = experiments(&["--chaos"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--chaos needs SEED"));
+}
+
+#[test]
+fn chaos_recoverable_run_is_bit_identical_to_fault_free() {
+    // The master invariant, observed end to end through the binary: a
+    // recoverable chaos run (panics + corruption + stalls + torn journal
+    // writes) produces exactly the same structured results as the clean
+    // run, modulo timing diagnostics and the fault ledger itself.
+    use montecarlo::fault::{FaultPlan, Profile};
+    let dir = temp_dir("chaos-e2e");
+    let clean_json = dir.join("clean.json");
+    let chaos_json = dir.join("chaos.json");
+    let ckpt = dir.join("chaos.mmrj");
+    let ids = ["lem42", "thm62"];
+
+    let out = experiments(
+        &[&["--quick", "--json", clean_json.to_str().unwrap()], &ids[..]].concat(),
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Seed-search a plan that provably injects into chunk 0 — the one
+    // chunk every Monte-Carlo experiment has — so the run cannot pass
+    // vacuously.
+    let chaos_seed = (0..100_000u64)
+        .find(|&s| {
+            let p = FaultPlan::new(s, Profile::Mixed);
+            p.chunk_panics(0, 1) || p.corrupts_scratch(0, 1)
+        })
+        .expect("a firing seed exists");
+    let out = experiments(
+        &[
+            &[
+                "--quick",
+                "--json",
+                chaos_json.to_str().unwrap(),
+                "--checkpoint",
+                ckpt.to_str().unwrap(),
+                "--chaos",
+                &format!("{chaos_seed}:mixed"),
+            ],
+            &ids[..],
+        ]
+        .concat(),
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let clean: mmr_bench::RunResult =
+        serde_json::from_str(&std::fs::read_to_string(&clean_json).unwrap()).unwrap();
+    let chaos: mmr_bench::RunResult =
+        serde_json::from_str(&std::fs::read_to_string(&chaos_json).unwrap()).unwrap();
+    assert!(
+        chaos
+            .experiments
+            .iter()
+            .any(|e| e.fault_ledger != mmr_bench::FaultLedger::default()),
+        "the plan must have actually injected faults"
+    );
+    assert!(chaos.experiments.iter().all(|e| !e.degraded));
+    assert_eq!(clean.strip_diagnostics(), chaos.strip_diagnostics());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn hard_chaos_degrades_with_exit_3_and_honest_summary() {
+    use montecarlo::fault::{FaultPlan, Profile};
+    let dir = temp_dir("chaos-hard");
+    let json = dir.join("results.json");
+
+    // A hard fault on chunk 0 fires on every attempt of every experiment's
+    // first chunk: retries exhaust, the run degrades instead of erroring.
+    let chaos_seed = (0..100_000u64)
+        .find(|&s| FaultPlan::new(s, Profile::Hard).chunk_panics(0, 1))
+        .expect("a hard-failing seed exists");
+    let out = experiments(&[
+        "--quick",
+        "--json",
+        json.to_str().unwrap(),
+        "--chaos",
+        &format!("{chaos_seed}:hard"),
+        "lem42",
+    ]);
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("1 DEGRADED"), "{stderr}");
+
+    let parsed: mmr_bench::RunResult =
+        serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    assert!(parsed.experiments[0].degraded, "the record must carry the flag");
+    assert!(parsed.experiments[0].fault_ledger.chunks_abandoned > 0);
+    assert!(
+        parsed.experiments[0].report.contains("DEGRADED"),
+        "the human report must flag partial estimates"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn export_chaos_fails_metrics_with_typed_error() {
+    let dir = temp_dir("chaos-export");
+    let json = dir.join("results.json");
+    let metrics = dir.join("metrics.json");
+    let out = experiments(&[
+        "--quick",
+        "--json",
+        json.to_str().unwrap(),
+        "--metrics",
+        metrics.to_str().unwrap(),
+        "--chaos",
+        "7:export",
+        "t1",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("injected export fault"), "{stderr}");
+    assert!(!metrics.exists(), "the export must have been blocked");
+    assert!(json.exists(), "results land before exports run");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

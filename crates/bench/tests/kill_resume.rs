@@ -1,0 +1,99 @@
+//! Kill-resume torture: SIGKILL the `experiments` binary at seeded points
+//! mid-run, resume from the journal, and require the final structured
+//! output to be bit-identical to an uninterrupted run.
+//!
+//! kill -9 gives the process no chance to flush or clean up, so any
+//! completed-then-lost record, torn frame mishandling, or double-merged
+//! resume shows up as a diff against the clean baseline.
+
+#![cfg(unix)]
+
+use std::path::Path;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn run_to_completion(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .output()
+        .expect("spawn experiments binary")
+}
+
+fn load(path: &Path) -> mmr_bench::RunResult {
+    serde_json::from_str(&std::fs::read_to_string(path).unwrap()).expect("valid run result json")
+}
+
+#[test]
+fn sigkill_mid_journal_never_loses_completed_work() {
+    let dir = std::env::temp_dir().join(format!("experiments-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("state.mmrj");
+    let clean_json = dir.join("clean.json");
+    let resumed_json = dir.join("resumed.json");
+    let ids = ["t1", "lem42", "thm62"];
+
+    // The uninterrupted baseline, no checkpoint involved at all.
+    let out = run_to_completion(
+        &[&["--quick", "--quiet", "--json", clean_json.to_str().unwrap()], &ids[..]].concat(),
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Seeded kill schedule: spawn, wait a deterministic delay, SIGKILL.
+    // Delays fan across the whole run so kills land before, during, and
+    // after journal appends; a run that finishes early just ends the loop.
+    let torture_args: Vec<&str> = [
+        &[
+            "--quick",
+            "--quiet",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--json",
+            resumed_json.to_str().unwrap(),
+        ],
+        &ids[..],
+    ]
+    .concat();
+    for round in 0..5u64 {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_experiments"))
+            .args(&torture_args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn experiments binary");
+        let delay = Duration::from_millis(50 + splitmix64(round) % 1500);
+        std::thread::sleep(delay);
+        match child.try_wait().expect("poll child") {
+            Some(status) => {
+                // Finished before the kill landed: the journal is complete.
+                assert_eq!(status.code(), Some(0));
+                break;
+            }
+            None => {
+                child.kill().expect("SIGKILL the child"); // kill(2) = SIGKILL on unix
+                child.wait().expect("reap the child");
+            }
+        }
+    }
+
+    // The recovery pass: resume whatever survived and finish the batch.
+    let out = run_to_completion(&torture_args);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let clean = load(&clean_json).strip_diagnostics();
+    let resumed = load(&resumed_json).strip_diagnostics();
+    assert_eq!(
+        resumed.experiments.iter().map(|e| e.id.as_str()).collect::<Vec<_>>(),
+        ids.to_vec(),
+        "resume must preserve request order"
+    );
+    assert_eq!(clean, resumed, "kill -9 torture changed the results");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -30,7 +30,6 @@
 mod chi2;
 mod converge;
 mod error;
-#[cfg(any(test, feature = "fault-inject"))]
 pub mod fault;
 mod hist;
 pub mod pool;

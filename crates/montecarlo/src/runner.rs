@@ -63,6 +63,9 @@ pub struct Runner {
     min_trials: u64,
     max_chunk_retries: u32,
     target_rse: Option<f64>,
+    chunk_budget: Option<Duration>,
+    backoff_base: Duration,
+    degrade_on_exhaustion: bool,
 }
 
 /// The outcome of a `try_*` run: the folded value plus the metadata needed
@@ -89,6 +92,15 @@ pub struct RunReport<A> {
     /// not truncation: the run stopped because the estimate was already
     /// precise enough.
     pub converged_early: bool,
+    /// True when at least one chunk exhausted its retries under a
+    /// degrade-on-exhaustion policy and was dropped from the merge.
+    /// `value` then aggregates only the surviving chunks — an honest
+    /// partial estimate at the reduced sample size, never a silently
+    /// wrong full one.
+    pub degraded: bool,
+    /// Chunks dropped from the merge after exhausting retries (0 unless
+    /// `degraded`).
+    pub abandoned_chunks: u64,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
 }
@@ -105,6 +117,8 @@ impl<A: PartialEq> PartialEq for RunReport<A> {
             && self.truncated == other.truncated
             && self.retried_chunks == other.retried_chunks
             && self.converged_early == other.converged_early
+            && self.degraded == other.degraded
+            && self.abandoned_chunks == other.abandoned_chunks
     }
 }
 
@@ -133,6 +147,9 @@ impl<A> RunReport<A> {
 enum ChunkOutcome<A> {
     Done { acc: A, ran: u64 },
     Failed { attempts: u32, payload: String },
+    /// Retries exhausted under a degrade-on-exhaustion policy: the chunk
+    /// contributes nothing, the run continues and reports `degraded`.
+    Abandoned,
 }
 
 /// Per-run shared control state, read by every chunk.
@@ -162,6 +179,9 @@ impl Runner {
             min_trials: 0,
             max_chunk_retries: 2,
             target_rse: None,
+            chunk_budget: None,
+            backoff_base: Duration::from_micros(500),
+            degrade_on_exhaustion: false,
         }
     }
 
@@ -239,6 +259,48 @@ impl Runner {
         self
     }
 
+    /// Sets a per-chunk wall budget enforced by the pool watchdog: a chunk
+    /// executor running past `budget` is presumed stuck, its chunk is
+    /// requeued through the claim cursor and re-executed by a replacement
+    /// worker (see [`pool::scatter_supervised`]).
+    ///
+    /// Because a chunk's result is a pure function of `(seed, chunk)`, the
+    /// duplicate execution a requeue may cause is invisible in results —
+    /// first report wins, both reports are identical. Supervision is
+    /// timing-only; results stay bit-for-bit deterministic. Without a
+    /// budget (the default) no watchdog runs and the scatter path carries
+    /// zero supervision overhead.
+    #[must_use]
+    pub fn with_chunk_budget(mut self, budget: Duration) -> Runner {
+        self.chunk_budget = Some(budget);
+        self
+    }
+
+    /// Sets the base delay of the seeded exponential backoff slept before
+    /// each chunk retry (default 500µs; `Duration::ZERO` disables
+    /// backoff).
+    ///
+    /// The actual delay for attempt `a` of chunk `c` is
+    /// [`fault::retry_backoff`](crate::fault::retry_backoff)`(seed, c, a,
+    /// base)` — a pure function, so recovery timing is as reproducible as
+    /// the results themselves.
+    #[must_use]
+    pub fn with_retry_backoff(mut self, base: Duration) -> Runner {
+        self.backoff_base = base;
+        self
+    }
+
+    /// Makes retry exhaustion degrade the run instead of failing it: the
+    /// exhausted chunk is dropped from the merge, the run completes, and
+    /// the report carries [`degraded`](RunReport::degraded) +
+    /// [`abandoned_chunks`](RunReport::abandoned_chunks) so the partial
+    /// estimate is never mistaken for a full one.
+    #[must_use]
+    pub fn with_degrade_on_exhaustion(mut self, degrade: bool) -> Runner {
+        self.degrade_on_exhaustion = degrade;
+        self
+    }
+
     /// The master seed.
     #[must_use]
     pub fn seed(&self) -> Seed {
@@ -273,6 +335,24 @@ impl Runner {
     #[must_use]
     pub fn target_rse(&self) -> Option<f64> {
         self.target_rse
+    }
+
+    /// The per-chunk watchdog budget, if any.
+    #[must_use]
+    pub fn chunk_budget(&self) -> Option<Duration> {
+        self.chunk_budget
+    }
+
+    /// The base delay of the seeded retry backoff.
+    #[must_use]
+    pub fn retry_backoff_base(&self) -> Duration {
+        self.backoff_base
+    }
+
+    /// Whether retry exhaustion degrades the run instead of failing it.
+    #[must_use]
+    pub fn degrade_on_exhaustion(&self) -> bool {
+        self.degrade_on_exhaustion
     }
 
     /// Runs `trials` independent trials with per-chunk scratch state,
@@ -361,6 +441,15 @@ impl Runner {
             usize::try_from(trials.div_ceil(CHUNK_WIDTH)).expect("chunk count fits in usize");
         let tele = crate::telemetry::runner();
         tele.runs.inc();
+        // An installed chaos plan can supply a chunk budget (so its stalls
+        // actually trip the watchdog) and a degradation policy; explicit
+        // runner configuration always wins.
+        let active_plan = crate::fault::active();
+        let chunk_budget = self
+            .chunk_budget
+            .or_else(|| active_plan.as_ref().and_then(|p| p.default_chunk_budget()));
+        let degrade = self.degrade_on_exhaustion
+            || active_plan.as_ref().is_some_and(|p| p.degrade_on_exhaustion());
         let ctl = Arc::new(Ctl {
             start: Instant::now(),
             completed: AtomicU64::new(0),
@@ -379,6 +468,7 @@ impl Runner {
         let mut value = init();
         let mut trials_completed = 0u64;
         let mut converged_early = false;
+        let mut abandoned_chunks = 0u64;
         let mut done_chunks = 0usize;
         while done_chunks < n_chunks {
             let until = match self.target_rse {
@@ -394,24 +484,25 @@ impl Runner {
                 Arc::clone(&trial),
                 Arc::clone(&fold),
             );
-            let outcomes = pool::scatter(until - base, self.threads, move |i| {
-                let idx = (base + i) as u64;
-                let count = CHUNK_WIDTH.min(trials - idx * CHUNK_WIDTH);
-                if job_ctl.cancel.load(Ordering::Relaxed) {
-                    // Deadline already hit (or the run already failed):
-                    // contribute an empty chunk instead of wasted work.
-                    return ChunkOutcome::Done { acc: ini(), ran: 0 };
-                }
-                let tele = crate::telemetry::runner();
-                tele.chunks_claimed.inc();
-                let chunk_started = obs::recording().then(Instant::now);
-                let outcome =
-                    runner.run_chunk(idx, count, &*sci, &*ini, &*tri, &*fol, &job_ctl);
-                if let Some(started) = chunk_started {
-                    tele.chunk_wall_us.record(started.elapsed().as_micros() as u64);
-                }
-                outcome
-            });
+            let outcomes =
+                pool::scatter_supervised(until - base, self.threads, chunk_budget, move |i| {
+                    let idx = (base + i) as u64;
+                    let count = CHUNK_WIDTH.min(trials - idx * CHUNK_WIDTH);
+                    if job_ctl.cancel.load(Ordering::Relaxed) {
+                        // Deadline already hit (or the run already failed):
+                        // contribute an empty chunk instead of wasted work.
+                        return ChunkOutcome::Done { acc: ini(), ran: 0 };
+                    }
+                    let tele = crate::telemetry::runner();
+                    tele.chunks_claimed.inc();
+                    let chunk_started = obs::recording().then(Instant::now);
+                    let outcome = runner
+                        .run_chunk(idx, count, &*sci, &*ini, &*tri, &*fol, &job_ctl, degrade);
+                    if let Some(started) = chunk_started {
+                        tele.chunk_wall_us.record(started.elapsed().as_micros() as u64);
+                    }
+                    outcome
+                });
 
             for (i, outcome) in outcomes.into_iter().enumerate() {
                 match outcome {
@@ -427,6 +518,7 @@ impl Runner {
                             payload,
                         });
                     }
+                    ChunkOutcome::Abandoned => abandoned_chunks += 1,
                 }
             }
             done_chunks = until;
@@ -436,10 +528,19 @@ impl Runner {
             }
         }
 
-        let truncated = trials_completed < trials && !converged_early;
+        // A shortfall caused purely by abandoned chunks is degradation,
+        // not deadline truncation; a run can be both when a deadline also
+        // fired.
+        let degraded = abandoned_chunks > 0;
+        let truncated = trials_completed + abandoned_chunks * CHUNK_WIDTH < trials
+            && !converged_early
+            && ctl.cancel.load(Ordering::Relaxed);
         tele.trials_completed.add(trials_completed);
         if truncated {
             tele.deadline_truncations.inc();
+        }
+        if degraded {
+            crate::fault::ledger().note_degraded_run();
         }
         if ctl.floor_bound.load(Ordering::Relaxed) {
             tele.min_trials_floor_hits.inc();
@@ -459,6 +560,8 @@ impl Runner {
             truncated,
             retried_chunks: ctl.retried.load(Ordering::Relaxed),
             converged_early,
+            degraded,
+            abandoned_chunks,
             elapsed: ctl.start.elapsed(),
         })
     }
@@ -478,14 +581,23 @@ impl Runner {
         trial: &impl Fn(&mut S, &mut SmallRng) -> T,
         fold: &impl Fn(&mut A, T),
         ctl: &Ctl,
+        degrade: bool,
     ) -> ChunkOutcome<A> {
         let mut attempt = 0u32;
         loop {
             attempt += 1;
+            // Re-fetched per attempt so a plan installed or cleared
+            // mid-run is picked up at the next unwind boundary.
+            let plan = crate::fault::active();
             // Trials this attempt has added to the global counter, kept
             // outside the unwind boundary so a panic can roll them back.
             let counted = Cell::new(0u64);
             let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(plan) = plan.as_deref() {
+                    // Chaos seam: may stall this executor and/or panic the
+                    // attempt; both recover through the paths below.
+                    plan.perturb_chunk(idx, attempt);
+                }
                 let mut rng = crate::task_rng(self.seed, idx);
                 let mut scratch = scratch_init();
                 let mut acc = init();
@@ -515,6 +627,23 @@ impl Runner {
                         }
                     }
                 }
+                // Scratch-integrity canary: a pure hash of (seed, chunk),
+                // recomputed here and compared against its expected value.
+                // Corruption (injected below, or any future real scratch
+                // checksum) panics the attempt into the ordinary
+                // rollback-and-retry path — never into the merge.
+                let expected = crate::fault::chunk_canary(self.seed, idx);
+                let mut guard = expected;
+                if let Some(plan) = plan.as_deref() {
+                    if plan.corrupts_scratch(idx, attempt) {
+                        crate::fault::ledger().note_injected_corruption();
+                        guard ^= 0xDEAD_BEEF_DEAD_BEEF;
+                    }
+                }
+                assert!(
+                    guard == expected,
+                    "chunk {idx}: scratch integrity checksum mismatch (corruption detected)"
+                );
                 (acc, ran)
             }));
             match outcome {
@@ -524,6 +653,14 @@ impl Runner {
                     // retry nor the final report double-counts trials.
                     ctl.completed.fetch_sub(counted.get(), Ordering::Relaxed);
                     if attempt > self.max_chunk_retries {
+                        if degrade {
+                            // Graceful degradation: drop this chunk and
+                            // let the rest of the run produce an honest
+                            // partial estimate.
+                            crate::telemetry::runner().chunks_abandoned.inc();
+                            crate::fault::ledger().note_chunk_abandoned();
+                            return ChunkOutcome::Abandoned;
+                        }
                         // Stop claiming fresh work for a run that is about
                         // to fail; chunks already running finish normally.
                         ctl.cancel.store(true, Ordering::Relaxed);
@@ -534,6 +671,17 @@ impl Runner {
                     }
                     ctl.retried.fetch_add(1, Ordering::Relaxed);
                     crate::telemetry::runner().chunks_retried.inc();
+                    crate::fault::ledger().note_chunk_retry();
+                    // Seeded exponential backoff with deterministic jitter
+                    // before replaying the chunk.
+                    let delay =
+                        crate::fault::retry_backoff(self.seed, idx, attempt, self.backoff_base);
+                    if !delay.is_zero() {
+                        crate::telemetry::runner()
+                            .backoff_us
+                            .record(delay.as_micros() as u64);
+                        std::thread::sleep(delay);
+                    }
                 }
             }
         }
@@ -980,6 +1128,28 @@ mod tests {
             }
             other => panic!("unexpected error: {other}"),
         }
+    }
+
+    #[test]
+    fn degrade_on_exhaustion_completes_with_partial_result() {
+        // Every chunk hard-faults; under the degradation policy the run
+        // still completes, honestly reporting zero surviving trials.
+        let before = crate::fault::ledger().snapshot();
+        let report = Runner::new(Seed(40))
+            .with_threads(2)
+            .with_max_chunk_retries(1)
+            .with_retry_backoff(Duration::ZERO)
+            .with_degrade_on_exhaustion(true)
+            .try_bernoulli(2 * CHUNK_WIDTH + 7, |_| panic!("hard fault"))
+            .unwrap();
+        assert!(report.degraded);
+        assert_eq!(report.abandoned_chunks, 3);
+        assert_eq!(report.trials_completed, 0);
+        assert!(!report.truncated, "degradation is not deadline truncation");
+        assert_eq!(report.value.trials(), 0);
+        let delta = crate::fault::ledger().snapshot().since(&before);
+        assert!(delta.chunks_abandoned >= 3);
+        assert!(delta.degraded_runs >= 1);
     }
 
     #[test]

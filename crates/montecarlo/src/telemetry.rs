@@ -23,8 +23,13 @@ pub(crate) struct RunnerMetrics {
     pub deadline_truncations: obs::Counter,
     /// Runs where an expired deadline had to keep going for `min_trials`.
     pub min_trials_floor_hits: obs::Counter,
+    /// Chunks that exhausted their retries and were dropped from the
+    /// merge under a degrade-on-exhaustion policy.
+    pub chunks_abandoned: obs::Counter,
     /// Wall time of one chunk (all attempts), microseconds.
     pub chunk_wall_us: obs::Histogram,
+    /// Seeded backoff slept before a chunk retry, microseconds.
+    pub backoff_us: obs::Histogram,
 }
 
 pub(crate) fn runner() -> &'static RunnerMetrics {
@@ -38,7 +43,9 @@ pub(crate) fn runner() -> &'static RunnerMetrics {
             chunks_retried: g.counter("mc.runner.chunks_retried"),
             deadline_truncations: g.counter("mc.runner.deadline_truncations"),
             min_trials_floor_hits: g.counter("mc.runner.min_trials_floor_hits"),
+            chunks_abandoned: g.counter("mc.runner.chunks_abandoned"),
             chunk_wall_us: g.histogram("mc.runner.chunk_wall_us"),
+            backoff_us: g.histogram("mc.retry.backoff_us"),
         }
     })
 }
@@ -77,6 +84,9 @@ pub(crate) struct PoolMetrics {
     /// Workers currently running a ticket (occupancy; excludes the
     /// submitting thread, which always participates directly).
     pub workers_busy: obs::Gauge,
+    /// Over-budget chunks the watchdog requeued (each also retires the
+    /// worker presumed stuck on it).
+    pub watchdog_requeues: obs::Counter,
     /// Queue wait from submit to pop, microseconds.
     pub queue_wait_us: obs::Histogram,
     /// Time a worker spent inside one ticket, microseconds.
@@ -93,6 +103,7 @@ pub(crate) fn pool() -> &'static PoolMetrics {
             tickets_run: g.counter("mc.pool.tickets_run"),
             workers_spawned: g.gauge("mc.pool.workers_spawned"),
             workers_busy: g.gauge("mc.pool.workers_busy"),
+            watchdog_requeues: g.counter("mc.watchdog.requeues"),
             queue_wait_us: g.histogram("mc.pool.queue_wait_us"),
             ticket_busy_us: g.histogram("mc.pool.ticket_busy_us"),
         }

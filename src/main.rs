@@ -73,12 +73,32 @@ fn parse_args() -> Result<Args, mmreliab::Error> {
         let mut value = || it.next().ok_or(invalid(format!("{flag} needs a value")));
         match flag.as_str() {
             "--model" => args.model = value()?.parse().map_err(|e| invalid(format!("{e}")))?,
-            "--threads" => args.threads = value()?.parse().map_err(|e| invalid(format!("{e}")))?,
-            "--trials" => args.trials = value()?.parse().map_err(|e| invalid(format!("{e}")))?,
+            "--threads" => {
+                args.threads = value()?.parse().map_err(|e| invalid(format!("{e}")))?;
+                if args.threads == 0 {
+                    return Err(invalid(format!("--threads must be at least 1\n{}", usage())));
+                }
+            }
+            "--trials" => {
+                args.trials = value()?.parse().map_err(|e| invalid(format!("{e}")))?;
+                if args.trials == 0 {
+                    return Err(invalid(format!("--trials must be at least 1\n{}", usage())));
+                }
+            }
             "--seed" => args.seed = value()?.parse().map_err(|e| invalid(format!("{e}")))?,
-            "--m" => args.m = value()?.parse().map_err(|e| invalid(format!("{e}")))?,
+            "--m" => {
+                args.m = value()?.parse().map_err(|e| invalid(format!("{e}")))?;
+                if args.m == 0 {
+                    return Err(invalid(format!("--m must be at least 1\n{}", usage())));
+                }
+            }
             "--param" => args.param = value()?,
-            "--workers" => args.workers = value()?.parse().map_err(|e| invalid(format!("{e}")))?,
+            "--workers" => {
+                args.workers = value()?.parse().map_err(|e| invalid(format!("{e}")))?;
+                if args.workers == 0 {
+                    return Err(invalid(format!("--workers must be at least 1\n{}", usage())));
+                }
+            }
             "--metrics" => args.metrics = Some(value()?.into()),
             "--metrics-format" => {
                 args.metrics_prom = match value()?.as_str() {
@@ -96,18 +116,6 @@ fn parse_args() -> Result<Args, mmreliab::Error> {
             "--quiet" => args.quiet = true,
             other => return Err(invalid(format!("unknown flag {other}\n{}", usage()))),
         }
-    }
-    if args.trials == 0 {
-        return Err(invalid("--trials must be at least 1".into()));
-    }
-    if args.threads == 0 {
-        return Err(invalid("--threads must be at least 1".into()));
-    }
-    if args.m == 0 {
-        return Err(invalid("--m must be at least 1".into()));
-    }
-    if args.workers == 0 {
-        return Err(invalid("--workers must be at least 1".into()));
     }
     Ok(args)
 }

@@ -79,6 +79,7 @@ fn zero_trials_rejected() {
     let (ok, _, stderr) = run(&["opsim", "--trials", "0"]);
     assert!(!ok);
     assert!(stderr.contains("--trials must be at least 1"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
 }
 
 #[test]
@@ -86,6 +87,7 @@ fn zero_threads_rejected() {
     let (ok, _, stderr) = run(&["opsim", "--threads", "0"]);
     assert!(!ok);
     assert!(stderr.contains("--threads must be at least 1"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
 }
 
 #[test]
@@ -93,6 +95,15 @@ fn zero_workers_rejected() {
     let (ok, _, stderr) = run(&["survival", "--workers", "0"]);
     assert!(!ok);
     assert!(stderr.contains("--workers must be at least 1"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn zero_m_rejected() {
+    let (ok, _, stderr) = run(&["trace", "--m", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--m must be at least 1"), "{stderr}");
+    assert!(stderr.contains("usage:"), "{stderr}");
 }
 
 #[test]

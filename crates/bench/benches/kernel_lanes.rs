@@ -1,0 +1,47 @@
+//! Benchmarks the batch-lane trial kernels against the scalar path, over
+//! the full lane-width sweep.
+//!
+//! Both arms run the same end-to-end survival workload single-threaded, so
+//! differences are pure kernel shape: the scalar arm walks each settle
+//! with the data-dependent `while pos > 0` loop, the lane arm runs `L`
+//! trials in lockstep through the branchless SoA kernels. Width 1 prices
+//! the lane bookkeeping itself (it executes the same masked arithmetic
+//! with a single live lane); the wider arms show where the lockstep
+//! amortisation pays for it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memmodel::MemoryModel;
+use mmr_core::ReliabilityModel;
+use std::hint::black_box;
+
+const TRIALS: u64 = 4_000;
+const SEED: u64 = 3;
+const WIDTHS: [usize; 5] = [1, 8, 16, 32, 64];
+
+fn bench_kernel_lanes(c: &mut Criterion) {
+    for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Wo] {
+        let rm = ReliabilityModel::new(model, 2);
+        let mut group = c.benchmark_group(format!("kernel_lanes/{}", model.short_name()));
+        group.bench_function("scalar", |b| {
+            b.iter(|| black_box(rm.simulate_survival_with(TRIALS, SEED, 1).successes()));
+        });
+        for width in WIDTHS {
+            group.bench_with_input(
+                BenchmarkId::new("lanes", width),
+                &width,
+                |b, &width| {
+                    b.iter(|| {
+                        black_box(
+                            rm.simulate_survival_lanes_with(TRIALS, SEED, width, 1)
+                                .successes(),
+                        )
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_kernel_lanes);
+criterion_main!(benches);

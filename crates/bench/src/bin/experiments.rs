@@ -38,7 +38,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: experiments [--quick] [--trials N] [--seed S] [--threads T] [--out FILE] [--json FILE] [--checkpoint FILE] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--chaos SEED[:PROFILE]] [--progress] [--quiet] [--list] [ids...]\n       experiments bench [--trials N] [--seed S] [--threads T] [--out FILE (default BENCH_e2e.json)] [--baseline FILE] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--quiet]\n\n--threads bounds worker parallelism only; results are identical for any value\n--metrics/--metrics-format/--trace/--progress/--quiet are observational only and never change results\n--chaos injects a seeded, reproducible fault schedule; profiles: mixed (default) | panics | stalls | corrupt | torn | export | hard\nbench --baseline compares throughput against a prior BENCH_e2e.json and fails on regression\nexit codes: 0 success, 1 mismatch, 2 usage/IO/bad-checkpoint error, 3 degraded run (partial results)";
+const USAGE: &str = "usage: experiments [--quick] [--trials N] [--seed S] [--threads T] [--out FILE] [--json FILE] [--checkpoint FILE] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--chaos SEED[:PROFILE]] [--progress] [--quiet] [--list] [ids...]\n       experiments bench [--trials N] [--seed S] [--threads T] [--lanes L] [--out FILE (default BENCH_e2e.json)] [--baseline FILE] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--quiet]\n\n--threads bounds worker parallelism only; results are identical for any value\n--lanes sets the batch width of the joined_lanes bench pipelines (1..=64, default 8)\n--metrics/--metrics-format/--trace/--progress/--quiet are observational only and never change results\n--chaos injects a seeded, reproducible fault schedule; profiles: mixed (default) | panics | stalls | corrupt | torn | export | hard\nbench --baseline compares throughput against a prior BENCH_e2e.json and fails on regression\nexit codes: 0 success, 1 mismatch, 2 usage/IO/bad-checkpoint error, 3 degraded run (partial results)";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum MetricsFormat {
@@ -48,6 +48,7 @@ enum MetricsFormat {
 
 struct Args {
     ctx: Ctx,
+    lanes: usize,
     ids: Vec<String>,
     out_path: Option<PathBuf>,
     json_path: Option<PathBuf>,
@@ -66,6 +67,7 @@ struct Args {
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut parsed = Args {
         ctx: Ctx::standard(),
+        lanes: 8,
         ids: Vec::new(),
         out_path: None,
         json_path: None,
@@ -107,6 +109,19 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
                     return Err("--threads must be at least 1".into());
                 }
                 parsed.ctx = parsed.ctx.with_threads(threads);
+            }
+            "--lanes" => {
+                let v = args.next().ok_or("--lanes needs a value")?;
+                let lanes: usize = v
+                    .parse()
+                    .map_err(|_| format!("--lanes takes a positive integer, got {v:?}"))?;
+                if !(1..=settle::MAX_LANES).contains(&lanes) {
+                    return Err(format!(
+                        "--lanes must be in 1..={}, got {lanes}",
+                        settle::MAX_LANES
+                    ));
+                }
+                parsed.lanes = lanes;
             }
             "--out" => parsed.out_path = Some(args.next().ok_or("--out needs a path")?.into()),
             "--json" => parsed.json_path = Some(args.next().ok_or("--json needs a path")?.into()),
@@ -256,7 +271,8 @@ fn run_bench(args: &Args) -> Result<ExitCode, mmr_bench::Error> {
         .out_path
         .clone()
         .unwrap_or_else(|| PathBuf::from("BENCH_e2e.json"));
-    let mut report = mmr_bench::perf::run(args.ctx.trials, args.ctx.seed, args.ctx.threads);
+    let mut report =
+        mmr_bench::perf::run(args.ctx.trials, args.ctx.seed, args.ctx.threads, args.lanes);
     if obs::log::enabled(obs::log::Level::Info) {
         eprint!("{}", report.summary());
     }
@@ -272,6 +288,9 @@ fn run_bench(args: &Args) -> Result<ExitCode, mmr_bench::Error> {
                 path: path.clone(),
                 detail: e.to_string(),
             })?;
+        for warning in mmr_bench::gate::baseline_warnings(&baseline) {
+            eprintln!("warning: {warning}");
+        }
         let outcome = mmr_bench::gate::compare(&baseline, &report);
         eprint!("{}", outcome.render());
         regressed = outcome.regressed;

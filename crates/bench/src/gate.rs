@@ -93,6 +93,26 @@ pub fn compare(baseline: &BenchReport, current: &BenchReport) -> GateOutcome {
     }
 }
 
+/// Sanity findings about a baseline report that the gate should surface
+/// loudly instead of silently passing. Today that is one condition: a
+/// baseline with no trajectory `history` (hand-edited or produced by a
+/// pre-trajectory build) — comparisons against it still run, but the file
+/// cannot seed the perf trajectory and should be regenerated.
+#[must_use]
+pub fn baseline_warnings(baseline: &BenchReport) -> Vec<String> {
+    let mut warnings = Vec::new();
+    if baseline.history.is_empty() {
+        warnings.push(format!(
+            "baseline (git_rev {}) carries no trajectory history; the gate \
+             still compares throughput, but the output file will start a \
+             fresh trajectory — regenerate the baseline with this binary \
+             to seed one",
+            baseline.git_rev
+        ));
+    }
+    warnings
+}
+
 impl GateOutcome {
     /// A human-readable comparison: a bar chart of current/baseline ratios
     /// (1.00 = parity) with regressed pipelines called out.
@@ -134,7 +154,7 @@ mod tests {
 
     #[test]
     fn clean_self_comparison_passes() {
-        let report = perf::run(500, 7, 1);
+        let report = perf::run(500, 7, 1, 4);
         let outcome = compare(&report, &report);
         assert!(!outcome.regressed);
         assert_eq!(outcome.rows.len(), report.pipelines.len());
@@ -147,7 +167,7 @@ mod tests {
         // A baseline claiming 2x the throughput models a 50% slowdown in
         // the current run: ratio 0.5 < 1 - 0.45, below even the loosest
         // tolerance, so the gate must fail.
-        let report = perf::run(500, 7, 1);
+        let report = perf::run(500, 7, 1, 4);
         let mut doctored = report.clone();
         for p in &mut doctored.pipelines {
             p.trials_per_sec *= 2.0;
@@ -160,7 +180,7 @@ mod tests {
 
     #[test]
     fn tolerance_tracks_overhead_jitter_within_bounds() {
-        let report = perf::run(500, 7, 1);
+        let report = perf::run(500, 7, 1, 4);
         let tol = tolerance(&report, &report);
         assert!((0.30..=0.45).contains(&tol), "tolerance {tol}");
         // Wildly jittery overhead arms saturate at the cap.
@@ -172,8 +192,24 @@ mod tests {
     }
 
     #[test]
+    fn history_less_baseline_warns_instead_of_silently_passing() {
+        let report = perf::run(500, 7, 1, 4);
+        assert!(
+            baseline_warnings(&report).is_empty(),
+            "a freshly produced report must not warn"
+        );
+        let mut doctored = report.clone();
+        doctored.history.clear();
+        let warnings = baseline_warnings(&doctored);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("no trajectory history"), "{warnings:?}");
+        // The warning does not change the verdict — the gate still runs.
+        assert!(!compare(&doctored, &report).regressed);
+    }
+
+    #[test]
     fn unmatched_pipelines_are_skipped() {
-        let report = perf::run(500, 7, 1);
+        let report = perf::run(500, 7, 1, 4);
         let mut pruned = report.clone();
         pruned.pipelines.retain(|p| p.name != "geom");
         let outcome = compare(&pruned, &report);

@@ -11,7 +11,10 @@
 //! pool-dispatched runner at the report's `threads` setting, measuring what
 //! the chunk-claiming executor adds on top of the raw kernel — the
 //! multi-thread scaling number is only meaningful when `host_cores` is at
-//! least the thread count.
+//! least the thread count. The `joined_lanes` pipelines run the same
+//! trial volume through the batch-lane kernels (lockstep SoA settle/shift,
+//! counter-seeded per-trial streams) at the report's `lanes` width, so the
+//! lane speedup over `joined_mt` is measured in the same binary.
 
 use memmodel::MemoryModel;
 use mmr_core::ReliabilityModel;
@@ -83,7 +86,7 @@ const SHIFT_LENGTHS: [u64; 4] = [4, 3, 2, 5];
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct PipelineResult {
     /// Pipeline id: `settle`, `shift`, `geom`, `geom_fast`, `joined`,
-    /// `joined_legacy`, `joined_mt`.
+    /// `joined_legacy`, `joined_mt`, `joined_lanes`.
     pub name: String,
     /// Memory model short name, or `-` for model-independent kernels.
     pub model: String,
@@ -164,6 +167,9 @@ pub struct BenchReport {
     pub git_rev: String,
     /// Worker threads used by the `joined_mt` pipelines.
     pub threads: usize,
+    /// Lane width of the `joined_lanes` pipelines; `None` in reports that
+    /// predate the lane kernels (the field deserializes as absent there).
+    pub lanes: Option<usize>,
     /// The runner's fixed chunk width (trials per pool task).
     pub chunk_width: u64,
     /// Logical cores of the machine that produced this report — the context
@@ -267,9 +273,14 @@ fn measure_batch(
 }
 
 /// Runs every pipeline at the given size and seed, with `threads` worker
-/// threads for the pool-dispatched `joined_mt` pipelines.
+/// threads for the pool-dispatched `joined_mt`/`joined_lanes` pipelines and
+/// `lanes` lockstep lanes for `joined_lanes`.
+///
+/// # Panics
+///
+/// Panics if `lanes` is outside `1..=`[`settle::MAX_LANES`].
 #[must_use]
-pub fn run(trials: u64, seed: u64, threads: usize) -> BenchReport {
+pub fn run(trials: u64, seed: u64, threads: usize, lanes: usize) -> BenchReport {
     let before = obs::snapshot();
     let mut pipelines = Vec::new();
 
@@ -392,6 +403,20 @@ pub fn run(trials: u64, seed: u64, threads: usize) -> BenchReport {
         });
         pipelines.push(mt);
         pipelines.push(mt_notel);
+
+        // The lane path at the same trial volume, seed, and thread count:
+        // lockstep SoA kernels over counter-seeded per-trial streams. Its
+        // checksum is a success count like `joined_mt`'s but from the lane
+        // stream, so the two agree statistically, not bit-wise; the
+        // cross-rep assertion in `measure_batch` still pins determinism.
+        let lanes_batch = move || {
+            rm.simulate_survival_lanes_with(trials, seed, lanes, threads)
+                .successes()
+        };
+        pipelines.push({
+            let _span = obs::span("bench.joined_lanes");
+            measure_batch("joined_lanes", short, trials, lanes_batch)
+        });
     }
 
     let telemetry = obs::snapshot();
@@ -421,6 +446,7 @@ pub fn run(trials: u64, seed: u64, threads: usize) -> BenchReport {
         seed,
         git_rev,
         threads,
+        lanes: Some(lanes),
         chunk_width: montecarlo::CHUNK_WIDTH,
         host_cores,
         pipelines,
@@ -439,8 +465,11 @@ impl BenchReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "threads {} | chunk width {} | host cores {}",
-            self.threads, self.chunk_width, self.host_cores
+            "threads {} | lanes {} | chunk width {} | host cores {}",
+            self.threads,
+            self.lanes.map_or_else(|| "-".to_owned(), |l| l.to_string()),
+            self.chunk_width,
+            self.host_cores
         );
         for p in &self.pipelines {
             let _ = writeln!(
@@ -469,9 +498,9 @@ mod tests {
 
     #[test]
     fn report_is_complete_and_serializable() {
-        let report = run(2_000, 9, 2);
-        // 3 model-independent + 5 per named model.
-        assert_eq!(report.pipelines.len(), 3 + 5 * MemoryModel::NAMED.len());
+        let report = run(2_000, 9, 2, 8);
+        // 3 model-independent + 6 per named model.
+        assert_eq!(report.pipelines.len(), 3 + 6 * MemoryModel::NAMED.len());
         assert_eq!(report.joined_speedup_vs_legacy.len(), MemoryModel::NAMED.len());
         assert_eq!(report.telemetry_overhead.len(), MemoryModel::NAMED.len());
         assert!(report
@@ -480,12 +509,14 @@ mod tests {
             .all(|t| t.throughput_ratio > 0.0));
         assert!(report.pipelines.iter().all(|p| p.trials_per_sec > 0.0));
         assert_eq!(report.threads, 2);
+        assert_eq!(report.lanes, Some(8));
         assert_eq!(report.chunk_width, montecarlo::CHUNK_WIDTH);
         assert!(report.host_cores >= 1);
         // The embedded snapshot carries the runner counters and the
         // per-stage spans the bench just produced.
         assert!(report.telemetry.counter("mc.runner.runs").unwrap_or(0) >= 1);
         assert!(report.telemetry.span("bench.joined_mt").is_some());
+        assert!(report.telemetry.span("bench.joined_lanes").is_some());
         // One trajectory entry covering this run alone, one point per
         // pipeline, with the run's own runner activity attributed to it.
         assert_eq!(report.history.len(), 1);
@@ -507,7 +538,7 @@ mod tests {
     fn telemetry_recording_does_not_change_joined_mt_checksums() {
         // run() asserts joined_mt == joined_mt_notel internally; pin the
         // pairing explicitly as a regression guard.
-        let report = run(1_000, 4, 2);
+        let report = run(1_000, 4, 2, 8);
         for model in MemoryModel::NAMED {
             let at = |name: &str| {
                 report
@@ -524,7 +555,7 @@ mod tests {
     #[test]
     fn joined_and_legacy_checksums_agree() {
         // run() asserts this internally; keep an explicit regression too.
-        let report = run(1_000, 4, 1);
+        let report = run(1_000, 4, 1, 8);
         for model in MemoryModel::NAMED {
             let at = |name: &str| {
                 report
@@ -542,8 +573,8 @@ mod tests {
     fn joined_mt_checksum_is_thread_count_invariant() {
         // The pool-dispatched pipeline derives every chunk's RNG from the
         // chunk index, so its outcome fold is identical at any threads.
-        let a = run(1_000, 4, 1);
-        let b = run(1_000, 4, 4);
+        let a = run(1_000, 4, 1, 8);
+        let b = run(1_000, 4, 4, 8);
         let mt = |r: &BenchReport, model: MemoryModel| {
             r.pipelines
                 .iter()

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod compare;
+mod lanes;
 mod model;
 pub mod pairs;
 mod scaling;
@@ -42,6 +43,7 @@ mod survival;
 mod telemetry;
 
 pub use compare::{ModelComparison, ModelRow};
+pub use lanes::LaneTrialScratch;
 pub use model::{ReliabilityModel, TrialScratch, DEFAULT_M};
 pub use scaling::{scaling_curve, scaling_curve_with, ScalingPoint};
 pub use survival::RbSurvival;

@@ -109,6 +109,23 @@ impl ReliabilityModel {
             .expect("validated probability")
     }
 
+    /// The store probability `p` (for the lane kernels' regeneration).
+    pub(crate) fn store_prob(&self) -> f64 {
+        self.p
+    }
+
+    /// The shared program template: placeholder filler types, fences and
+    /// critical pair in place. Every trial kernel (scalar or lane) redraws
+    /// the filler types of a copy of this shape.
+    pub(crate) fn template(&self) -> Program {
+        let mut program = Program::from_filler_types(&vec![OpType::Ld; self.m])
+            .expect("canonical program shape is valid");
+        if self.acquire_fence {
+            program = program.with_acquire_before_critical();
+        }
+        program
+    }
+
     /// A fresh [`TrialScratch`] sized for this configuration.
     ///
     /// Construction allocates (and draws nothing from any RNG); every trial
@@ -117,11 +134,7 @@ impl ReliabilityModel {
     /// redraws them before use.
     #[must_use]
     pub fn scratch(&self) -> TrialScratch {
-        let mut program = Program::from_filler_types(&vec![OpType::Ld; self.m])
-            .expect("canonical program shape is valid");
-        if self.acquire_fence {
-            program = program.with_acquire_before_critical();
-        }
+        let program = self.template();
         TrialScratch {
             settle: SettleScratch::with_capacity(program.len()),
             shift: ShiftScratch::with_capacity(self.n),

@@ -143,6 +143,14 @@ impl<A> RunReport<A> {
     }
 }
 
+/// Builds one per-attempt worker state for a chunk index (the scalar path
+/// packs the scratch with the sequential chunk RNG; the block path carries
+/// scratch alone).
+type StateInit<S> = dyn Fn(u64) -> S + Send + Sync;
+
+/// Runs one bounded batch: `(state, acc, chunk_index, chunk-local span)`.
+type BatchFn<S, A> = dyn Fn(&mut S, &mut A, u64, std::ops::Range<u64>) + Send + Sync;
+
 /// What one worker chunk reports back to the coordinator.
 enum ChunkOutcome<A> {
     Done { acc: A, ran: u64 },
@@ -399,6 +407,7 @@ impl Runner {
         merge: impl Fn(&mut A, A),
     ) -> Result<RunReport<A>, Error>
     where
+        S: 'static,
         A: Send + 'static,
     {
         self.try_fold_scratch_stop(trials, scratch_init, init, trial, fold, merge, |_| false)
@@ -429,6 +438,104 @@ impl Runner {
         stop: impl Fn(&A) -> bool,
     ) -> Result<RunReport<A>, Error>
     where
+        S: 'static,
+        A: Send + 'static,
+    {
+        // The scalar path's per-attempt state is the scratch plus the
+        // sequential chunk RNG; one dyn-dispatched batch call covers
+        // `BATCH` trials, so the indirection is invisible in the hot loop.
+        let seed = self.seed;
+        let state_init: Arc<StateInit<(S, SmallRng)>> =
+            Arc::new(move |idx| (scratch_init(), crate::task_rng(seed, idx)));
+        let batch: Arc<BatchFn<(S, SmallRng), A>> = Arc::new(move |state, acc, _idx, span| {
+            let (scratch, rng) = state;
+            for _ in span {
+                fold(acc, trial(scratch, rng));
+            }
+        });
+        self.try_run_stop(trials, state_init, Arc::new(init), batch, merge, stop)
+    }
+
+    /// Runs `trials` trials through a **block** kernel: instead of one
+    /// callback per trial fed by the sequential chunk RNG, `block` receives
+    /// whole chunk-local trial spans and derives randomness itself — the
+    /// entry point behind the batch-lane kernels.
+    ///
+    /// For every chunk `c`, `block` is invoked with
+    /// `(scratch, seed, c, lo..hi, acc)` for consecutive spans `lo..hi`
+    /// partitioning `[0, chunk_len)` in ascending order (spans are bounded,
+    /// currently at 256 trials, so deadline/cancellation checks stay
+    /// responsive). Chunk-local index `t` names global trial
+    /// `c * CHUNK_WIDTH + t`.
+    ///
+    /// Determinism contract: the work for trial `t` of chunk `c` must be a
+    /// pure function of `(seed, c, t)` — derive per-trial streams with
+    /// [`trial_seed`](crate::trial_seed), never from previously drawn
+    /// state — and `acc` must receive per-trial results in span order.
+    /// Under that contract the merged result is bit-identical for any
+    /// thread count *and* any internal batching (lane width) the kernel
+    /// chooses, and the per-chunk retry/canary machinery recovers faults
+    /// bit-for-bit exactly as on the scalar path: a retried chunk gets a
+    /// fresh `scratch_init()` scratch and replays the same spans.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`try_fold_scratch`](Runner::try_fold_scratch)'s errors.
+    pub fn try_fold_blocks<S, A>(
+        &self,
+        trials: u64,
+        scratch_init: impl Fn() -> S + Send + Sync + 'static,
+        init: impl Fn() -> A + Send + Sync + 'static,
+        block: impl Fn(&mut S, Seed, u64, std::ops::Range<u64>, &mut A) + Send + Sync + 'static,
+        merge: impl Fn(&mut A, A),
+    ) -> Result<RunReport<A>, Error>
+    where
+        S: 'static,
+        A: Send + 'static,
+    {
+        let seed = self.seed;
+        let state_init: Arc<StateInit<S>> = Arc::new(move |_idx| scratch_init());
+        let batch: Arc<BatchFn<S, A>> =
+            Arc::new(move |scratch, acc, idx, span| block(scratch, seed, idx, span, acc));
+        self.try_run_stop(trials, state_init, Arc::new(init), batch, merge, |_| false)
+    }
+
+    /// Infallible [`try_fold_blocks`](Runner::try_fold_blocks): panics if a
+    /// chunk fails every retry, matching the crate's original contract.
+    pub fn fold_blocks<S, A>(
+        &self,
+        trials: u64,
+        scratch_init: impl Fn() -> S + Send + Sync + 'static,
+        init: impl Fn() -> A + Send + Sync + 'static,
+        block: impl Fn(&mut S, Seed, u64, std::ops::Range<u64>, &mut A) + Send + Sync + 'static,
+        merge: impl Fn(&mut A, A),
+    ) -> A
+    where
+        S: 'static,
+        A: Send + 'static,
+    {
+        match self.try_fold_blocks(trials, scratch_init, init, block, merge) {
+            Ok(report) => report.value,
+            Err(e) => panic!("monte-carlo worker panicked: {e}"),
+        }
+    }
+
+    /// The wave/merge/stop loop every entry point funnels into, generic
+    /// over the per-attempt state and the batch body (scalar trials or
+    /// lane blocks) so the chunk contract — tiling, retry, canary,
+    /// deadline, telemetry — is written once.
+    #[allow(clippy::too_many_arguments)]
+    fn try_run_stop<S, A>(
+        &self,
+        trials: u64,
+        state_init: Arc<StateInit<S>>,
+        init: Arc<dyn Fn() -> A + Send + Sync>,
+        batch: Arc<BatchFn<S, A>>,
+        merge: impl Fn(&mut A, A),
+        stop: impl Fn(&A) -> bool,
+    ) -> Result<RunReport<A>, Error>
+    where
+        S: 'static,
         A: Send + 'static,
     {
         if self.min_trials > trials {
@@ -458,13 +565,6 @@ impl Runner {
             target: trials,
             floor_bound: AtomicBool::new(false),
         });
-        // Closures are shared across waves, so they live behind `Arc`s
-        // that each wave's scatter job clones.
-        let scratch_init = Arc::new(scratch_init);
-        let init = Arc::new(init);
-        let trial = Arc::new(trial);
-        let fold = Arc::new(fold);
-
         let mut value = init();
         let mut trials_completed = 0u64;
         let mut converged_early = false;
@@ -478,11 +578,10 @@ impl Runner {
             let base = done_chunks;
             let runner = *self;
             let job_ctl = Arc::clone(&ctl);
-            let (sci, ini, tri, fol) = (
-                Arc::clone(&scratch_init),
+            let (sti, ini, bat) = (
+                Arc::clone(&state_init),
                 Arc::clone(&init),
-                Arc::clone(&trial),
-                Arc::clone(&fold),
+                Arc::clone(&batch),
             );
             let outcomes =
                 pool::scatter_supervised(until - base, self.threads, chunk_budget, move |i| {
@@ -496,8 +595,8 @@ impl Runner {
                     let tele = crate::telemetry::runner();
                     tele.chunks_claimed.inc();
                     let chunk_started = obs::recording().then(Instant::now);
-                    let outcome = runner
-                        .run_chunk(idx, count, &*sci, &*ini, &*tri, &*fol, &job_ctl, degrade);
+                    let outcome =
+                        runner.run_chunk(idx, count, &*sti, &*ini, &*bat, &job_ctl, degrade);
                     if let Some(started) = chunk_started {
                         tele.chunk_wall_us.record(started.elapsed().as_micros() as u64);
                     }
@@ -572,14 +671,13 @@ impl Runner {
     /// first trial of the attempt and dropped with it — a retry never sees
     /// a prior attempt's (possibly mid-trial, possibly poisoned) scratch.
     #[allow(clippy::too_many_arguments)]
-    fn run_chunk<S, T, A>(
+    fn run_chunk<S, A>(
         &self,
         idx: u64,
         count: u64,
-        scratch_init: &impl Fn() -> S,
-        init: &impl Fn() -> A,
-        trial: &impl Fn(&mut S, &mut SmallRng) -> T,
-        fold: &impl Fn(&mut A, T),
+        state_init: &(dyn Fn(u64) -> S + Send + Sync),
+        init: &(dyn Fn() -> A + Send + Sync),
+        batch: &BatchFn<S, A>,
         ctl: &Ctl,
         degrade: bool,
     ) -> ChunkOutcome<A> {
@@ -598,21 +696,18 @@ impl Runner {
                     // attempt; both recover through the paths below.
                     plan.perturb_chunk(idx, attempt);
                 }
-                let mut rng = crate::task_rng(self.seed, idx);
-                let mut scratch = scratch_init();
+                let mut state = state_init(idx);
                 let mut acc = init();
                 let mut ran = 0u64;
                 while ran < count {
                     if ctl.cancel.load(Ordering::Relaxed) {
                         break;
                     }
-                    let batch = BATCH.min(count - ran);
-                    for _ in 0..batch {
-                        fold(&mut acc, trial(&mut scratch, &mut rng));
-                    }
-                    ran += batch;
-                    counted.set(counted.get() + batch);
-                    let total = ctl.completed.fetch_add(batch, Ordering::Relaxed) + batch;
+                    let step = BATCH.min(count - ran);
+                    batch(&mut state, &mut acc, idx, ran..ran + step);
+                    ran += step;
+                    counted.set(counted.get() + step);
+                    let total = ctl.completed.fetch_add(step, Ordering::Relaxed) + step;
                     obs::progress::tick("trials", total, ctl.target, ctl.start);
                     if let Some(limit) = self.deadline {
                         if ctl.start.elapsed() >= limit {
@@ -717,7 +812,10 @@ impl Runner {
         trials: u64,
         scratch_init: impl Fn() -> S + Send + Sync + 'static,
         trial: impl Fn(&mut S, &mut SmallRng) -> bool + Send + Sync + 'static,
-    ) -> Result<RunReport<BernoulliEstimate>, Error> {
+    ) -> Result<RunReport<BernoulliEstimate>, Error>
+    where
+        S: 'static,
+    {
         // NaN RSE (empty or all-failure prefix) compares false: a
         // degenerate estimate is never "converged".
         let target = self.target_rse.unwrap_or(0.0);
@@ -742,7 +840,10 @@ impl Runner {
         trials: u64,
         scratch_init: impl Fn() -> S + Send + Sync + 'static,
         trial: impl Fn(&mut S, &mut SmallRng) -> f64 + Send + Sync + 'static,
-    ) -> Result<RunReport<Welford>, Error> {
+    ) -> Result<RunReport<Welford>, Error>
+    where
+        S: 'static,
+    {
         let target = self.target_rse.unwrap_or(0.0);
         self.try_fold_scratch_stop(
             trials,
@@ -765,7 +866,10 @@ impl Runner {
         trials: u64,
         scratch_init: impl Fn() -> S + Send + Sync + 'static,
         trial: impl Fn(&mut S, &mut SmallRng) -> u64 + Send + Sync + 'static,
-    ) -> Result<RunReport<Histogram>, Error> {
+    ) -> Result<RunReport<Histogram>, Error>
+    where
+        S: 'static,
+    {
         self.try_fold_scratch(
             trials,
             scratch_init,
@@ -854,6 +958,7 @@ impl Runner {
         merge: impl Fn(&mut A, A),
     ) -> A
     where
+        S: 'static,
         A: Send + 'static,
     {
         match self.try_fold_scratch(trials, scratch_init, init, trial, fold, merge) {
@@ -868,7 +973,10 @@ impl Runner {
         trials: u64,
         scratch_init: impl Fn() -> S + Send + Sync + 'static,
         trial: impl Fn(&mut S, &mut SmallRng) -> bool + Send + Sync + 'static,
-    ) -> BernoulliEstimate {
+    ) -> BernoulliEstimate
+    where
+        S: 'static,
+    {
         match self.try_bernoulli_scratch(trials, scratch_init, trial) {
             Ok(report) => report.value,
             Err(e) => panic!("monte-carlo worker panicked: {e}"),
@@ -881,7 +989,10 @@ impl Runner {
         trials: u64,
         scratch_init: impl Fn() -> S + Send + Sync + 'static,
         trial: impl Fn(&mut S, &mut SmallRng) -> f64 + Send + Sync + 'static,
-    ) -> Welford {
+    ) -> Welford
+    where
+        S: 'static,
+    {
         match self.try_mean_scratch(trials, scratch_init, trial) {
             Ok(report) => report.value,
             Err(e) => panic!("monte-carlo worker panicked: {e}"),
@@ -894,7 +1005,10 @@ impl Runner {
         trials: u64,
         scratch_init: impl Fn() -> S + Send + Sync + 'static,
         trial: impl Fn(&mut S, &mut SmallRng) -> u64 + Send + Sync + 'static,
-    ) -> Histogram {
+    ) -> Histogram
+    where
+        S: 'static,
+    {
         match self.try_histogram_scratch(trials, scratch_init, trial) {
             Ok(report) => report.value,
             Err(e) => panic!("monte-carlo worker panicked: {e}"),

@@ -49,10 +49,12 @@
 pub mod beta;
 pub mod events;
 pub mod exact;
+mod lanes;
 mod perm;
 mod process;
 mod trace;
 
+pub use lanes::{LaneRng, LaneScratch, MAX_LANES};
 pub use perm::{NotAPermutation, Permutation};
-pub use process::{SettleScratch, Settled, Settler};
+pub use process::{bool_threshold, SettleScratch, Settled, Settler};
 pub use trace::{SettleTrace, TraceRound};

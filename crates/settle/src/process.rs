@@ -360,22 +360,63 @@ impl Settler {
             *slot = scratch.gamma(program);
         }
     }
+
+    /// Resolves the integer draw-threshold tables the lane kernel shares
+    /// with [`settle_packed`](Settler::settle_packed): the four
+    /// memory-memory thresholds `t_eff[earlier_st][later_st]` and the
+    /// release-fence threshold, all via [`bool_threshold`].
+    pub(crate) fn lane_tables(&self) -> ([[u64; 2]; 2], u64) {
+        let t_eff = [
+            [
+                bool_threshold(self.probs.effective(&self.matrix, OpType::Ld, OpType::Ld)),
+                bool_threshold(self.probs.effective(&self.matrix, OpType::Ld, OpType::St)),
+            ],
+            [
+                bool_threshold(self.probs.effective(&self.matrix, OpType::St, OpType::Ld)),
+                bool_threshold(self.probs.effective(&self.matrix, OpType::St, OpType::St)),
+            ],
+        ];
+        (t_eff, bool_threshold(self.fence_pass_probability))
+    }
 }
 
 /// Draw threshold of a zero probability: break without consuming a draw.
-const BLOCKED: u64 = 0;
+pub(crate) const BLOCKED: u64 = 0;
 /// Draw threshold of probability one: swap without consuming a draw
 /// (matching `gen_bool`'s `p >= 1.0` early return).
-const CERTAIN: u64 = u64::MAX;
+pub(crate) const CERTAIN: u64 = u64::MAX;
 
-/// Converts a swap probability into an integer draw threshold that is
-/// exactly equivalent to `rng.gen_bool(p)` on the vendored `rand`:
-/// `gen_bool(p)` compares `(next_u64() >> 11) as f64 * 2^-53 < p`, and for
-/// `0 < p < 1` that holds iff `next_u64() >> 11 < ceil(p * 2^53)` (the
-/// scaling by a power of two is exact, and both sides are integers below
-/// `2^53`, where `f64` is exact). The endpoints draw nothing, mirroring
-/// the `p <= 0` break and the `p >= 1` early return.
-fn bool_threshold(p: f64) -> u64 {
+/// Converts a swap probability into its 53-bit integer draw threshold.
+///
+/// # The 53-bit rounding contract
+///
+/// The threshold is exactly equivalent to `rng.gen_bool(p)` on the
+/// vendored `rand`: `gen_bool(p)` compares
+/// `(next_u64() >> 11) as f64 * 2^-53 < p`, and for `0 < p < 1` that
+/// holds iff `next_u64() >> 11 < ceil(p * 2^53)` — the scaling by a power
+/// of two is exact, and both sides are integers below `2^53`, where `f64`
+/// is exact. So the hot kernels compare raw 53-bit draws against this
+/// threshold as pure `u64` ops, with no float in the loop and no rounding
+/// beyond the single `ceil`.
+///
+/// The endpoints are pinned, not rounded:
+///
+/// - `p <= 0.0` maps to `0` (**BLOCKED**): no 53-bit draw is below it, and
+///   the scalar kernel breaks without consuming a draw.
+/// - `p >= 1.0` maps to `u64::MAX` (**CERTAIN**): every 53-bit draw is
+///   below it (draws are `< 2^53`), and the scalar kernel swaps without
+///   consuming a draw — mirroring `gen_bool`'s `p >= 1.0` early return.
+/// - Every denormal-adjacent `0 < p < 1` (down to `f64::MIN_POSITIVE` and
+///   below) maps to a threshold in `[1, 2^53]`: never 0, never saturated,
+///   because `ceil` of a positive value is at least 1 and `p < 1` keeps
+///   the product below `2^53`.
+///
+/// The batch-lane kernels ([`Settler::settle_lanes`]) reuse these
+/// thresholds verbatim; they differ only in always consuming one draw per
+/// active climb step (`draw < t` is false for BLOCKED and true for
+/// CERTAIN on every possible 53-bit draw, so no branch is needed).
+#[must_use]
+pub fn bool_threshold(p: f64) -> u64 {
     if p <= 0.0 {
         BLOCKED
     } else if p >= 1.0 {
@@ -389,16 +430,16 @@ fn bool_threshold(p: f64) -> u64 {
 }
 
 /// Packed-image flag: the instruction is a fence.
-const FENCE_FLAG: u32 = 1 << 31;
+pub(crate) const FENCE_FLAG: u32 = 1 << 31;
 /// Packed-image flag: the fence permits hoisting (release).
-const RELEASE_FLAG: u32 = 1 << 30;
+pub(crate) const RELEASE_FLAG: u32 = 1 << 30;
 /// Packed-image bit position of the St flag for memory operations.
-const ST_FLAG_SHIFT: u32 = 29;
+pub(crate) const ST_FLAG_SHIFT: u32 = 29;
 /// Packed-image mask of the location id for memory operations.
-const LOC_MASK: u32 = (1 << 29) - 1;
+pub(crate) const LOC_MASK: u32 = (1 << 29) - 1;
 
 /// Encodes one instruction's settling-relevant facts into a u32 word.
-fn encode(ins: &Instruction) -> u32 {
+pub(crate) fn encode(ins: &Instruction) -> u32 {
     match ins.kind() {
         InstrKind::Fence(k) => {
             if k.permits_hoist_above() {
@@ -936,6 +977,52 @@ mod tests {
                 assert_eq!(seq_rng, batch_rng, "{model} seed {seed}: RNG streams diverged");
             }
         }
+    }
+
+    #[test]
+    fn bool_threshold_pins_the_endpoints() {
+        // p = 0 is BLOCKED: no 53-bit draw is below it, and the kernels
+        // must be able to recognise it without drawing.
+        assert_eq!(bool_threshold(0.0), BLOCKED);
+        assert_eq!(bool_threshold(-0.0), BLOCKED);
+        assert_eq!(bool_threshold(-1.0), BLOCKED);
+        // p = 1 is CERTAIN: every 53-bit draw is below it.
+        assert_eq!(bool_threshold(1.0), CERTAIN);
+        assert_eq!(bool_threshold(2.0), CERTAIN);
+    }
+
+    #[test]
+    fn bool_threshold_denormal_adjacent_probabilities_stay_interior() {
+        // The smallest positive denormal still rounds up to threshold 1:
+        // possible in principle, never BLOCKED.
+        assert_eq!(bool_threshold(f64::from_bits(1)), 1);
+        assert_eq!(bool_threshold(f64::MIN_POSITIVE), 1);
+        // The largest p below 1.0 stays strictly below CERTAIN: it is
+        // 1 - 2^-53, whose scaled value 2^53 - 1 is exact, so the top
+        // draw value still rejects — interior p never saturates.
+        let below_one = f64::from_bits(1.0f64.to_bits() - 1);
+        let t = bool_threshold(below_one);
+        assert_eq!(t, (1u64 << 53) - 1);
+        assert_ne!(t, CERTAIN);
+        // Tiny-but-normal p also lands in [1, 2^53].
+        assert_eq!(bool_threshold(2f64.powi(-60)), 1);
+    }
+
+    #[test]
+    fn bool_threshold_matches_gen_bool_on_interior_probabilities() {
+        // The contract: (draw >> 11) < threshold  <=>  gen_bool accepts.
+        // Check exact midpoints and an irrational-ish p against a direct
+        // float comparison over boundary draws.
+        for p in [0.5, 0.25, 1.0 / 3.0, 0.9, 1e-9] {
+            let t = bool_threshold(p);
+            assert_eq!(t, (p * (1u64 << 53) as f64).ceil() as u64, "p={p}");
+            // Boundary draws: t-1 accepts, t rejects (as floats, exactly).
+            let accept = (t - 1) as f64 * (1.0 / (1u64 << 53) as f64);
+            let reject = t as f64 * (1.0 / (1u64 << 53) as f64);
+            assert!(accept < p, "p={p}: draw t-1 must accept");
+            assert!(reject >= p, "p={p}: draw t must reject");
+        }
+        assert_eq!(bool_threshold(0.5), 1u64 << 52);
     }
 
     #[test]

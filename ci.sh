@@ -157,3 +157,37 @@ assert clean == resumed, "torn-journal resume diverged from the fault-free run"
 print("torn-journal recovery ok")
 EOF2
 rm -rf "$CHAOS_DIR"
+
+# Result-cache smoke: the same seeded experiment run against a --cache
+# directory must be bit-identical cold (populating) and warm (served from
+# the store), the warm run must actually hit (mc.cache.hits > 0 in its
+# metrics snapshot), and an unusable cache directory must degrade to an
+# uncached run — results intact, typed warning, exit code 2 (the
+# --metrics/--checkpoint error contract).
+CACHE_DIR="$(mktemp -d)"
+cargo run --release --offline -p mmr-bench --bin experiments -- \
+  --quick --seed 20110606 --cache "$CACHE_DIR/store" \
+  --json "$CACHE_DIR/cold.json" lem42 thm62
+cargo run --release --offline -p mmr-bench --bin experiments -- \
+  --quick --seed 20110606 --cache "$CACHE_DIR/store" \
+  --json "$CACHE_DIR/warm.json" --metrics "$CACHE_DIR/warm_metrics.json" lem42 thm62
+grep -vE '"(elapsed_secs|threads|host_cores|trials_per_sec)":' "$CACHE_DIR/cold.json" > "$CACHE_DIR/cold.stripped"
+grep -vE '"(elapsed_secs|threads|host_cores|trials_per_sec)":' "$CACHE_DIR/warm.json" > "$CACHE_DIR/warm.stripped"
+diff "$CACHE_DIR/cold.stripped" "$CACHE_DIR/warm.stripped"
+python3 - "$CACHE_DIR/warm_metrics.json" <<'EOF2'
+import json, sys
+counters = {c["name"]: c["value"] for c in json.load(open(sys.argv[1]))["counters"]}
+assert counters.get("mc.cache.hits", 0) > 0, f"warm run produced no cache hits: {counters}"
+assert counters.get("mc.cache.errors", 0) == 0, f"cache errors on a healthy store: {counters}"
+print(f"cache smoke ok: {counters['mc.cache.hits']} hits, {counters.get('mc.cache.misses', 0)} misses")
+EOF2
+CACHE_RC=0
+cargo run --release --offline -p mmr-bench --bin experiments -- \
+  --quick --seed 20110606 --cache "$CACHE_DIR/cold.json/not-a-dir" \
+  --json "$CACHE_DIR/degraded.json" lem42 thm62 \
+  2> "$CACHE_DIR/degraded.log" || CACHE_RC=$?
+test "$CACHE_RC" -eq 2
+grep -q "result cache disabled" "$CACHE_DIR/degraded.log"
+grep -vE '"(elapsed_secs|threads|host_cores|trials_per_sec)":' "$CACHE_DIR/degraded.json" > "$CACHE_DIR/degraded.stripped"
+diff "$CACHE_DIR/cold.stripped" "$CACHE_DIR/degraded.stripped"
+rm -rf "$CACHE_DIR"

@@ -38,7 +38,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: experiments [--quick] [--trials N] [--seed S] [--threads T] [--out FILE] [--json FILE] [--checkpoint FILE] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--chaos SEED[:PROFILE]] [--progress] [--quiet] [--list] [ids...]\n       experiments bench [--trials N] [--seed S] [--threads T] [--lanes L] [--out FILE (default BENCH_e2e.json)] [--baseline FILE] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--quiet]\n\n--threads bounds worker parallelism only; results are identical for any value\n--lanes sets the batch width of the joined_lanes bench pipelines (1..=64, default 8)\n--metrics/--metrics-format/--trace/--progress/--quiet are observational only and never change results\n--chaos injects a seeded, reproducible fault schedule; profiles: mixed (default) | panics | stalls | corrupt | torn | export | hard\nbench --baseline compares throughput against a prior BENCH_e2e.json and fails on regression\nexit codes: 0 success, 1 mismatch, 2 usage/IO/bad-checkpoint error, 3 degraded run (partial results)";
+const USAGE: &str = "usage: experiments [--quick] [--trials N] [--seed S] [--threads T] [--out FILE] [--json FILE] [--checkpoint FILE] [--cache DIR] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--chaos SEED[:PROFILE]] [--progress] [--quiet] [--list] [ids...]\n       experiments bench [--trials N] [--seed S] [--threads T] [--lanes L] [--out FILE (default BENCH_e2e.json)] [--baseline FILE] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--quiet]\n\n--threads bounds worker parallelism only; results are identical for any value\n--lanes sets the batch width of the joined_lanes bench pipelines (1..=64, default 8)\n--cache enables the content-addressed result store in DIR: repeated runs are served\n        bit-identically from cache, grown runs resume from cached chunk prefixes\n        (an unusable DIR degrades to uncached with a warning; bench ignores --cache,\n        its cached pipelines manage their own stores)\n--metrics/--metrics-format/--trace/--progress/--quiet are observational only and never change results\n--chaos injects a seeded, reproducible fault schedule; profiles: mixed (default) | panics | stalls | corrupt | torn | export | hard\nbench --baseline compares throughput against a prior BENCH_e2e.json and fails on regression\nexit codes: 0 success, 1 mismatch, 2 usage/IO/bad-checkpoint error, 3 degraded run (partial results)";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum MetricsFormat {
@@ -49,10 +49,12 @@ enum MetricsFormat {
 struct Args {
     ctx: Ctx,
     lanes: usize,
+    lanes_set: bool,
     ids: Vec<String>,
     out_path: Option<PathBuf>,
     json_path: Option<PathBuf>,
     checkpoint_path: Option<PathBuf>,
+    cache_path: Option<PathBuf>,
     metrics_path: Option<PathBuf>,
     metrics_format: MetricsFormat,
     trace_path: Option<PathBuf>,
@@ -68,10 +70,12 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut parsed = Args {
         ctx: Ctx::standard(),
         lanes: 8,
+        lanes_set: false,
         ids: Vec::new(),
         out_path: None,
         json_path: None,
         checkpoint_path: None,
+        cache_path: None,
         metrics_path: None,
         metrics_format: MetricsFormat::Json,
         trace_path: None,
@@ -122,11 +126,15 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
                     ));
                 }
                 parsed.lanes = lanes;
+                parsed.lanes_set = true;
             }
             "--out" => parsed.out_path = Some(args.next().ok_or("--out needs a path")?.into()),
             "--json" => parsed.json_path = Some(args.next().ok_or("--json needs a path")?.into()),
             "--checkpoint" => {
                 parsed.checkpoint_path = Some(args.next().ok_or("--checkpoint needs a path")?.into());
+            }
+            "--cache" => {
+                parsed.cache_path = Some(args.next().ok_or("--cache needs a directory")?.into());
             }
             "--metrics" => {
                 parsed.metrics_path = Some(args.next().ok_or("--metrics needs a path")?.into());
@@ -242,6 +250,12 @@ fn main() -> ExitCode {
             eprintln!("error: `bench` takes no experiment ids");
             return ExitCode::from(2);
         }
+        if args.cache_path.is_some() {
+            // perf::run measures the uncached kernels by design (the
+            // cached pipelines manage their own stores), so an installed
+            // handle would be cleared anyway.
+            obs::info!("bench measures uncached kernels; --cache ignored");
+        }
         return match run_bench(&args) {
             Ok(code) => code,
             Err(e) => {
@@ -251,7 +265,27 @@ fn main() -> ExitCode {
         };
     }
 
-    match run(&args) {
+    // The content-addressed result store: repeated and grown requests are
+    // served (or resumed) from DIR. An unusable directory degrades to an
+    // uncached run — the warning is reported and forces exit code 2 after
+    // the results land, same contract as `--metrics`/`--checkpoint` on an
+    // unwritable path.
+    let mut cache_err: Option<mmr_bench::Error> = None;
+    if let Some(dir) = &args.cache_path {
+        match store::Store::open(dir) {
+            Ok(s) => {
+                obs::info!("result cache at {}", dir.display());
+                store::install(std::sync::Arc::new(s));
+            }
+            Err(store::StoreError::Io { path, source }) => {
+                let e = mmr_bench::Error::Io { path, source };
+                eprintln!("warning: result cache disabled: {e}");
+                cache_err = Some(e);
+            }
+        }
+    }
+
+    match run(&args, cache_err) {
         Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
@@ -275,6 +309,35 @@ fn run_bench(args: &Args) -> Result<ExitCode, mmr_bench::Error> {
         mmr_bench::perf::run(args.ctx.trials, args.ctx.seed, args.ctx.threads, args.lanes);
     if obs::log::enabled(obs::log::Level::Info) {
         eprint!("{}", report.summary());
+    }
+
+    // The lane width was asked for explicitly: flag it when the lane path
+    // fails to amortize — a relaxed model whose lockstep pipeline ran
+    // slower than the scalar pool path (SC settles deterministically, so
+    // its lane numbers say nothing about amortization).
+    if args.lanes_set {
+        let tps = |name: &str, model: &str| {
+            report
+                .pipelines
+                .iter()
+                .find(|p| p.name == name && p.model == model)
+                .map(|p| p.trials_per_sec)
+        };
+        let worst = memmodel::MemoryModel::NAMED
+            .iter()
+            .filter(|m| !matches!(m, memmodel::MemoryModel::Sc))
+            .filter_map(|m| {
+                let s = m.short_name();
+                Some((s, tps("joined_lanes", s)? / tps("joined_mt", s)?))
+            })
+            .filter(|&(_, ratio)| ratio < 1.0)
+            .min_by(|a, b| a.1.total_cmp(&b.1));
+        if let Some((model, ratio)) = worst {
+            eprintln!(
+                "warning: --lanes {} does not amortize: joined_lanes/{model} ran at {ratio:.2}x of joined_mt",
+                args.lanes
+            );
+        }
     }
 
     let mut regressed = false;
@@ -316,7 +379,7 @@ fn run_bench(args: &Args) -> Result<ExitCode, mmr_bench::Error> {
     })
 }
 
-fn run(args: &Args) -> Result<ExitCode, mmr_bench::Error> {
+fn run(args: &Args, cache_err: Option<mmr_bench::Error>) -> Result<ExitCode, mmr_bench::Error> {
     let registry = registry();
     let selected = mmr_bench::select(&registry, &args.ids)?;
 
@@ -434,7 +497,7 @@ fn run(args: &Args) -> Result<ExitCode, mmr_bench::Error> {
     // Exit-code precedence: I/O failure (2) > degraded (3) > mismatch (1).
     // A degraded run's verdicts are partial, so flagging the degradation
     // outranks reporting a mismatch computed from partial estimates.
-    if let Some(e) = journal_err {
+    if let Some(e) = journal_err.or(cache_err) {
         return Err(e);
     }
     Ok(if degraded > 0 {

@@ -14,8 +14,13 @@
 //! least the thread count. The `joined_lanes` pipelines run the same
 //! trial volume through the batch-lane kernels (lockstep SoA settle/shift,
 //! counter-seeded per-trial streams) at the report's `lanes` width, so the
-//! lane speedup over `joined_mt` is measured in the same binary.
+//! lane speedup over `joined_mt` is measured in the same binary. The
+//! `joined_cached_*` pair prices the content-addressed result cache: the
+//! full 16-point survival sweep run cold through a fresh store (compute +
+//! insert on every point) versus warm against the populated store (sixteen
+//! pure lookups, asserted bit-identical to the cold fold).
 
+use crate::sweep;
 use memmodel::MemoryModel;
 use mmr_core::ReliabilityModel;
 use progmodel::ProgramGenerator;
@@ -24,7 +29,19 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use shiftproc::{ShiftProcess, ShiftScratch};
 use std::hint::black_box;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+/// Serializes every measurement that installs (or must observe the absence
+/// of) the process-global result-store handle — [`run`] and any test that
+/// calls [`store::install`]. Without this, two concurrent bench runs in one
+/// test binary would cross-serve cached results and corrupt each other's
+/// timings.
+static STORE_LOCK: Mutex<()> = Mutex::new(());
+
+pub(crate) fn store_guard() -> MutexGuard<'static, ()> {
+    STORE_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A verbatim copy of the pre-scratch settling route: per-settle order
 /// `Vec`, `Permutation` construction, `Program` clone, and the general
@@ -86,7 +103,8 @@ const SHIFT_LENGTHS: [u64; 4] = [4, 3, 2, 5];
 #[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
 pub struct PipelineResult {
     /// Pipeline id: `settle`, `shift`, `geom`, `geom_fast`, `joined`,
-    /// `joined_legacy`, `joined_mt`, `joined_lanes`.
+    /// `joined_legacy`, `joined_mt`, `joined_lanes`, `joined_cached_cold`,
+    /// `joined_cached_warm`.
     pub name: String,
     /// Memory model short name, or `-` for model-independent kernels.
     pub model: String,
@@ -180,6 +198,11 @@ pub struct BenchReport {
     pub pipelines: Vec<PipelineResult>,
     /// Joined-pipeline speedups, one per memory model.
     pub joined_speedup_vs_legacy: Vec<JoinedSpeedup>,
+    /// `joined_cached_warm` throughput divided by `joined_cached_cold`
+    /// throughput: the replay speedup of serving the full sweep from the
+    /// content-addressed result cache. `None` in reports that predate the
+    /// cache (the field deserializes as absent there).
+    pub cache_speedup: Option<f64>,
     /// Recording-on vs. recording-off `joined_mt` throughput, per model.
     pub telemetry_overhead: Vec<TelemetryOverhead>,
     /// Telemetry snapshot taken after all pipelines ran: per-stage span
@@ -276,11 +299,19 @@ fn measure_batch(
 /// threads for the pool-dispatched `joined_mt`/`joined_lanes` pipelines and
 /// `lanes` lockstep lanes for `joined_lanes`.
 ///
+/// The simulation entry points consult the process-global result store
+/// when one is installed, so `run` takes [`store_guard`] for its whole
+/// duration and uninstalls any ambient store: every pipeline except the
+/// `joined_cached_*` pair (which manages its own stores) measures the
+/// uncached kernels.
+///
 /// # Panics
 ///
 /// Panics if `lanes` is outside `1..=`[`settle::MAX_LANES`].
 #[must_use]
 pub fn run(trials: u64, seed: u64, threads: usize, lanes: usize) -> BenchReport {
+    let _store_lock = store_guard();
+    store::clear();
     let before = obs::snapshot();
     let mut pipelines = Vec::new();
 
@@ -419,6 +450,65 @@ pub fn run(trials: u64, seed: u64, threads: usize, lanes: usize) -> BenchReport 
         });
     }
 
+    // The content-addressed result cache priced on the full 16-point
+    // survival sweep (the sweep every experiment report is built from).
+    // Cold: a fresh in-memory store per rep, so every rep computes all 16
+    // points and pays the insert path. Warm: one store primed outside the
+    // timed region, so every rep is 16 pure lookups. The checksum equality
+    // assertion below is the bit-identity contract, re-proven on every
+    // bench run; both results carry the whole sweep's trial volume so the
+    // throughput ratio is the replay speedup.
+    let cache_speedup = {
+        let _span = obs::span("bench.joined_cached");
+        let points = sweep::grid(
+            &[MemoryModel::Tso, MemoryModel::Wo],
+            &[16, 32],
+            &[2, 3],
+            &[0.4, 0.6],
+        );
+        let sweep_trials = points.len() as u64 * trials;
+        let run_sweep = {
+            let points = points.clone();
+            move || {
+                sweep::survival_sweep(points.clone(), trials, seed, threads)
+                    .iter()
+                    .fold(0u64, |sum, p| sum.wrapping_add(p.estimate.successes()))
+            }
+        };
+
+        let cold = {
+            let run_sweep = run_sweep.clone();
+            measure_batch("joined_cached_cold", "-", sweep_trials, move || {
+                store::install(Arc::new(store::Store::in_memory()));
+                let sum = run_sweep();
+                store::clear();
+                sum
+            })
+        };
+
+        let warm_store = Arc::new(store::Store::in_memory());
+        store::install(Arc::clone(&warm_store));
+        let primed = run_sweep();
+        let warm = measure_batch("joined_cached_warm", "-", sweep_trials, run_sweep);
+        store::clear();
+        assert_eq!(
+            cold.checksum, warm.checksum,
+            "warm cache replay diverged from the cold sweep"
+        );
+        assert_eq!(primed, warm.checksum, "priming sweep diverged");
+        let stats = warm_store.stats();
+        assert!(
+            stats.hits >= points.len() as u64 * u64::from(REPS),
+            "warm sweep reps must be pure cache hits (got {} hits)",
+            stats.hits
+        );
+
+        let speedup = warm.trials_per_sec / cold.trials_per_sec;
+        pipelines.push(cold);
+        pipelines.push(warm);
+        speedup
+    };
+
     let telemetry = obs::snapshot();
     let delta = telemetry.diff(&before);
     let host_cores = std::thread::available_parallelism()
@@ -451,6 +541,7 @@ pub fn run(trials: u64, seed: u64, threads: usize, lanes: usize) -> BenchReport 
         host_cores,
         pipelines,
         joined_speedup_vs_legacy: speedups,
+        cache_speedup: Some(cache_speedup),
         telemetry_overhead,
         telemetry,
         history: vec![entry],
@@ -481,6 +572,9 @@ impl BenchReport {
         for s in &self.joined_speedup_vs_legacy {
             let _ = writeln!(out, "joined speedup {:<4} {:.2}x", s.model, s.speedup);
         }
+        if let Some(s) = self.cache_speedup {
+            let _ = writeln!(out, "cache replay warm/cold {s:.0}x");
+        }
         for t in &self.telemetry_overhead {
             let _ = writeln!(
                 out,
@@ -499,8 +593,8 @@ mod tests {
     #[test]
     fn report_is_complete_and_serializable() {
         let report = run(2_000, 9, 2, 8);
-        // 3 model-independent + 6 per named model.
-        assert_eq!(report.pipelines.len(), 3 + 6 * MemoryModel::NAMED.len());
+        // 3 + 2 model-independent + 6 per named model.
+        assert_eq!(report.pipelines.len(), 5 + 6 * MemoryModel::NAMED.len());
         assert_eq!(report.joined_speedup_vs_legacy.len(), MemoryModel::NAMED.len());
         assert_eq!(report.telemetry_overhead.len(), MemoryModel::NAMED.len());
         assert!(report
@@ -517,6 +611,22 @@ mod tests {
         assert!(report.telemetry.counter("mc.runner.runs").unwrap_or(0) >= 1);
         assert!(report.telemetry.span("bench.joined_mt").is_some());
         assert!(report.telemetry.span("bench.joined_lanes").is_some());
+        assert!(report.telemetry.span("bench.joined_cached").is_some());
+        // The warm replay must beat the cold sweep (in practice by orders
+        // of magnitude; >1 keeps the test robust on loaded machines).
+        assert!(report.cache_speedup.unwrap() > 1.0);
+        let cached = |name: &str| {
+            report
+                .pipelines
+                .iter()
+                .find(|p| p.name == name && p.model == "-")
+                .expect("cached pipeline present")
+        };
+        assert_eq!(
+            cached("joined_cached_cold").checksum,
+            cached("joined_cached_warm").checksum
+        );
+        assert!(report.summary().contains("cache replay warm/cold"));
         // One trajectory entry covering this run alone, one point per
         // pipeline, with the run's own runner activity attributed to it.
         assert_eq!(report.history.len(), 1);

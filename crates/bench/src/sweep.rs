@@ -172,6 +172,40 @@ mod tests {
     }
 
     #[test]
+    fn survival_sweep_is_memoized_by_the_result_store() {
+        // Serialize against every other store-installing measurement in
+        // this binary (the handle is process-global).
+        let _lock = crate::perf::store_guard();
+        store::clear();
+        let points = grid(
+            &[MemoryModel::Tso, MemoryModel::Wo],
+            &[16, 32],
+            &[2, 3],
+            &[0.4, 0.6],
+        );
+        // Seed 13 is unique to this test, so no concurrently running test
+        // can produce hits on the keys it inserts.
+        let cold = survival_sweep(points.clone(), 2_000, 13, 2);
+
+        let cache = std::sync::Arc::new(store::Store::in_memory());
+        store::install(std::sync::Arc::clone(&cache));
+        assert_eq!(survival_sweep(points.clone(), 2_000, 13, 2), cold);
+        let after_first = cache.stats();
+        assert!(after_first.misses >= 16, "first sweep populates the store");
+
+        // Every grid point of the re-sweep is served from the store —
+        // exactly 16 new hits, at a different thread count, bit-identical.
+        assert_eq!(survival_sweep(points, 2_000, 13, 4), cold);
+        let after_second = cache.stats();
+        assert_eq!(
+            after_second.hits - after_first.hits,
+            16,
+            "re-sweep must be pure lookups"
+        );
+        store::clear();
+    }
+
+    #[test]
     fn survival_sweep_orders_sc_above_wo() {
         let points = grid(&[MemoryModel::Sc, MemoryModel::Wo], &[32], &[2], &[0.5]);
         let out = survival_sweep(points, 4_000, 12, 2);

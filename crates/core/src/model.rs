@@ -1,7 +1,7 @@
 //! The joined model configuration and its samplers.
 
 use memmodel::{MemoryModel, OpType, CANONICAL_P};
-use montecarlo::{BernoulliEstimate, Histogram, Runner, Seed};
+use montecarlo::{BernoulliEstimate, EstimatorStats, Histogram, RunReport, Runner, Seed};
 use progmodel::{Program, ProgramGenerator};
 use rand::Rng;
 use settle::{SettleScratch, Settler};
@@ -112,6 +112,12 @@ impl ReliabilityModel {
     /// The store probability `p` (for the lane kernels' regeneration).
     pub(crate) fn store_prob(&self) -> f64 {
         self.p
+    }
+
+    /// Whether the §7 acquire-fence mitigation is enabled (for the cache
+    /// key — fenced and unfenced runs must never share an address).
+    pub(crate) fn acquire_fence(&self) -> bool {
+        self.acquire_fence
     }
 
     /// The shared program template: placeholder filler types, fences and
@@ -233,14 +239,42 @@ impl ReliabilityModel {
     }
 
     fn survival_runner(&self, runner: Runner, trials: u64) -> BernoulliEstimate {
+        self.simulate_survival_runner(&runner, trials).value
+    }
+
+    /// Runs the survival estimate under an arbitrary pre-configured
+    /// [`Runner`] (worker count, deadline, stopping target), returning the
+    /// full [`RunReport`]. This is the cache-aware entry point: with a
+    /// [`store`] installed, repeated requests are pure lookups and
+    /// larger-trial or [`with_target_rse`](Runner::with_target_rse)
+    /// requests over the same `(seed, params)` resume from the cached
+    /// chunk prefix instead of restarting — bit-identical to a cold run
+    /// either way.
+    #[must_use]
+    pub fn simulate_survival_runner(
+        &self,
+        runner: &Runner,
+        trials: u64,
+    ) -> RunReport<BernoulliEstimate> {
         let this = *self;
-        crate::telemetry::timed_run(self.model, trials, move || {
-            runner.bernoulli_scratch(
-                trials,
-                move || this.scratch(),
-                move |scratch, rng| this.simulate_survival_once_scratch(scratch, rng),
-            )
-        })
+        let r = *runner;
+        let key = self.request_key("survival", false, runner, trials);
+        crate::cache::cached_run(
+            &key,
+            runner,
+            trials,
+            EstimatorStats::rse,
+            move |resume| {
+                crate::telemetry::timed_run(this.model, trials, move || {
+                    r.try_bernoulli_scratch_resume(
+                        trials,
+                        move || this.scratch(),
+                        move |scratch, rng| this.simulate_survival_once_scratch(scratch, rng),
+                        resume,
+                    )
+                })
+            },
+        )
     }
 
     /// Empirical distribution of the per-thread window growth `γ = Γ − 2`,
@@ -260,17 +294,31 @@ impl ReliabilityModel {
 
     fn histogram_runner(&self, runner: Runner, trials: u64) -> Histogram {
         let this = *self;
-        crate::telemetry::timed_run(self.model, trials, move || {
-            runner.histogram_scratch(
-                trials,
-                move || this.scratch(),
-                move |scratch, rng| {
-                    this.generator().regenerate(&mut scratch.program, rng);
-                    this.settler
-                        .sample_gamma_scratch(&scratch.program, &mut scratch.settle, rng)
-                },
-            )
-        })
+        let key = self.request_key("windows", false, &runner, trials);
+        crate::cache::cached_run(
+            &key,
+            &runner,
+            trials,
+            |_: &Histogram| f64::INFINITY,
+            move |resume| {
+                crate::telemetry::timed_run(this.model, trials, move || {
+                    runner.try_histogram_scratch_resume(
+                        trials,
+                        move || this.scratch(),
+                        move |scratch, rng| {
+                            this.generator().regenerate(&mut scratch.program, rng);
+                            this.settler.sample_gamma_scratch(
+                                &scratch.program,
+                                &mut scratch.settle,
+                                rng,
+                            )
+                        },
+                        resume,
+                    )
+                })
+            },
+        )
+        .value
     }
 }
 

@@ -1,0 +1,211 @@
+//! Extension-semantics tests for the content-addressed result cache.
+//!
+//! The cache's whole value rests on one promise: a warm-served result —
+//! whether a pure hit, a chunk-prefix extension, or a `with_target_rse`
+//! replay — is **bit-for-bit identical** to the cold run it stands in
+//! for, at every worker count and lane width. These tests pin that
+//! promise at threads {1, 2, 3, 8} and lanes {1, 8}, prove via
+//! `extends` counters that the warm runs actually reused cached
+//! prefixes (rather than silently recomputing), and chaos-test the
+//! insert path: a torn cache write recovers to a valid segment prefix
+//! and the record still lands.
+
+use memmodel::MemoryModel;
+use mmr_core::ReliabilityModel;
+use montecarlo::{fault, Runner, Seed, CHUNK_WIDTH};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The installed store (and the fault plan) are process-global; every
+/// test here serializes on this lock and uninstalls on drop.
+static STORE_LOCK: Mutex<()> = Mutex::new(());
+
+struct Session(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Session {
+    fn start() -> Session {
+        let guard = STORE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        store::clear();
+        fault::clear();
+        Session(guard)
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        store::clear();
+        fault::clear();
+    }
+}
+
+const SEED: u64 = 0xCACE_D00D;
+
+fn model() -> ReliabilityModel {
+    // Small filler keeps the trials cheap; the cache layer is agnostic to
+    // the kernel's parameters.
+    ReliabilityModel::new(MemoryModel::Wo, 2).with_filler_len(16)
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mmr-cachex-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn trials_grown_warm_run_is_bit_identical_to_cold_at_every_thread_count() {
+    let _session = Session::start();
+    let m = model();
+    let small = 6 * CHUNK_WIDTH;
+    // A partial tail chunk on the grown request: the resumed fold must
+    // append full chunks 6..10 and then the short chunk, like a cold run.
+    let large = 10 * CHUNK_WIDTH + 1000;
+
+    let cold_small = m.simulate_survival(small, SEED);
+    let cold_large = m.simulate_survival(large, SEED);
+
+    for threads in [1usize, 2, 3, 8] {
+        let cache = Arc::new(store::Store::in_memory());
+        store::install(Arc::clone(&cache));
+
+        assert_eq!(m.simulate_survival_with(small, SEED, threads), cold_small);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "first run at {threads} threads is a miss");
+
+        assert_eq!(m.simulate_survival_with(large, SEED, threads), cold_large);
+        let stats = cache.stats();
+        assert_eq!(
+            stats.extends, 1,
+            "grown run at {threads} threads must extend the cached prefix"
+        );
+
+        // Replay of the grown request: a pure lookup now.
+        assert_eq!(m.simulate_survival_with(large, SEED, threads), cold_large);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1, "replay at {threads} threads is a pure hit");
+        store::clear();
+    }
+}
+
+#[test]
+fn warm_target_rse_replay_is_bit_identical_to_cold_at_every_thread_count() {
+    let _session = Session::start();
+    let m = model();
+    let trials = 16 * CHUNK_WIDTH;
+    // WO survival at n=2 is ~0.08, so the RSE at the first stop
+    // checkpoint (4 chunks = 16 384 trials) is ~0.027: a 0.05 target
+    // converges there, well short of the full 16 chunks.
+    let target = 0.05;
+
+    let cold = m.simulate_survival_runner(
+        &Runner::new(Seed(SEED)).with_target_rse(target),
+        trials,
+    );
+    assert!(cold.converged_early, "target chosen to stop early");
+    assert_eq!(cold.trials_completed, 4 * CHUNK_WIDTH);
+
+    for threads in [1usize, 2, 3, 8] {
+        let cache = Arc::new(store::Store::in_memory());
+        store::install(Arc::clone(&cache));
+        let runner = Runner::new(Seed(SEED))
+            .with_threads(threads)
+            .with_target_rse(target);
+
+        // Populate the family with a plain fixed-trials run (snapshots at
+        // 4 and 8 chunks), then ask for the stopping run warm.
+        let _ = m.simulate_survival_with(8 * CHUNK_WIDTH, SEED, threads);
+        let warm = m.simulate_survival_runner(&runner, trials);
+        assert_eq!(warm, cold, "warm rse replay diverged at {threads} threads");
+        let stats = cache.stats();
+        assert_eq!(
+            stats.extends, 1,
+            "rse replay at {threads} threads must serve from cached prefixes"
+        );
+
+        // The replay inserted the reconstructed result under the exact
+        // request key: asking again is a pure hit.
+        assert_eq!(m.simulate_survival_runner(&runner, trials), cold);
+        assert_eq!(cache.stats().hits, 1);
+        store::clear();
+    }
+}
+
+#[test]
+fn trials_grown_lane_runs_extend_across_lane_widths() {
+    let _session = Session::start();
+    let m = model();
+    let small = 6 * CHUNK_WIDTH;
+    let large = 10 * CHUNK_WIDTH + 1000;
+
+    // Lane results are lane-width-invariant, so one cold reference
+    // serves both widths.
+    let cold_large = m.simulate_survival_lanes(large, SEED, 4);
+
+    for lanes in [1usize, 8] {
+        let cache = Arc::new(store::Store::in_memory());
+        store::install(Arc::clone(&cache));
+
+        let _ = m.simulate_survival_lanes_with(small, SEED, lanes, 2);
+        assert_eq!(
+            m.simulate_survival_lanes_with(large, SEED, lanes, 2),
+            cold_large
+        );
+        assert_eq!(cache.stats().extends, 1, "lane width {lanes} must extend");
+        store::clear();
+    }
+
+    // Widths share one cache line: a prefix written by a width-1 run
+    // extends a width-8 request.
+    let cache = Arc::new(store::Store::in_memory());
+    store::install(Arc::clone(&cache));
+    let _ = m.simulate_survival_lanes_with(small, SEED, 1, 1);
+    assert_eq!(
+        m.simulate_survival_lanes_with(large, SEED, 8, 2),
+        cold_large
+    );
+    assert_eq!(cache.stats().extends, 1);
+}
+
+#[test]
+fn torn_cache_writes_recover_and_the_entry_survives_reopen() {
+    let _session = Session::start();
+    let m = model();
+    let trials = 5 * CHUNK_WIDTH;
+    let cold = m.simulate_survival(trials, SEED);
+    let dir = tmp_dir("torn");
+
+    // A seed whose plan tears the very first record written (TornWrites
+    // tears ~1 in 2 records, so the search is short).
+    let torn_seed = (0..64)
+        .find(|&s| fault::FaultPlan::new(s, fault::Profile::TornWrites).torn_write(0))
+        .expect("a tearing seed exists");
+
+    {
+        let cache = Arc::new(store::Store::open(&dir).unwrap());
+        store::install(Arc::clone(&cache));
+        fault::install(fault::FaultPlan::new(torn_seed, fault::Profile::TornWrites));
+        let before = fault::ledger().snapshot().injected_torn_writes;
+        assert_eq!(m.simulate_survival(trials, SEED), cold);
+        fault::clear();
+        assert!(
+            fault::ledger().snapshot().injected_torn_writes > before,
+            "the plan must actually have torn the cache append"
+        );
+        let stats = cache.stats();
+        assert!(stats.torn_tails >= 1, "the tier must report the recovery");
+        assert_eq!(stats.errors, 0, "a torn write is recovered, not an error");
+        store::clear();
+    }
+
+    // The segment recovered to a valid prefix and the record landed:
+    // a fresh process serves the result without simulating.
+    let cache = Arc::new(store::Store::open(&dir).unwrap());
+    assert_eq!(cache.stats().errors, 0);
+    store::install(Arc::clone(&cache));
+    assert_eq!(m.simulate_survival(trials, SEED), cold);
+    assert_eq!(cache.stats().hits, 1);
+    store::clear();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -114,6 +114,22 @@ impl Histogram {
     pub fn dense_counts(&self) -> &[u64] {
         &self.counts
     }
+
+    /// Rebuilds a histogram from [`Histogram::dense_counts`] output.
+    ///
+    /// The total is recomputed from the counts, so the round-trip is exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counts sum past `u64::MAX`.
+    #[must_use]
+    pub fn from_dense_counts(counts: Vec<u64>) -> Histogram {
+        let total = counts
+            .iter()
+            .try_fold(0u64, |acc, &c| acc.checked_add(c))
+            .expect("histogram total overflows u64");
+        Histogram { counts, total }
+    }
 }
 
 impl FromIterator<u64> for Histogram {

@@ -43,5 +43,5 @@ pub use converge::EstimatorStats;
 pub use error::Error;
 pub use hist::Histogram;
 pub use rng::{task_rng, trial_seed, Seed};
-pub use runner::{RunReport, Runner, CHUNK_WIDTH};
+pub use runner::{ChunkPrefix, RunReport, Runner, CHUNK_WIDTH};
 pub use stats::{normal_quantile, BernoulliEstimate, Welford};

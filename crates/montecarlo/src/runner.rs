@@ -143,6 +143,32 @@ impl<A> RunReport<A> {
     }
 }
 
+/// A merged accumulator over the first `chunks` whole chunks of a seeded
+/// run — the unit of work a result cache can persist and a later, larger
+/// run can *resume* from instead of restarting at chunk 0.
+///
+/// Because chunk `i`'s trial stream is a pure function of `(seed, i)`, the
+/// left-fold over chunks `[0, chunks)` is the same value in every run that
+/// shares the seed and kernel, regardless of the total trial count — as
+/// long as every prefix chunk was a *full* [`CHUNK_WIDTH`]-trial chunk
+/// (a shorter tail chunk belongs to one specific trial count and cannot be
+/// reused). The `resume` entry points therefore only accept, and the
+/// capture side only emits, prefixes with `trials == chunks * CHUNK_WIDTH`.
+///
+/// Resuming re-enters the runner's ascending-chunk-order merge exactly
+/// where a cold run would have been after `chunks` chunks, so even
+/// non-associative float merges (Welford's) stay bit-for-bit identical to
+/// a cold run — the fold is *continued*, never re-associated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkPrefix<A> {
+    /// Whole chunks merged into `value` (all of width [`CHUNK_WIDTH`]).
+    pub chunks: u64,
+    /// Trials merged into `value`; always `chunks * CHUNK_WIDTH`.
+    pub trials: u64,
+    /// The merged accumulator over chunks `[0, chunks)`.
+    pub value: A,
+}
+
 /// Builds one per-attempt worker state for a chunk index (the scalar path
 /// packs the scratch with the sequential chunk RNG; the block path carries
 /// scratch alone).
@@ -453,7 +479,57 @@ impl Runner {
                 fold(acc, trial(scratch, rng));
             }
         });
-        self.try_run_stop(trials, state_init, Arc::new(init), batch, merge, stop)
+        self.try_run_stop(trials, state_init, Arc::new(init), batch, merge, stop, None, |_, _| {})
+    }
+
+    /// [`try_fold_scratch_stop`](Runner::try_fold_scratch_stop) extended
+    /// with the cache seam: the run may `resume` from a stored
+    /// [`ChunkPrefix`] instead of chunk 0, and every cache-worthy prefix it
+    /// passes through is cloned into the returned snapshot list (ascending
+    /// chunk counts; empty when nothing clean completed).
+    #[allow(clippy::too_many_arguments)]
+    fn try_fold_scratch_resume_stop<S, T, A>(
+        &self,
+        trials: u64,
+        scratch_init: impl Fn() -> S + Send + Sync + 'static,
+        init: impl Fn() -> A + Send + Sync + 'static,
+        trial: impl Fn(&mut S, &mut SmallRng) -> T + Send + Sync + 'static,
+        fold: impl Fn(&mut A, T) + Send + Sync + 'static,
+        merge: impl Fn(&mut A, A),
+        stop: impl Fn(&A) -> bool,
+        resume: Option<ChunkPrefix<A>>,
+    ) -> Result<(RunReport<A>, Vec<ChunkPrefix<A>>), Error>
+    where
+        S: 'static,
+        A: Send + Clone + 'static,
+    {
+        let seed = self.seed;
+        let state_init: Arc<StateInit<(S, SmallRng)>> =
+            Arc::new(move |idx| (scratch_init(), crate::task_rng(seed, idx)));
+        let batch: Arc<BatchFn<(S, SmallRng), A>> = Arc::new(move |state, acc, _idx, span| {
+            let (scratch, rng) = state;
+            for _ in span {
+                fold(acc, trial(scratch, rng));
+            }
+        });
+        let mut snapshots = Vec::new();
+        let report = self.try_run_stop(
+            trials,
+            state_init,
+            Arc::new(init),
+            batch,
+            merge,
+            stop,
+            resume,
+            |chunks, value: &A| {
+                snapshots.push(ChunkPrefix {
+                    chunks,
+                    trials: chunks * CHUNK_WIDTH,
+                    value: value.clone(),
+                });
+            },
+        )?;
+        Ok((report, snapshots))
     }
 
     /// Runs `trials` trials through a **block** kernel: instead of one
@@ -497,7 +573,63 @@ impl Runner {
         let state_init: Arc<StateInit<S>> = Arc::new(move |_idx| scratch_init());
         let batch: Arc<BatchFn<S, A>> =
             Arc::new(move |scratch, acc, idx, span| block(scratch, seed, idx, span, acc));
-        self.try_run_stop(trials, state_init, Arc::new(init), batch, merge, |_| false)
+        self.try_run_stop(
+            trials,
+            state_init,
+            Arc::new(init),
+            batch,
+            merge,
+            |_| false,
+            None,
+            |_, _| {},
+        )
+    }
+
+    /// [`try_fold_blocks`](Runner::try_fold_blocks) extended with the cache
+    /// seam: resume from a stored [`ChunkPrefix`] and capture the prefixes
+    /// this run produces. The block determinism contract is unchanged —
+    /// trial `t` of chunk `c` must be a pure function of `(seed, c, t)` —
+    /// which is exactly what makes a resumed lane run bit-identical to a
+    /// cold one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`try_fold_scratch`](Runner::try_fold_scratch)'s errors.
+    pub fn try_fold_blocks_resume<S, A>(
+        &self,
+        trials: u64,
+        scratch_init: impl Fn() -> S + Send + Sync + 'static,
+        init: impl Fn() -> A + Send + Sync + 'static,
+        block: impl Fn(&mut S, Seed, u64, std::ops::Range<u64>, &mut A) + Send + Sync + 'static,
+        merge: impl Fn(&mut A, A),
+        resume: Option<ChunkPrefix<A>>,
+    ) -> Result<(RunReport<A>, Vec<ChunkPrefix<A>>), Error>
+    where
+        S: 'static,
+        A: Send + Clone + 'static,
+    {
+        let seed = self.seed;
+        let state_init: Arc<StateInit<S>> = Arc::new(move |_idx| scratch_init());
+        let batch: Arc<BatchFn<S, A>> =
+            Arc::new(move |scratch, acc, idx, span| block(scratch, seed, idx, span, acc));
+        let mut snapshots = Vec::new();
+        let report = self.try_run_stop(
+            trials,
+            state_init,
+            Arc::new(init),
+            batch,
+            merge,
+            |_| false,
+            resume,
+            |chunks, value: &A| {
+                snapshots.push(ChunkPrefix {
+                    chunks,
+                    trials: chunks * CHUNK_WIDTH,
+                    value: value.clone(),
+                });
+            },
+        )?;
+        Ok((report, snapshots))
     }
 
     /// Infallible [`try_fold_blocks`](Runner::try_fold_blocks): panics if a
@@ -524,6 +656,14 @@ impl Runner {
     /// over the per-attempt state and the batch body (scalar trials or
     /// lane blocks) so the chunk contract — tiling, retry, canary,
     /// deadline, telemetry — is written once.
+    ///
+    /// `resume` re-enters the fold after its prefix instead of at chunk 0;
+    /// `observe` is called (on the calling thread, in chunk order) with the
+    /// merged value each time a cache-worthy whole-chunk prefix completes —
+    /// at the geometric stop checkpoints (4, 8, 16, … chunks, the exact
+    /// states a `with_target_rse` run evaluates its predicate on) and at
+    /// the last full chunk — but only while the fold is clean: no short,
+    /// cancelled, or abandoned chunk has entered the merge yet.
     #[allow(clippy::too_many_arguments)]
     fn try_run_stop<S, A>(
         &self,
@@ -533,6 +673,8 @@ impl Runner {
         batch: Arc<BatchFn<S, A>>,
         merge: impl Fn(&mut A, A),
         stop: impl Fn(&A) -> bool,
+        resume: Option<ChunkPrefix<A>>,
+        mut observe: impl FnMut(u64, &A),
     ) -> Result<RunReport<A>, Error>
     where
         S: 'static,
@@ -544,8 +686,22 @@ impl Runner {
                 requested: trials,
             });
         }
+        if let Some(prefix) = &resume {
+            assert_eq!(
+                prefix.trials,
+                prefix.chunks * CHUNK_WIDTH,
+                "resume prefix must cover whole chunks"
+            );
+            assert!(
+                prefix.trials <= trials,
+                "resume prefix exceeds the requested trials"
+            );
+        }
+        let resume_trials = resume.as_ref().map_or(0, |p| p.trials);
+        let resume_chunks = resume.as_ref().map_or(0, |p| p.chunks);
         let n_chunks =
             usize::try_from(trials.div_ceil(CHUNK_WIDTH)).expect("chunk count fits in usize");
+        let max_full_chunks = trials / CHUNK_WIDTH;
         let tele = crate::telemetry::runner();
         tele.runs.inc();
         // An installed chaos plan can supply a chunk budget (so its stalls
@@ -559,21 +715,31 @@ impl Runner {
             || active_plan.as_ref().is_some_and(|p| p.degrade_on_exhaustion());
         let ctl = Arc::new(Ctl {
             start: Instant::now(),
-            completed: AtomicU64::new(0),
+            // Resumed trials count toward the progress display and the
+            // min-trials floor: they are real, merged samples.
+            completed: AtomicU64::new(resume_trials),
             cancel: AtomicBool::new(false),
             retried: AtomicU64::new(0),
             target: trials,
             floor_bound: AtomicBool::new(false),
         });
-        let mut value = init();
-        let mut trials_completed = 0u64;
+        let mut value = match resume {
+            Some(prefix) => prefix.value,
+            None => init(),
+        };
+        let mut trials_completed = resume_trials;
         let mut converged_early = false;
         let mut abandoned_chunks = 0u64;
-        let mut done_chunks = 0usize;
+        let mut done_chunks =
+            usize::try_from(resume_chunks).expect("chunk count fits in usize");
+        // Whole chunks merged with no short/cancelled/abandoned chunk
+        // before them — the longest still-extendable prefix of the fold.
+        let mut clean_full_chunks = resume_chunks;
+        let mut fold_clean = true;
         while done_chunks < n_chunks {
             let until = match self.target_rse {
                 None => n_chunks,
-                Some(_) => next_checkpoint(done_chunks).min(n_chunks),
+                Some(_) => checkpoint_after(done_chunks).min(n_chunks),
             };
             let base = done_chunks;
             let runner = *self;
@@ -608,6 +774,18 @@ impl Runner {
                     ChunkOutcome::Done { acc, ran } => {
                         trials_completed += ran;
                         merge(&mut value, acc);
+                        let idx = (base + i) as u64;
+                        let full = CHUNK_WIDTH.min(trials - idx * CHUNK_WIDTH);
+                        if ran != full {
+                            // Cancelled/deadline-cut chunk: everything past
+                            // it is no longer a pure whole-chunk prefix.
+                            fold_clean = false;
+                        } else if fold_clean && full == CHUNK_WIDTH {
+                            clean_full_chunks += 1;
+                            if is_prefix_snapshot(clean_full_chunks, max_full_chunks) {
+                                observe(clean_full_chunks, &value);
+                            }
+                        }
                     }
                     ChunkOutcome::Failed { attempts, payload } => {
                         return Err(Error::WorkerPanicked {
@@ -617,7 +795,10 @@ impl Runner {
                             payload,
                         });
                     }
-                    ChunkOutcome::Abandoned => abandoned_chunks += 1,
+                    ChunkOutcome::Abandoned => {
+                        abandoned_chunks += 1;
+                        fold_clean = false;
+                    }
                 }
             }
             done_chunks = until;
@@ -634,7 +815,9 @@ impl Runner {
         let truncated = trials_completed + abandoned_chunks * CHUNK_WIDTH < trials
             && !converged_early
             && ctl.cancel.load(Ordering::Relaxed);
-        tele.trials_completed.add(trials_completed);
+        // Telemetry counts only trials this run actually executed; resumed
+        // prefix trials were counted by the run that produced them.
+        tele.trials_completed.add(trials_completed - resume_trials);
         if truncated {
             tele.deadline_truncations.inc();
         }
@@ -650,7 +833,7 @@ impl Runner {
                 conv.early_stops.inc();
             }
             conv.extra_chunks
-                .add(done_chunks.saturating_sub(next_checkpoint(0).min(n_chunks)) as u64);
+                .add(done_chunks.saturating_sub(checkpoint_after(0).min(n_chunks)) as u64);
         }
         Ok(RunReport {
             value,
@@ -880,6 +1063,97 @@ impl Runner {
         )
     }
 
+    /// [`try_bernoulli_scratch`](Runner::try_bernoulli_scratch) with the
+    /// cache seam: optionally `resume` from a stored [`ChunkPrefix`] and
+    /// return the cache-worthy prefixes this run passed through alongside
+    /// the report. A resumed run is bit-identical to the cold run it
+    /// continues — same merge order, same stop checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`try_fold_scratch`](Runner::try_fold_scratch)'s errors.
+    pub fn try_bernoulli_scratch_resume<S>(
+        &self,
+        trials: u64,
+        scratch_init: impl Fn() -> S + Send + Sync + 'static,
+        trial: impl Fn(&mut S, &mut SmallRng) -> bool + Send + Sync + 'static,
+        resume: Option<ChunkPrefix<BernoulliEstimate>>,
+    ) -> Result<(RunReport<BernoulliEstimate>, Vec<ChunkPrefix<BernoulliEstimate>>), Error>
+    where
+        S: 'static,
+    {
+        let target = self.target_rse.unwrap_or(0.0);
+        self.try_fold_scratch_resume_stop(
+            trials,
+            scratch_init,
+            BernoulliEstimate::new,
+            trial,
+            |acc, hit| acc.record(hit),
+            |a, b| a.merge(&b),
+            move |acc| crate::EstimatorStats::rse(acc) <= target,
+            resume,
+        )
+    }
+
+    /// [`try_mean_scratch`](Runner::try_mean_scratch) with the cache seam;
+    /// see [`try_bernoulli_scratch_resume`]
+    /// (Runner::try_bernoulli_scratch_resume).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`try_fold_scratch`](Runner::try_fold_scratch)'s errors.
+    pub fn try_mean_scratch_resume<S>(
+        &self,
+        trials: u64,
+        scratch_init: impl Fn() -> S + Send + Sync + 'static,
+        trial: impl Fn(&mut S, &mut SmallRng) -> f64 + Send + Sync + 'static,
+        resume: Option<ChunkPrefix<Welford>>,
+    ) -> Result<(RunReport<Welford>, Vec<ChunkPrefix<Welford>>), Error>
+    where
+        S: 'static,
+    {
+        let target = self.target_rse.unwrap_or(0.0);
+        self.try_fold_scratch_resume_stop(
+            trials,
+            scratch_init,
+            Welford::new,
+            trial,
+            |acc, x| acc.record(x),
+            |a, b| a.merge(&b),
+            move |acc| crate::EstimatorStats::rse(acc) <= target,
+            resume,
+        )
+    }
+
+    /// [`try_histogram_scratch`](Runner::try_histogram_scratch) with the
+    /// cache seam; see [`try_bernoulli_scratch_resume`]
+    /// (Runner::try_bernoulli_scratch_resume).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`try_fold_scratch`](Runner::try_fold_scratch)'s errors.
+    pub fn try_histogram_scratch_resume<S>(
+        &self,
+        trials: u64,
+        scratch_init: impl Fn() -> S + Send + Sync + 'static,
+        trial: impl Fn(&mut S, &mut SmallRng) -> u64 + Send + Sync + 'static,
+        resume: Option<ChunkPrefix<Histogram>>,
+    ) -> Result<(RunReport<Histogram>, Vec<ChunkPrefix<Histogram>>), Error>
+    where
+        S: 'static,
+    {
+        self.try_fold_scratch_resume_stop(
+            trials,
+            scratch_init,
+            Histogram::new,
+            trial,
+            |acc, v| acc.record(v),
+            |a, b| a.merge(&b),
+            |_| false,
+            resume,
+        )
+    }
+
     /// Estimates a probability: `trial` returns whether the event
     /// occurred. See [`try_fold`](Runner::try_fold) for the error and
     /// truncation contract.
@@ -1058,16 +1332,32 @@ impl Default for Runner {
     }
 }
 
-/// Geometric sequential-stopping checkpoints: after 4 chunks, then
-/// doubling (8, 16, 32, …). Checking convergence only at these chunk
-/// counts keeps the stopping point a pure function of the merged prefix —
-/// and amortizes the wave barrier to O(log chunks) synchronizations.
-fn next_checkpoint(done_chunks: usize) -> usize {
-    if done_chunks == 0 {
-        4
-    } else {
-        done_chunks.saturating_mul(2)
+/// Geometric sequential-stopping checkpoints: 4 chunks, then doubling
+/// (8, 16, 32, …). Checking convergence only at these chunk counts keeps
+/// the stopping point a pure function of the merged prefix — and amortizes
+/// the wave barrier to O(log chunks) synchronizations.
+///
+/// Returns the smallest checkpoint strictly greater than `done_chunks`.
+/// On a cold run `done_chunks` is always a prior checkpoint, so this is
+/// the plain doubling schedule; on a cache-resumed run `done_chunks` may
+/// land between checkpoints (say 48) and the next evaluation (64) still
+/// falls exactly where the cold run's would, keeping warm and cold
+/// stopping decisions aligned.
+fn checkpoint_after(done_chunks: usize) -> usize {
+    let mut c = 4;
+    while c <= done_chunks {
+        c = c.saturating_mul(2);
     }
+    c
+}
+
+/// Whether a clean whole-chunk count is worth snapshotting for a result
+/// cache: the geometric stop checkpoints (so a warm `with_target_rse` run
+/// can replay the exact cold stopping decision) plus the last full chunk
+/// (the longest prefix any larger run can extend).
+fn is_prefix_snapshot(clean_full_chunks: u64, max_full_chunks: u64) -> bool {
+    clean_full_chunks == max_full_chunks
+        || (clean_full_chunks >= 4 && clean_full_chunks.is_power_of_two())
 }
 
 /// Renders a `catch_unwind` payload for error reports.
@@ -1415,6 +1705,161 @@ mod tests {
             |a, b| *a = (*a).max(b),
         );
         assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn checkpoint_schedule_is_doubling_from_any_count() {
+        assert_eq!(checkpoint_after(0), 4);
+        assert_eq!(checkpoint_after(3), 4);
+        assert_eq!(checkpoint_after(4), 8);
+        assert_eq!(checkpoint_after(8), 16);
+        // A resumed count between checkpoints lands on the cold schedule.
+        assert_eq!(checkpoint_after(48), 64);
+        assert_eq!(checkpoint_after(5), 8);
+    }
+
+    #[test]
+    fn prefix_snapshots_cover_checkpoints_and_last_full_chunk() {
+        let trials = 6 * CHUNK_WIDTH + 123; // 6 full chunks, short tail
+        let (report, prefixes) = Runner::new(Seed(50))
+            .with_threads(3)
+            .try_bernoulli_scratch_resume(trials, || (), |_, rng| rng.gen_bool(0.4), None)
+            .unwrap();
+        assert_eq!(report.trials_completed, trials);
+        // Snapshots at 4 (geometric) and 6 (last full chunk).
+        assert_eq!(
+            prefixes.iter().map(|p| p.chunks).collect::<Vec<_>>(),
+            vec![4, 6]
+        );
+        for p in &prefixes {
+            assert_eq!(p.trials, p.chunks * CHUNK_WIDTH);
+            assert_eq!(p.value.trials(), p.trials);
+        }
+    }
+
+    #[test]
+    fn resumed_run_is_bit_identical_to_cold() {
+        let trials = 6 * CHUNK_WIDTH + 777;
+        let cold = |threads| {
+            Runner::new(Seed(51))
+                .with_threads(threads)
+                .try_bernoulli_scratch_resume(trials, || (), |_, rng| rng.gen_bool(0.3), None)
+                .unwrap()
+        };
+        let (cold_report, cold_prefixes) = cold(1);
+        // Resume from every cold snapshot, at several thread counts: the
+        // continued fold must land on the very same report.
+        for threads in [1, 2, 3, 8] {
+            for prefix in &cold_prefixes {
+                let (warm, _) = Runner::new(Seed(51))
+                    .with_threads(threads)
+                    .try_bernoulli_scratch_resume(
+                        trials,
+                        || (),
+                        |_, rng| rng.gen_bool(0.3),
+                        Some(*prefix),
+                    )
+                    .unwrap();
+                assert_eq!(warm, cold_report, "threads {threads} chunks {}", prefix.chunks);
+            }
+        }
+    }
+
+    #[test]
+    fn resumed_mean_is_bit_identical_to_cold() {
+        // Welford's merge is not associative, so this only holds because a
+        // resume *continues* the fold rather than re-associating it.
+        let trials = 5 * CHUNK_WIDTH;
+        let runner = Runner::new(Seed(52)).with_threads(2);
+        let (cold, prefixes) = runner
+            .try_mean_scratch_resume(trials, || (), |_, rng| rng.gen_range(0.0..10.0), None)
+            .unwrap();
+        let from = prefixes.iter().find(|p| p.chunks == 4).copied().unwrap();
+        let (warm, _) = runner
+            .try_mean_scratch_resume(trials, || (), |_, rng| rng.gen_range(0.0..10.0), Some(from))
+            .unwrap();
+        assert_eq!(warm.value.raw_parts(), cold.value.raw_parts());
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn extension_to_more_trials_matches_cold_run() {
+        // A 4-chunk prefix cached from a short run extends into a longer
+        // request bit-identically — the sweep/cache growth path.
+        let short_trials = 4 * CHUNK_WIDTH + 9;
+        let long_trials = 9 * CHUNK_WIDTH + 1234;
+        let kernel = |_: &mut (), rng: &mut SmallRng| rng.gen_bool(0.25);
+        let (_, prefixes) = Runner::new(Seed(53))
+            .with_threads(2)
+            .try_bernoulli_scratch_resume(short_trials, || (), kernel, None)
+            .unwrap();
+        let from = prefixes.last().copied().unwrap();
+        assert_eq!(from.chunks, 4);
+        let (cold, _) = Runner::new(Seed(53))
+            .with_threads(2)
+            .try_bernoulli_scratch_resume(long_trials, || (), kernel, None)
+            .unwrap();
+        let (warm, warm_prefixes) = Runner::new(Seed(53))
+            .with_threads(2)
+            .try_bernoulli_scratch_resume(long_trials, || (), kernel, Some(from))
+            .unwrap();
+        assert_eq!(warm, cold);
+        // The extension also re-emits the longer run's own snapshots past
+        // the resume point (8 geometric, 9 last-full).
+        assert_eq!(
+            warm_prefixes.iter().map(|p| p.chunks).collect::<Vec<_>>(),
+            vec![8, 9]
+        );
+    }
+
+    #[test]
+    fn resume_with_target_rse_matches_cold_stop() {
+        // Generous target: the cold run stops at the first checkpoint (4
+        // chunks). Resuming below it must reproduce the same stop.
+        let trials = 40 * CHUNK_WIDTH;
+        let kernel = |_: &mut (), rng: &mut SmallRng| rng.gen_bool(0.5);
+        let runner = Runner::new(Seed(54)).with_threads(2).with_target_rse(0.05);
+        let (cold, cold_prefixes) = runner
+            .try_bernoulli_scratch_resume(trials, || (), kernel, None)
+            .unwrap();
+        assert!(cold.converged_early);
+        let converged_at = cold.trials_completed / CHUNK_WIDTH;
+        assert!(cold_prefixes.iter().any(|p| p.chunks == converged_at));
+        // A warm run resumed from a pre-convergence prefix must converge at
+        // the same checkpoint with the same value.
+        let short = ChunkPrefix {
+            chunks: 0,
+            trials: 0,
+            value: BernoulliEstimate::new(),
+        };
+        let (warm, _) = runner
+            .try_bernoulli_scratch_resume(trials, || (), kernel, Some(short))
+            .unwrap();
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn truncated_runs_emit_no_dirty_prefixes() {
+        // Deadline-cut chunks end the clean prefix: anything snapshotted
+        // must still be a pure whole-chunk fold.
+        let (report, prefixes) = Runner::new(Seed(55))
+            .with_threads(2)
+            .with_deadline(Duration::from_millis(5))
+            .try_bernoulli_scratch_resume(
+                1_000_000_000,
+                || (),
+                |_, rng| {
+                    std::thread::sleep(Duration::from_micros(2));
+                    rng.gen_bool(0.5)
+                },
+                None,
+            )
+            .unwrap();
+        assert!(report.truncated);
+        for p in &prefixes {
+            assert_eq!(p.trials, p.chunks * CHUNK_WIDTH);
+            assert_eq!(p.value.trials(), p.trials);
+        }
     }
 
     #[test]

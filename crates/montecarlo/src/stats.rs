@@ -207,6 +207,26 @@ impl Welford {
         self.count
     }
 
+    /// The raw `(count, mean, m2)` state, with the floats as IEEE-754 bit
+    /// patterns. Together with [`Welford::from_raw_parts`] this round-trips
+    /// the accumulator bit-exactly (serialization must not reformat the
+    /// floats: Chan's merge is not associative, so a reconstructed state has
+    /// to be the *same* state, not a numerically-close one).
+    #[must_use]
+    pub fn raw_parts(&self) -> (u64, u64, u64) {
+        (self.count, self.mean.to_bits(), self.m2.to_bits())
+    }
+
+    /// Rebuilds an accumulator from [`Welford::raw_parts`] output.
+    #[must_use]
+    pub fn from_raw_parts(count: u64, mean_bits: u64, m2_bits: u64) -> Welford {
+        Welford {
+            count,
+            mean: f64::from_bits(mean_bits),
+            m2: f64::from_bits(m2_bits),
+        }
+    }
+
     /// The sample mean (`NaN` when empty).
     #[must_use]
     pub fn mean(&self) -> f64 {

@@ -81,6 +81,12 @@ impl Settler {
         self.probs
     }
 
+    /// The probability of hoisting past a release fence in force.
+    #[must_use]
+    pub fn fence_pass_probability(&self) -> f64 {
+        self.fence_pass_probability
+    }
+
     /// The probability that one settling swap of `mover` past `above`
     /// succeeds.
     ///

@@ -1,0 +1,127 @@
+//! Golden cache-key pins.
+//!
+//! The content address of a request is a contract: sweep memoization,
+//! run extension, and every on-disk segment record depend on the same
+//! canonical string and hash being produced forever (for a fixed
+//! [`store::KERNEL_VERSION`]). These tests pin exact canon strings and
+//! 128-bit hashes for representative requests across the Table-1 models,
+//! the lane path, and the stopping-target variants. If any of them
+//! changes, either bump `KERNEL_VERSION` (kernel behaviour changed — old
+//! caches *should* become unreachable) or revert the accidental
+//! canonicalization change; silently re-keying a cache is never correct.
+
+use store::{KeyHash, KeySpec, KERNEL_VERSION};
+
+/// The reference spec: TSO survival kernel at the paper's standard
+/// parameters and the repo's standard seed.
+fn tso_survival() -> KeySpec {
+    KeySpec {
+        kernel: format!("{KERNEL_VERSION}/survival"),
+        matrix: ".X..".into(),
+        threads_n: 2,
+        filler_m: 64,
+        p_bits: 0.5f64.to_bits(),
+        settle_bits: [0.5f64.to_bits(); 4],
+        fence_pass_bits: 1.0f64.to_bits(),
+        acquire_fence: false,
+        seed: 20_110_606,
+        chunk_width: 4096,
+        lanes: 0,
+    }
+}
+
+#[test]
+fn kernel_version_is_pinned() {
+    // Bumping this invalidates every existing cache — deliberate, but it
+    // must never happen by accident.
+    assert_eq!(KERNEL_VERSION, "mmr-kernels-v1");
+}
+
+#[test]
+fn family_canon_is_pinned() {
+    assert_eq!(
+        tso_survival().family_canon(),
+        "mmrk1|kernel=mmr-kernels-v1/survival|matrix=.X..|n=2|m=64|\
+         p=3fe0000000000000|s=3fe0000000000000,3fe0000000000000,3fe0000000000000,3fe0000000000000|\
+         fence=3ff0000000000000|acq=0|seed=000000000132dd0e|cw=4096|lanes=0"
+    );
+}
+
+#[test]
+fn request_canons_are_pinned() {
+    let spec = tso_survival();
+    assert_eq!(
+        spec.request(200_000, None).canon(),
+        format!("{}|trials=200000|rse=-", spec.family_canon())
+    );
+    assert_eq!(
+        spec.request(200_000, Some(0.01)).canon(),
+        format!("{}|trials=200000|rse=3f847ae147ae147b", spec.family_canon())
+    );
+}
+
+#[test]
+fn request_hashes_are_pinned() {
+    let spec = tso_survival();
+    assert_eq!(
+        spec.request(200_000, None).hash().hex(),
+        "15e8d810f19c01ef47d1f58e6754ccac"
+    );
+    assert_eq!(
+        spec.request(200_000, Some(0.01)).hash().hex(),
+        "76da50c10c3773d85c40a9b35997de65"
+    );
+    assert_eq!(
+        spec.request(200_000, None).family_hash().hex(),
+        "7a090355ecad89b580f21ff81cd0ad52"
+    );
+}
+
+#[test]
+fn model_and_path_variants_hash_distinctly_and_stably() {
+    // One pinned hash per Table-1 matrix plus the lane path and an
+    // acquire-fence variant; all ten must be pairwise distinct.
+    let mut variants: Vec<(String, KeySpec)> = Vec::new();
+    for matrix in ["....", ".X..", "XX..", "XXXX"] {
+        let mut s = tso_survival();
+        s.matrix = matrix.into();
+        variants.push((format!("matrix {matrix}"), s));
+    }
+    let mut lanes = tso_survival();
+    lanes.kernel = format!("{KERNEL_VERSION}/survival_lanes");
+    lanes.lanes = 1;
+    variants.push(("lane path".into(), lanes));
+    let mut acq = tso_survival();
+    acq.acquire_fence = true;
+    variants.push(("acquire fence".into(), acq));
+
+    let hashes: Vec<String> = variants
+        .iter()
+        .map(|(_, s)| s.request(200_000, None).hash().hex())
+        .collect();
+    let expected = [
+        "c56b538c08b88aa1b7b1e9f1a4aa4b7e",
+        "15e8d810f19c01ef47d1f58e6754ccac",
+        "a5f410d17b3feab193e42eb7c1de5367",
+        "2580fd2b130e642165fbb16d28f55045",
+        "4357fe189cba61287a79acbdde24df39",
+        "6cdccbd436ffed806c670a980e4266eb",
+    ];
+    for (i, ((label, _), hash)) in variants.iter().zip(&hashes).enumerate() {
+        assert_eq!(hash, expected[i], "golden hash moved for {label}");
+    }
+    for i in 0..hashes.len() {
+        for j in (i + 1)..hashes.len() {
+            assert_ne!(hashes[i], hashes[j], "collision between variants");
+        }
+    }
+}
+
+#[test]
+fn hash_primitives_are_pinned() {
+    // The two mixers under every key, pinned independently so a failure
+    // above can be localized.
+    assert_eq!(store::fnv1a64(b"mmrk1"), 0x78fd_6286_9857_416f);
+    assert_eq!(store::splitmix64(0), 0xe220_a839_7b1d_cdaf);
+    assert_eq!(KeyHash::of("mmrk1").hex().len(), 32);
+}

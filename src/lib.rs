@@ -77,6 +77,16 @@ pub enum Error {
         /// The underlying failure, rendered.
         detail: String,
     },
+    /// The `--cache` result store could not be opened. The run proceeds
+    /// uncached (the cache is an accelerator, never an authority), but the
+    /// degradation is reported and exits with code 2 after the results
+    /// print — the same contract as [`Error::Export`].
+    Cache {
+        /// The cache directory that could not be used.
+        path: std::path::PathBuf,
+        /// The underlying failure, rendered.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -87,6 +97,9 @@ impl std::fmt::Display for Error {
             Error::Export { path, detail } => {
                 write!(f, "cannot write telemetry export {}: {detail}", path.display())
             }
+            Error::Cache { path, detail } => {
+                write!(f, "result cache {} unavailable: {detail}", path.display())
+            }
         }
     }
 }
@@ -96,7 +109,7 @@ impl std::error::Error for Error {
         match self {
             Error::InvalidArgs(_) => None,
             Error::Simulation(e) => Some(e),
-            Error::Export { .. } => None,
+            Error::Export { .. } | Error::Cache { .. } => None,
         }
     }
 }

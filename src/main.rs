@@ -20,6 +20,12 @@
 //! different RNG stream than the scalar path, so they match the default
 //! route statistically rather than bit-wise.
 //!
+//! `--cache DIR` enables the content-addressed result store: a repeated
+//! Monte-Carlo request is served bit-identically from DIR and a grown one
+//! resumes from its cached chunk prefixes. An unusable DIR degrades to an
+//! uncached run with a warning and exits with code 2 after the results
+//! print — the same contract as the telemetry exports below.
+//!
 //! Observability flags (all strictly out-of-band — no result changes):
 //! `--metrics FILE` writes the process telemetry snapshot at exit (JSON by
 //! default; `--metrics-format prom` switches to Prometheus text
@@ -48,6 +54,7 @@ struct Args {
     param: String,
     workers: usize,
     lanes: Option<usize>,
+    cache: Option<std::path::PathBuf>,
     metrics: Option<std::path::PathBuf>,
     metrics_prom: bool,
     trace: Option<std::path::PathBuf>,
@@ -68,6 +75,7 @@ fn parse_args() -> Result<Args, mmreliab::Error> {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1),
         lanes: None,
+        cache: None,
         metrics: None,
         metrics_prom: false,
         trace: None,
@@ -118,6 +126,7 @@ fn parse_args() -> Result<Args, mmreliab::Error> {
                 }
                 args.lanes = Some(lanes);
             }
+            "--cache" => args.cache = Some(value()?.into()),
             "--metrics" => args.metrics = Some(value()?.into()),
             "--metrics-format" => {
                 args.metrics_prom = match value()?.as_str() {
@@ -143,8 +152,8 @@ fn usage() -> String {
     String::from(
         "usage: mmreliab <table1|survival|windows|trace|opsim|litmus|sweep> \
          [--model sc|tso|pso|wo] [--threads N] [--trials N] [--seed S] [--m M] [--param s|p|q] \
-         [--workers W] [--lanes L] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] \
-         [--progress] [--quiet]",
+         [--workers W] [--lanes L] [--cache DIR] [--metrics FILE] [--metrics-format json|prom] \
+         [--trace FILE] [--progress] [--quiet]",
     )
 }
 
@@ -161,6 +170,25 @@ fn main() {
     }
     // --quiet wins over --progress: quiet means a silent stderr.
     obs::progress::set_enabled(args.progress && !args.quiet);
+    // The content-addressed result store. An unusable directory degrades
+    // to an uncached run; the failure still exits with code 2 after the
+    // results print, mirroring the telemetry-export contract.
+    let mut cache_err: Option<mmreliab::Error> = None;
+    if let Some(dir) = &args.cache {
+        match store::Store::open(dir) {
+            Ok(s) => {
+                obs::info!("result cache at {}", dir.display());
+                store::install(std::sync::Arc::new(s));
+            }
+            Err(e) => {
+                eprintln!("warning: result cache disabled: {e}");
+                cache_err = Some(mmreliab::Error::Cache {
+                    path: dir.clone(),
+                    detail: e.to_string(),
+                });
+            }
+        }
+    }
     let result = match args.command.as_str() {
         "table1" => {
             cmd_table1();
@@ -199,6 +227,10 @@ fn main() {
     // Telemetry exports run last, so a bad export path never disturbs the
     // results above; their failures are typed and exit with code 2.
     if let Err(e) = emit_exports(&args) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    if let Some(e) = cache_err {
         eprintln!("error: {e}");
         std::process::exit(2);
     }

@@ -191,3 +191,37 @@ grep -q "result cache disabled" "$CACHE_DIR/degraded.log"
 grep -vE '"(elapsed_secs|threads|host_cores|trials_per_sec)":' "$CACHE_DIR/degraded.json" > "$CACHE_DIR/degraded.stripped"
 diff "$CACHE_DIR/cold.stripped" "$CACHE_DIR/degraded.stripped"
 rm -rf "$CACHE_DIR"
+
+# Flight-recorder smoke: a seeded chaos run mirrored with --flight must be
+# reconstructible offline — `inspect` parses the log into a non-empty
+# timeline — and diffing it against its fault-free twin must report zero
+# payload divergence (faults perturb the schedule, never the result). An
+# unwritable --flight path degrades to a warning plus exit code 2 with
+# results intact.
+FLIGHT_DIR="$(mktemp -d)"
+cargo run --release --offline -p mmr-bench --bin experiments -- \
+  --quick --seed 20110606 --threads 1 --json "$FLIGHT_DIR/clean.json" \
+  --flight "$FLIGHT_DIR/clean.flight" lem42 thm62
+cargo run --release --offline -p mmr-bench --bin experiments -- \
+  --quick --seed 20110606 --threads 1 --json "$FLIGHT_DIR/chaos.json" \
+  --flight "$FLIGHT_DIR/chaos.flight" --chaos 20110606:mixed \
+  --dossier-dir "$FLIGHT_DIR/dossiers" lem42 thm62
+cargo run --release --offline -p mmr-bench --bin experiments -- \
+  inspect "$FLIGHT_DIR/chaos.flight" > "$FLIGHT_DIR/inspect.txt"
+grep -q "flight timeline: " "$FLIGHT_DIR/inspect.txt"
+grep -q "chunk_claimed" "$FLIGHT_DIR/inspect.txt"
+cargo run --release --offline -p mmr-bench --bin experiments -- \
+  inspect "$FLIGHT_DIR/chaos.flight" --diff "$FLIGHT_DIR/clean.flight" \
+  > "$FLIGHT_DIR/diff.txt"
+grep -q "payload divergence: 0" "$FLIGHT_DIR/diff.txt"
+FLIGHT_RC=0
+cargo run --release --offline -p mmr-bench --bin experiments -- \
+  --quick --seed 20110606 --threads 1 --json "$FLIGHT_DIR/degraded.json" \
+  --flight "$FLIGHT_DIR/clean.json/not-a-file" lem42 thm62 \
+  2> "$FLIGHT_DIR/degraded.log" || FLIGHT_RC=$?
+test "$FLIGHT_RC" -eq 2
+grep -q "flight" "$FLIGHT_DIR/degraded.log"
+grep -vE '"(elapsed_secs|threads|host_cores|trials_per_sec)":' "$FLIGHT_DIR/clean.json" > "$FLIGHT_DIR/clean.stripped"
+grep -vE '"(elapsed_secs|threads|host_cores|trials_per_sec)":' "$FLIGHT_DIR/degraded.json" > "$FLIGHT_DIR/degraded.stripped"
+diff "$FLIGHT_DIR/clean.stripped" "$FLIGHT_DIR/degraded.stripped"
+rm -rf "$FLIGHT_DIR"

@@ -38,7 +38,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: experiments [--quick] [--trials N] [--seed S] [--threads T] [--out FILE] [--json FILE] [--checkpoint FILE] [--cache DIR] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--chaos SEED[:PROFILE]] [--progress] [--quiet] [--list] [ids...]\n       experiments bench [--trials N] [--seed S] [--threads T] [--lanes L] [--out FILE (default BENCH_e2e.json)] [--baseline FILE] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--quiet]\n\n--threads bounds worker parallelism only; results are identical for any value\n--lanes sets the batch width of the joined_lanes bench pipelines (1..=64, default 8)\n--cache enables the content-addressed result store in DIR: repeated runs are served\n        bit-identically from cache, grown runs resume from cached chunk prefixes\n        (an unusable DIR degrades to uncached with a warning; bench ignores --cache,\n        its cached pipelines manage their own stores)\n--metrics/--metrics-format/--trace/--progress/--quiet are observational only and never change results\n--chaos injects a seeded, reproducible fault schedule; profiles: mixed (default) | panics | stalls | corrupt | torn | export | hard\nbench --baseline compares throughput against a prior BENCH_e2e.json and fails on regression\nexit codes: 0 success, 1 mismatch, 2 usage/IO/bad-checkpoint error, 3 degraded run (partial results)";
+const USAGE: &str = "usage: experiments [--quick] [--trials N] [--seed S] [--threads T] [--out FILE] [--json FILE] [--checkpoint FILE] [--cache DIR] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--flight FILE] [--dossier-dir DIR] [--chaos SEED[:PROFILE]] [--progress] [--quiet] [--list] [ids...]\n       experiments bench [--trials N] [--seed S] [--threads T] [--lanes L] [--out FILE (default BENCH_e2e.json)] [--baseline FILE] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--quiet]\n       experiments inspect ARTIFACT [--diff OTHER]\n\n--threads bounds worker parallelism only; results are identical for any value\n--lanes sets the batch width of the joined_lanes bench pipelines (1..=64, default 8)\n--cache enables the content-addressed result store in DIR: repeated runs are served\n        bit-identically from cache, grown runs resume from cached chunk prefixes\n        (an unusable DIR degrades to uncached with a warning; bench ignores --cache,\n        its cached pipelines manage their own stores)\n--flight mirrors the structured flight-event ring to FILE as CRC-framed MMRE lines\n--dossier-dir writes a crash dossier (last events + metrics + fault delta) into DIR\n        on panic, degradation, or deadline truncation\n        (an unusable --flight/--dossier-dir path degrades with a warning and exit code 2)\n--metrics/--metrics-format/--trace/--flight/--dossier-dir/--progress/--quiet are observational only and never change results\n--chaos injects a seeded, reproducible fault schedule; profiles: mixed (default) | panics | stalls | corrupt | torn | export | hard\nbench --baseline compares throughput against a prior BENCH_e2e.json and fails on regression\ninspect auto-detects ARTIFACT: flight log (MMRE), crash dossier (JSON), checkpoint\n        journal (MMRJ), cache or dossier directory; --diff compares two flight logs\nexit codes: 0 success, 1 mismatch, 2 usage/IO/bad-checkpoint error, 3 degraded run (partial results)";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum MetricsFormat {
@@ -58,6 +58,9 @@ struct Args {
     metrics_path: Option<PathBuf>,
     metrics_format: MetricsFormat,
     trace_path: Option<PathBuf>,
+    flight_path: Option<PathBuf>,
+    dossier_dir: Option<PathBuf>,
+    diff_path: Option<PathBuf>,
     baseline_path: Option<PathBuf>,
     chaos: Option<String>,
     progress: bool,
@@ -79,6 +82,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
         metrics_path: None,
         metrics_format: MetricsFormat::Json,
         trace_path: None,
+        flight_path: None,
+        dossier_dir: None,
+        diff_path: None,
         baseline_path: None,
         chaos: None,
         progress: false,
@@ -149,6 +155,16 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--trace" => {
                 parsed.trace_path = Some(args.next().ok_or("--trace needs a path")?.into());
+            }
+            "--flight" => {
+                parsed.flight_path = Some(args.next().ok_or("--flight needs a path")?.into());
+            }
+            "--dossier-dir" => {
+                parsed.dossier_dir =
+                    Some(args.next().ok_or("--dossier-dir needs a directory")?.into());
+            }
+            "--diff" => {
+                parsed.diff_path = Some(args.next().ok_or("--diff needs a path")?.into());
             }
             "--baseline" => {
                 parsed.baseline_path = Some(args.next().ok_or("--baseline needs a path")?.into());
@@ -235,6 +251,63 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    // The forensic analyzer: purely read-only, so it dispatches before
+    // any chaos plan, cache, or recorder state is installed.
+    if args.ids.first().map(String::as_str) == Some("inspect") {
+        if args.ids.len() != 2 {
+            eprintln!("error: `inspect` takes exactly one artifact path");
+            return ExitCode::from(2);
+        }
+        return match mmr_bench::inspect::inspect(
+            Path::new(&args.ids[1]),
+            args.diff_path.as_deref(),
+        ) {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if args.diff_path.is_some() {
+        eprintln!("error: --diff only applies to the `inspect` subcommand");
+        return ExitCode::from(2);
+    }
+
+    // The flight recorder's durable outputs. An unusable path degrades to
+    // the in-memory ring only — the warning is reported and forces exit
+    // code 2 after the results land, same contract as `--metrics`.
+    let mut flight_err: Option<mmr_bench::Error> = None;
+    if let Some(path) = &args.flight_path {
+        match obs::flight::mirror_to(path) {
+            Ok(()) => obs::info!("flight events mirrored to {}", path.display()),
+            Err(source) => {
+                let e = mmr_bench::Error::Io {
+                    path: path.clone(),
+                    source,
+                };
+                eprintln!("warning: flight event log disabled: {e}");
+                flight_err = Some(e);
+            }
+        }
+    }
+    if let Some(dir) = &args.dossier_dir {
+        match obs::flight::set_dossier_dir(dir) {
+            Ok(()) => obs::info!("crash dossiers will be written to {}", dir.display()),
+            Err(source) => {
+                let e = mmr_bench::Error::Io {
+                    path: dir.clone(),
+                    source,
+                };
+                eprintln!("warning: crash dossiers disabled: {e}");
+                flight_err = flight_err.or(Some(e));
+            }
+        }
+    }
+
     if let Some(spec) = &args.chaos {
         let plan = montecarlo::fault::FaultPlan::parse(spec).expect("spec validated at parse time");
         obs::info!(
@@ -257,6 +330,10 @@ fn main() -> ExitCode {
             obs::info!("bench measures uncached kernels; --cache ignored");
         }
         return match run_bench(&args) {
+            // Results landed; an unusable flight/dossier path still has
+            // to surface in the exit code (I/O outranks a regression,
+            // same precedence as the experiments path).
+            Ok(_) if flight_err.is_some() => ExitCode::from(2),
             Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -285,7 +362,7 @@ fn main() -> ExitCode {
         }
     }
 
-    match run(&args, cache_err) {
+    match run(&args, cache_err.or(flight_err)) {
         Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");

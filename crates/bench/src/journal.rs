@@ -270,6 +270,9 @@ impl Journal {
                 if scan.torn {
                     obs::global().counter("mc.journal.torn_tails").inc();
                     montecarlo::fault::ledger().note_journal_torn_tail();
+                    obs::flight::event("journal_torn_tail")
+                        .n((bytes.len() - scan.good_len) as u64)
+                        .emit();
                     obs::info!(
                         "checkpoint {}: truncated torn tail ({} of {} bytes kept)",
                         path.display(),
@@ -352,6 +355,7 @@ impl Journal {
         if let Some(plan) = montecarlo::fault::active() {
             if plan.torn_write(record_no) {
                 montecarlo::fault::ledger().note_injected_torn_write();
+                obs::flight::event("fault_fired").n(record_no).detail("torn_write").emit();
                 // Tear the write: flush a partial frame, then recover it.
                 let partial = &line.as_bytes()[..line.len() * 2 / 3];
                 self.file.write_all(partial).map_err(io(&self.path))?;
@@ -361,6 +365,7 @@ impl Journal {
         }
         self.file.write_all(line.as_bytes()).map_err(io(&self.path))?;
         let _ = self.file.sync_data();
+        obs::flight::event("journal_append").detail(&result.id).emit();
         self.records_written = record_no + 1;
         self.experiments.push(result.clone());
         Ok(())
@@ -382,6 +387,9 @@ impl Journal {
             self.file.set_len(scan.good_len as u64).map_err(io)?;
             obs::global().counter("mc.journal.torn_tails").inc();
             montecarlo::fault::ledger().note_journal_torn_tail();
+            obs::flight::event("journal_torn_tail")
+                .n((bytes.len() - scan.good_len) as u64)
+                .emit();
         }
         Ok(())
     }

@@ -205,6 +205,11 @@ pub struct BenchReport {
     pub cache_speedup: Option<f64>,
     /// Recording-on vs. recording-off `joined_mt` throughput, per model.
     pub telemetry_overhead: Vec<TelemetryOverhead>,
+    /// Flight-recorder cost of the pool-dispatched pipeline, per model:
+    /// `joined_mt` (flight events on, the default) divided by the same
+    /// batch with the flight switch off. `None` in reports that predate
+    /// the recorder (the field deserializes as absent there).
+    pub flight_overhead: Option<Vec<TelemetryOverhead>>,
     /// Telemetry snapshot taken after all pipelines ran: per-stage span
     /// timings, runner/pool counters, and per-model trial counts.
     pub telemetry: obs::Snapshot,
@@ -346,6 +351,7 @@ pub fn run(trials: u64, seed: u64, threads: usize, lanes: usize) -> BenchReport 
     // Per model: the settle kernel and both joined pipelines.
     let mut speedups = Vec::new();
     let mut telemetry_overhead = Vec::new();
+    let mut flight_overhead = Vec::new();
     for model in MemoryModel::NAMED {
         let rm = ReliabilityModel::new(model, N).with_filler_len(M);
         let short = model.short_name();
@@ -431,6 +437,23 @@ pub fn run(trials: u64, seed: u64, threads: usize, lanes: usize) -> BenchReport 
         telemetry_overhead.push(TelemetryOverhead {
             model: short.to_owned(),
             throughput_ratio: mt.trials_per_sec / mt_notel.trials_per_sec,
+        });
+        // The flight recorder priced the same way: the identical batch
+        // with only the flight switch off (spans and counters still
+        // recording). Checksum equality proves the recorder is
+        // out-of-band; the ratio prices event emission. The measurement
+        // stays out of `pipelines` — the regression gate's pipeline set
+        // is pinned — and lands in `flight_overhead` instead.
+        obs::flight::set_flight_recording(false);
+        let mt_noflight = measure_batch("joined_mt_noflight", short, trials, mt_batch);
+        obs::flight::set_flight_recording(true);
+        assert_eq!(
+            mt.checksum, mt_noflight.checksum,
+            "{short}: flight recording changed the joined_mt outcome fold"
+        );
+        flight_overhead.push(TelemetryOverhead {
+            model: short.to_owned(),
+            throughput_ratio: mt.trials_per_sec / mt_noflight.trials_per_sec,
         });
         pipelines.push(mt);
         pipelines.push(mt_notel);
@@ -543,6 +566,7 @@ pub fn run(trials: u64, seed: u64, threads: usize, lanes: usize) -> BenchReport 
         joined_speedup_vs_legacy: speedups,
         cache_speedup: Some(cache_speedup),
         telemetry_overhead,
+        flight_overhead: Some(flight_overhead),
         telemetry,
         history: vec![entry],
     }
@@ -582,6 +606,9 @@ impl BenchReport {
                 t.model, t.throughput_ratio
             );
         }
+        for t in self.flight_overhead.as_deref().unwrap_or(&[]) {
+            let _ = writeln!(out, "flight on/off {:<4} {:.3}x", t.model, t.throughput_ratio);
+        }
         out
     }
 }
@@ -601,6 +628,10 @@ mod tests {
             .telemetry_overhead
             .iter()
             .all(|t| t.throughput_ratio > 0.0));
+        let flight = report.flight_overhead.as_deref().expect("flight overhead measured");
+        assert_eq!(flight.len(), MemoryModel::NAMED.len());
+        assert!(flight.iter().all(|t| t.throughput_ratio > 0.0));
+        assert!(report.summary().contains("flight on/off"));
         assert!(report.pipelines.iter().all(|p| p.trials_per_sec > 0.0));
         assert_eq!(report.threads, 2);
         assert_eq!(report.lanes, Some(8));

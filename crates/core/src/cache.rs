@@ -125,7 +125,16 @@ fn plan_extension<A: CacheableAcc + Clone>(
         let Some(decoded) = p.to_prefix::<A>() else {
             return Extension::Cold;
         };
-        if rse_of(&decoded.value) <= target {
+        let rse = rse_of(&decoded.value);
+        // Mirror the cold engine's `wave_decided` events so a warm replay
+        // leaves the same payload trace in the flight log as the run it
+        // stands in for.
+        obs::flight::event("wave_decided")
+            .n(decoded.trials)
+            .value(rse)
+            .detail(if rse <= target { "converged" } else { "continue" })
+            .emit();
+        if rse <= target {
             let keep: Vec<CachedPrefix> = prefixes.iter().filter(|q| q.chunks <= g).cloned().collect();
             let completed = decoded.trials;
             return Extension::Finished(full_report(decoded.value, completed, true), keep);
@@ -168,6 +177,9 @@ pub(crate) fn cached_run<A>(
 where
     A: CacheableAcc + Clone,
 {
+    let canon = key.canon();
+    obs::flight::event("request").detail(&canon).emit();
+    obs::flight::set_current_request(Some(canon.as_str()));
     let finish = |result: Result<(RunReport<A>, Vec<ChunkPrefix<A>>), Error>| match result {
         Ok(pair) => pair,
         Err(e) => panic!("monte-carlo worker panicked: {e}"),

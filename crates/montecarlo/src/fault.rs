@@ -319,10 +319,20 @@ impl FaultPlan {
     pub fn perturb_chunk(&self, chunk: u64, attempt: u32) {
         if let Some(stall) = self.stall(chunk, attempt) {
             ledger().note_injected_stall();
+            obs::flight::event("fault_fired")
+                .chunk(chunk)
+                .attempt(attempt)
+                .detail("stall")
+                .emit();
             std::thread::sleep(stall);
         }
         if self.chunk_panics(chunk, attempt) {
             ledger().note_injected_panic();
+            obs::flight::event("fault_fired")
+                .chunk(chunk)
+                .attempt(attempt)
+                .detail("panic")
+                .emit();
             panic!("chaos: injected panic in chunk {chunk} (attempt {attempt})");
         }
     }
@@ -530,6 +540,24 @@ impl LedgerSnapshot {
     #[must_use]
     pub fn is_zero(&self) -> bool {
         *self == LedgerSnapshot::default()
+    }
+
+    /// Every tally as a `(name, count)` pair, in declaration order — the
+    /// shape crash dossiers embed.
+    #[must_use]
+    pub fn named_fields(&self) -> [(&'static str, u64); 10] {
+        [
+            ("injected_panics", self.injected_panics),
+            ("injected_stalls", self.injected_stalls),
+            ("injected_corruptions", self.injected_corruptions),
+            ("injected_torn_writes", self.injected_torn_writes),
+            ("injected_export_faults", self.injected_export_faults),
+            ("chunks_retried", self.chunks_retried),
+            ("watchdog_requeues", self.watchdog_requeues),
+            ("chunks_abandoned", self.chunks_abandoned),
+            ("degraded_runs", self.degraded_runs),
+            ("journal_torn_tails", self.journal_torn_tails),
+        ]
     }
 }
 

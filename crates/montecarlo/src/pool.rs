@@ -227,7 +227,7 @@ where
         if s.finished.load(Ordering::Acquire) {
             return;
         }
-        let mut stale = 0usize;
+        let mut stale: Vec<usize> = Vec::new();
         {
             let mut board = lock(&s.board);
             let now = Instant::now();
@@ -240,13 +240,14 @@ where
                     // full budget of its own.
                     board.claims[idx] = Some(now);
                     board.requeued.push_back(idx);
-                    stale += 1;
+                    stale.push(idx);
                 }
             }
         }
-        for _ in 0..stale {
+        for idx in stale {
             crate::telemetry::pool().watchdog_requeues.inc();
             crate::fault::ledger().note_watchdog_requeue();
+            obs::flight::event("watchdog_requeue").n(idx as u64).emit();
             let replacement = Arc::clone(s);
             submit(Box::new(move || drain(&*replacement)));
         }

@@ -704,6 +704,16 @@ impl Runner {
         let max_full_chunks = trials / CHUNK_WIDTH;
         let tele = crate::telemetry::runner();
         tele.runs.inc();
+        {
+            let ev = obs::flight::event("run_start").n(trials);
+            if resume.is_some() {
+                ev.detail("resume").emit();
+            } else {
+                ev.emit();
+            }
+        }
+        // Scope for this run's crash-dossier fault delta.
+        let ledger_start = crate::fault::ledger().snapshot();
         // An installed chaos plan can supply a chunk budget (so its stalls
         // actually trip the watchdog) and a degradation policy; explicit
         // runner configuration always wins.
@@ -760,6 +770,7 @@ impl Runner {
                     }
                     let tele = crate::telemetry::runner();
                     tele.chunks_claimed.inc();
+                    obs::flight::event("chunk_claimed").chunk(idx).emit();
                     let chunk_started = obs::recording().then(Instant::now);
                     let outcome =
                         runner.run_chunk(idx, count, &*sti, &*ini, &*bat, &job_ctl, degrade);
@@ -788,8 +799,16 @@ impl Runner {
                         }
                     }
                     ChunkOutcome::Failed { attempts, payload } => {
+                        let chunk = (base + i) as u64;
+                        // The failing chunk is the fault site: record it
+                        // last, then freeze the timeline into a dossier.
+                        obs::flight::event("chunk_failed")
+                            .chunk(chunk)
+                            .attempt(attempts)
+                            .emit();
+                        emit_dossier("worker_panicked", &ledger_start);
                         return Err(Error::WorkerPanicked {
-                            chunk: (base + i) as u64,
+                            chunk,
                             seed: self.seed,
                             attempts,
                             payload,
@@ -834,6 +853,16 @@ impl Runner {
             }
             conv.extra_chunks
                 .add(done_chunks.saturating_sub(checkpoint_after(0).min(n_chunks)) as u64);
+        }
+        let fate = match (degraded, truncated) {
+            (false, false) => "ok",
+            (true, false) => "degraded",
+            (false, true) => "truncated",
+            (true, true) => "degraded+truncated",
+        };
+        obs::flight::event("run_end").n(trials_completed).detail(fate).emit();
+        if degraded || truncated {
+            emit_dossier(fate, &ledger_start);
         }
         Ok(RunReport {
             value,
@@ -915,6 +944,11 @@ impl Runner {
                 if let Some(plan) = plan.as_deref() {
                     if plan.corrupts_scratch(idx, attempt) {
                         crate::fault::ledger().note_injected_corruption();
+                        obs::flight::event("fault_fired")
+                            .chunk(idx)
+                            .attempt(attempt)
+                            .detail("corruption")
+                            .emit();
                         guard ^= 0xDEAD_BEEF_DEAD_BEEF;
                     }
                 }
@@ -937,6 +971,10 @@ impl Runner {
                             // partial estimate.
                             crate::telemetry::runner().chunks_abandoned.inc();
                             crate::fault::ledger().note_chunk_abandoned();
+                            obs::flight::event("chunk_abandoned")
+                                .chunk(idx)
+                                .attempt(attempt)
+                                .emit();
                             return ChunkOutcome::Abandoned;
                         }
                         // Stop claiming fresh work for a run that is about
@@ -950,6 +988,10 @@ impl Runner {
                     ctl.retried.fetch_add(1, Ordering::Relaxed);
                     crate::telemetry::runner().chunks_retried.inc();
                     crate::fault::ledger().note_chunk_retry();
+                    obs::flight::event("chunk_retried")
+                        .chunk(idx)
+                        .attempt(attempt + 1)
+                        .emit();
                     // Seeded exponential backoff with deterministic jitter
                     // before replaying the chunk.
                     let delay =
@@ -958,6 +1000,11 @@ impl Runner {
                         crate::telemetry::runner()
                             .backoff_us
                             .record(delay.as_micros() as u64);
+                        obs::flight::event("backoff_slept")
+                            .chunk(idx)
+                            .attempt(attempt + 1)
+                            .n(delay.as_micros() as u64)
+                            .emit();
                         std::thread::sleep(delay);
                     }
                 }
@@ -1009,7 +1056,7 @@ impl Runner {
             trial,
             |acc, hit| acc.record(hit),
             |a, b| a.merge(&b),
-            move |acc| crate::EstimatorStats::rse(acc) <= target,
+            wave_stop(target),
         )
     }
 
@@ -1035,7 +1082,7 @@ impl Runner {
             trial,
             |acc, x| acc.record(x),
             |a, b| a.merge(&b),
-            move |acc| crate::EstimatorStats::rse(acc) <= target,
+            wave_stop(target),
         )
     }
 
@@ -1090,7 +1137,7 @@ impl Runner {
             trial,
             |acc, hit| acc.record(hit),
             |a, b| a.merge(&b),
-            move |acc| crate::EstimatorStats::rse(acc) <= target,
+            wave_stop(target),
             resume,
         )
     }
@@ -1120,7 +1167,7 @@ impl Runner {
             trial,
             |acc, x| acc.record(x),
             |a, b| a.merge(&b),
-            move |acc| crate::EstimatorStats::rse(acc) <= target,
+            wave_stop(target),
             resume,
         )
     }
@@ -1358,6 +1405,40 @@ fn checkpoint_after(done_chunks: usize) -> usize {
 fn is_prefix_snapshot(clean_full_chunks: u64, max_full_chunks: u64) -> bool {
     clean_full_chunks == max_full_chunks
         || (clean_full_chunks >= 4 && clean_full_chunks.is_power_of_two())
+}
+
+/// Wraps a sequential-stopping RSE target as the runner's stop
+/// predicate: computes the statistic once, publishes it to the progress
+/// heartbeat, records the wave decision in the flight recorder, and
+/// returns whether the target was met. NaN RSE (degenerate estimate)
+/// compares false — never "converged". The telemetry side effects are
+/// strictly out-of-band: the returned decision is a pure function of the
+/// merged accumulator.
+fn wave_stop<A: crate::EstimatorStats>(target: f64) -> impl Fn(&A) -> bool {
+    move |acc| {
+        let rse = crate::EstimatorStats::rse(acc);
+        let converged = rse <= target;
+        obs::progress::set_live_rse(rse);
+        obs::flight::event("wave_decided")
+            .n(crate::EstimatorStats::count(acc))
+            .value(rse)
+            .detail(if converged { "converged" } else { "continue" })
+            .emit();
+        converged
+    }
+}
+
+/// Writes a crash dossier scoped to this run's fault-ledger delta. Any
+/// I/O failure is reported to stderr and swallowed — a dossier must
+/// never take down the run it documents.
+fn emit_dossier(reason: &str, ledger_start: &crate::fault::LedgerSnapshot) {
+    let delta = crate::fault::ledger().snapshot().since(ledger_start);
+    let request = obs::flight::current_request();
+    match obs::flight::write_dossier(reason, request.as_deref(), &delta.named_fields()) {
+        Ok(Some(_)) => crate::telemetry::dossiers().inc(),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: failed to write crash dossier ({reason}): {e}"),
+    }
 }
 
 /// Renders a `catch_unwind` payload for error reports.

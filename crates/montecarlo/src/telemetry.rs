@@ -71,6 +71,12 @@ pub(crate) fn converge() -> &'static ConvergeMetrics {
     })
 }
 
+/// Crash dossiers written (`mc.flight.dossiers`).
+pub(crate) fn dossiers() -> &'static obs::Counter {
+    static DOSSIERS: OnceLock<obs::Counter> = OnceLock::new();
+    DOSSIERS.get_or_init(|| obs::global().counter("mc.flight.dossiers"))
+}
+
 /// Pool-level metrics (`mc.pool.*`).
 pub(crate) struct PoolMetrics {
     /// `scatter` dispatches.

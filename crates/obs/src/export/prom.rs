@@ -15,9 +15,65 @@
 //!
 //! Metric names are sanitized to `[a-zA-Z0-9_:]` (dots become
 //! underscores), matching the exposition-format grammar.
+//!
+//! Every family is preceded by a `# HELP` line whose text is sourced
+//! from the METRICS.md name table (compiled in via `include_str!`), so
+//! the exposition is self-describing and cannot drift from the repo's
+//! own metric reference. Names the table does not document get an
+//! explicit fallback text; [`lint`] requires the HELP line either way.
 
 use crate::Snapshot;
 use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+/// The METRICS.md name table, parsed once: `(pattern, meaning)` rows
+/// where a pattern may contain `*` wildcard segments
+/// (`mmr.model.*.trials`).
+fn help_table() -> &'static [(String, String)] {
+    static TABLE: OnceLock<Vec<(String, String)>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut rows = Vec::new();
+        for line in include_str!("../../../../METRICS.md").lines() {
+            // Documented rows look like: | `name` | `source` | Meaning. |
+            let Some(rest) = line.trim().strip_prefix("| `") else {
+                continue;
+            };
+            let Some((name, rest)) = rest.split_once('`') else {
+                continue;
+            };
+            let cells: Vec<&str> = rest.split('|').collect();
+            if cells.len() < 3 {
+                continue;
+            }
+            let meaning = cells[cells.len() - 2].trim().replace('`', "");
+            if !meaning.is_empty() {
+                rows.push((name.to_owned(), meaning));
+            }
+        }
+        rows
+    })
+}
+
+/// Whether a METRICS.md pattern covers a raw metric name (`*` matches
+/// exactly one dot-separated segment).
+fn covers(pattern: &str, name: &str) -> bool {
+    let pat: Vec<&str> = pattern.split('.').collect();
+    let segs: Vec<&str> = name.split('.').collect();
+    pat.len() == segs.len()
+        && pat.iter().zip(&segs) .all(|(p, s)| *p == "*" || p == s)
+}
+
+/// The METRICS.md meaning of a raw (pre-sanitization) name, or an
+/// explicit fallback for undocumented names.
+fn help_text(raw: &str) -> String {
+    help_table()
+        .iter()
+        .find(|(pattern, _)| covers(pattern, raw))
+        .map_or_else(
+            || "Undocumented metric; add a row to METRICS.md.".to_owned(),
+            |(_, meaning)| meaning.clone(),
+        )
+}
 
 /// Replaces every character outside the Prometheus metric-name alphabet
 /// with `_` (and prefixes `_` when the name starts with a digit).
@@ -42,16 +98,19 @@ pub fn prometheus(snapshot: &Snapshot) -> String {
     let mut out = String::new();
     for c in &snapshot.counters {
         let name = sanitize(&c.name);
+        let _ = writeln!(out, "# HELP {name} {}", help_text(&c.name));
         let _ = writeln!(out, "# TYPE {name} counter");
         let _ = writeln!(out, "{name} {}", c.value);
     }
     for g in &snapshot.gauges {
         let name = sanitize(&g.name);
+        let _ = writeln!(out, "# HELP {name} {}", help_text(&g.name));
         let _ = writeln!(out, "# TYPE {name} gauge");
         let _ = writeln!(out, "{name} {}", g.value);
     }
     for h in &snapshot.histograms {
         let name = sanitize(&h.name);
+        let _ = writeln!(out, "# HELP {name} {}", help_text(&h.name));
         let _ = writeln!(out, "# TYPE {name} histogram");
         let mut cumulative = 0u64;
         for b in &h.buckets {
@@ -66,10 +125,14 @@ pub fn prometheus(snapshot: &Snapshot) -> String {
     }
     for s in &snapshot.spans {
         let name = format!("span_{}", sanitize(&s.name));
+        let base = help_text(&s.name);
+        let _ = writeln!(out, "# HELP {name}_count {base} (completed spans)");
         let _ = writeln!(out, "# TYPE {name}_count counter");
         let _ = writeln!(out, "{name}_count {}", s.count);
+        let _ = writeln!(out, "# HELP {name}_total_us {base} (total duration, us)");
         let _ = writeln!(out, "# TYPE {name}_total_us counter");
         let _ = writeln!(out, "{name}_total_us {}", s.total_us);
+        let _ = writeln!(out, "# HELP {name}_max_us {base} (longest single span, us)");
         let _ = writeln!(out, "# TYPE {name}_max_us gauge");
         let _ = writeln!(out, "{name}_max_us {}", s.max_us);
     }
@@ -83,7 +146,9 @@ pub fn prometheus(snapshot: &Snapshot) -> String {
 ///    their base name);
 /// 2. histogram bucket counts are monotone non-decreasing in declaration
 ///    order;
-/// 3. every histogram's `+Inf` bucket equals its `_count` sample.
+/// 3. every histogram's `+Inf` bucket equals its `_count` sample;
+/// 4. every `# TYPE` line is immediately preceded by a non-empty
+///    `# HELP` line for the same metric name.
 ///
 /// # Errors
 ///
@@ -94,16 +159,30 @@ pub fn lint(text: &str) -> Result<(), String> {
     let mut last_bucket: Option<(String, u64)> = None; // (histogram, cumulative)
     let mut inf_buckets: Vec<(String, u64)> = Vec::new();
     let mut counts: Vec<(String, u64)> = Vec::new();
+    let mut last_help: Option<String> = None;
 
     for line in text.lines() {
         let line = line.trim_end();
-        if line.is_empty() || line.starts_with("# HELP") {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let mut parts = rest.splitn(2, ' ');
+            let name = parts.next().ok_or(format!("bare HELP line: {line:?}"))?;
+            let help = parts.next().unwrap_or("").trim();
+            if help.is_empty() {
+                return Err(format!("HELP without text: {line:?}"));
+            }
+            last_help = Some(name.to_owned());
             continue;
         }
         if let Some(rest) = line.strip_prefix("# TYPE ") {
             let mut parts = rest.split_whitespace();
             let name = parts.next().ok_or(format!("bare TYPE line: {line:?}"))?;
             let kind = parts.next().ok_or(format!("TYPE without kind: {line:?}"))?;
+            if last_help.as_deref() != Some(name) {
+                return Err(format!("TYPE not preceded by its # HELP: {line:?}"));
+            }
             declared.push((name.to_owned(), kind.to_owned()));
             continue;
         }
@@ -216,6 +295,7 @@ mod tests {
                 max_us: 1500,
             }],
             span_events: Vec::new(),
+            flight_events: None,
         }
     }
 
@@ -228,9 +308,24 @@ mod tests {
     }
 
     #[test]
+    fn help_table_covers_documented_names() {
+        assert_eq!(help_text("mc.runner.runs"), "Monte-Carlo runner invocations.");
+        // Wildcard segments resolve per the METRICS.md convention.
+        assert!(help_text("mmr.model.SC.trials").contains("Survival trials per model"));
+        assert!(help_text("exp.t1.runs").contains("Completions per experiment"));
+        // Span rows are looked up by raw span name.
+        assert!(help_text("bench.joined").contains("joined scratch pipeline"));
+        // Undocumented names get the explicit fallback.
+        assert!(help_text("export.test.undocumented").contains("Undocumented metric"));
+        assert!(!covers("mmr.model.*.trials", "mmr.model.trials"));
+    }
+
+    #[test]
     fn exposition_has_types_buckets_and_passes_lint() {
         let text = prometheus(&sample());
+        assert!(text.contains("# HELP mc_runner_runs Monte-Carlo runner invocations."));
         assert!(text.contains("# TYPE mc_runner_runs counter"));
+        assert!(text.contains("# HELP span_thm62_count Experiment runtime. (completed spans)"));
         assert!(text.contains("mc_runner_runs 3"));
         assert!(text.contains("# TYPE mc_pool_workers_busy gauge"));
         assert!(text.contains("# TYPE mc_runner_chunk_wall_us histogram"));
@@ -255,6 +350,7 @@ mod tests {
             histograms: Vec::new(),
             spans: Vec::new(),
             span_events: Vec::new(),
+            flight_events: None,
         };
         let text = prometheus(&snap);
         assert!(text.is_empty());
@@ -269,7 +365,8 @@ mod tests {
 
     #[test]
     fn lint_rejects_non_monotone_buckets() {
-        let text = "# TYPE h histogram\n\
+        let text = "# HELP h a histogram\n\
+                    # TYPE h histogram\n\
                     h_bucket{le=\"1\"} 5\n\
                     h_bucket{le=\"3\"} 4\n\
                     h_bucket{le=\"+Inf\"} 5\n\
@@ -281,13 +378,27 @@ mod tests {
 
     #[test]
     fn lint_rejects_inf_count_mismatch() {
-        let text = "# TYPE h histogram\n\
+        let text = "# HELP h a histogram\n\
+                    # TYPE h histogram\n\
                     h_bucket{le=\"1\"} 4\n\
                     h_bucket{le=\"+Inf\"} 4\n\
                     h_sum 9\n\
                     h_count 5\n";
         let err = lint(text).unwrap_err();
         assert!(err.contains("+Inf bucket 4 != _count 5"), "{err}");
+    }
+
+    #[test]
+    fn lint_requires_help_before_type() {
+        let err = lint("# TYPE h counter\nh 1\n").unwrap_err();
+        assert!(err.contains("not preceded by its # HELP"), "{err}");
+        // HELP for a different name does not satisfy the requirement.
+        let err = lint("# HELP other text\n# TYPE h counter\nh 1\n").unwrap_err();
+        assert!(err.contains("not preceded by its # HELP"), "{err}");
+        // Empty HELP text is rejected outright.
+        let err = lint("# HELP h\n# TYPE h counter\nh 1\n").unwrap_err();
+        assert!(err.contains("HELP without text"), "{err}");
+        lint("# HELP h fine\n# TYPE h counter\nh 1\n").unwrap();
     }
 
     #[cfg(feature = "enabled")]

@@ -36,11 +36,14 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flight;
 pub mod log;
 mod metrics;
 pub mod progress;
+mod ring;
 mod span;
 
+pub use flight::FlightEvent;
 pub use metrics::{
     Counter, CounterSnapshot, Gauge, GaugeSnapshot, Histogram, HistogramBucket,
     HistogramSnapshot, Registry,
@@ -48,7 +51,7 @@ pub use metrics::{
 pub use span::{span, SpanEventSnapshot, SpanGuard, SpanSnapshot};
 
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// The process-wide registry every instrumented crate records into.
 #[must_use]
@@ -74,6 +77,65 @@ pub fn recording() -> bool {
     cfg!(feature = "enabled") && RECORDING.load(Ordering::Relaxed)
 }
 
+/// Default capacity of the bounded event rings (span timeline and flight
+/// recorder) when neither [`set_ring_capacity`] nor `MMR_OBS_RING`
+/// overrides it.
+pub const DEFAULT_RING_CAP: usize = 1024;
+
+/// Programmatic ring-capacity override; 0 means "not set".
+static RING_CAP_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the shared ring capacity at runtime (clamped to ≥ 1).
+/// Passing `0` clears the override, falling back to the `MMR_OBS_RING`
+/// environment variable and then [`DEFAULT_RING_CAP`]. Shrinking takes
+/// effect on the next push to each ring: the oldest surplus events are
+/// evicted and accounted to the ring's drop counter.
+pub fn set_ring_capacity(cap: usize) {
+    RING_CAP_OVERRIDE.store(cap, Ordering::Relaxed);
+}
+
+/// Parses a ring capacity from an `MMR_OBS_RING`-style value (clamped to
+/// ≥ 1; unparsable values are ignored).
+fn ring_cap_from_env(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+}
+
+/// The current shared ring capacity: [`set_ring_capacity`] override if
+/// set, else `MMR_OBS_RING` (read once per process), else
+/// [`DEFAULT_RING_CAP`].
+#[must_use]
+pub fn ring_capacity() -> usize {
+    let o = RING_CAP_OVERRIDE.load(Ordering::Relaxed);
+    if o != 0 {
+        return o;
+    }
+    static FROM_ENV: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    FROM_ENV
+        .get_or_init(|| ring_cap_from_env(std::env::var("MMR_OBS_RING").ok().as_deref()))
+        .unwrap_or(DEFAULT_RING_CAP)
+}
+
+/// Monotonic epoch shared by span and flight timestamps: pinned on first
+/// use, so both timelines interleave on one clock.
+pub(crate) fn epoch() -> std::time::Instant {
+    static EPOCH: std::sync::OnceLock<std::time::Instant> = std::sync::OnceLock::new();
+    *EPOCH.get_or_init(std::time::Instant::now)
+}
+
+/// A small stable id for the recording thread, assigned on first use.
+/// Purely for trace-event attribution (Chrome trace `tid` lanes); it is
+/// not the OS thread id.
+pub(crate) fn current_tid() -> u64 {
+    use std::sync::atomic::AtomicU64;
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
 /// One coherent JSON-serializable view of everything collected so far:
 /// counters, gauges, histograms, per-name span aggregates, and the recent
 /// span events still in the ring buffer. Collection is out-of-band, so a
@@ -90,6 +152,11 @@ pub struct Snapshot {
     pub spans: Vec<SpanSnapshot>,
     /// The most recent span events, oldest first (bounded ring buffer).
     pub span_events: Vec<SpanEventSnapshot>,
+    /// The most recent flight-recorder events, oldest first (bounded ring
+    /// buffer). `Option` so snapshots serialized before the flight
+    /// recorder existed still deserialize; use
+    /// [`flight_events`](Snapshot::flight_events) to read it.
+    pub flight_events: Option<Vec<FlightEvent>>,
 }
 
 impl Snapshot {
@@ -117,6 +184,13 @@ impl Snapshot {
         self.spans.iter().find(|s| s.name == name)
     }
 
+    /// The retained flight events (empty for snapshots that predate the
+    /// flight recorder).
+    #[must_use]
+    pub fn flight_events(&self) -> &[FlightEvent] {
+        self.flight_events.as_deref().unwrap_or(&[])
+    }
+
     /// What happened between `earlier` and `self`: per-name deltas of the
     /// monotone series, assuming both snapshots come from the same process.
     ///
@@ -132,8 +206,8 @@ impl Snapshot {
     ///   `self`'s values are kept.
     /// * **spans** — `count`/`total_us` are diffed; `max_us` (a running
     ///   maximum) keeps `self`'s value.
-    /// * **span_events** — the ring is a bounded timeline, not a monotone
-    ///   series; the diff carries no events.
+    /// * **span_events** / **flight_events** — the rings are bounded
+    ///   timelines, not monotone series; the diff carries no events.
     #[must_use]
     pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
         let counters = self
@@ -189,18 +263,29 @@ impl Snapshot {
             histograms,
             spans,
             span_events: Vec::new(),
+            flight_events: None,
         }
     }
 }
 
-/// Snapshots the [`global`] registry plus the span sink.
+/// Snapshots the [`global`] registry plus the span sink and the flight
+/// recorder ring.
 #[must_use]
 pub fn snapshot() -> Snapshot {
     let mut snap = global().snapshot();
     let (spans, span_events) = span::snapshot();
     snap.spans = spans;
     snap.span_events = span_events;
+    snap.flight_events = Some(flight::events());
     snap
+}
+
+/// Serializes tests across modules that toggle process-global recording
+/// state (the master switch, the flight switch, the ring capacity).
+#[cfg(test)]
+pub(crate) fn test_ring_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -210,8 +295,26 @@ mod tests {
     /// The master switch is process-global, so tests that toggle or depend
     /// on it serialize through this lock.
     fn recording_lock() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        crate::test_ring_lock()
+    }
+
+    #[test]
+    fn ring_cap_env_parses_and_clamps() {
+        assert_eq!(ring_cap_from_env(None), None);
+        assert_eq!(ring_cap_from_env(Some("")), None);
+        assert_eq!(ring_cap_from_env(Some("not a number")), None);
+        assert_eq!(ring_cap_from_env(Some(" 256 ")), Some(256));
+        assert_eq!(ring_cap_from_env(Some("0")), Some(1));
+    }
+
+    #[test]
+    fn set_ring_capacity_overrides_and_clears() {
+        let _guard = recording_lock();
+        let baseline = ring_capacity();
+        set_ring_capacity(64);
+        assert_eq!(ring_capacity(), 64);
+        set_ring_capacity(0);
+        assert_eq!(ring_capacity(), baseline);
     }
 
     #[test]
@@ -278,6 +381,7 @@ mod tests {
             histograms: Vec::new(),
             spans: Vec::new(),
             span_events: Vec::new(),
+            flight_events: None,
         };
         let later = Snapshot {
             counters: vec![named_counter("a", 17), named_counter("new", 3)],
@@ -293,6 +397,7 @@ mod tests {
                 dur_us: 1,
                 tid: 1,
             }],
+            flight_events: None,
         };
         let d = later.diff(&earlier);
         assert_eq!(d.counter("a"), Some(7));
@@ -330,6 +435,7 @@ mod tests {
             histograms: vec![hist(3, 11, vec![(1, 2), (8, 1)])],
             spans: vec![span(2, 50)],
             span_events: Vec::new(),
+            flight_events: None,
         };
         let later = Snapshot {
             counters: Vec::new(),
@@ -337,6 +443,7 @@ mod tests {
             histograms: vec![hist(7, 30, vec![(1, 4), (4, 2), (8, 1)])],
             spans: vec![span(5, 90)],
             span_events: Vec::new(),
+            flight_events: None,
         };
         let d = later.diff(&earlier);
         let h = d.histogram("h").unwrap();

@@ -318,6 +318,7 @@ impl Registry {
                 histograms,
                 spans: Vec::new(),
                 span_events: Vec::new(),
+                flight_events: None,
             }
         }
         #[cfg(not(feature = "enabled"))]
@@ -328,6 +329,7 @@ impl Registry {
                 histograms: Vec::new(),
                 spans: Vec::new(),
                 span_events: Vec::new(),
+                flight_events: None,
             }
         }
     }

@@ -9,9 +9,59 @@
 //!
 //! Progress output is observational only: it never feeds back into the
 //! computation, and it goes to stderr so piped stdout stays clean.
+//!
+//! Sequential-stopping runs additionally publish their live RSE
+//! ([`set_live_rse`], written by the runner's stop predicate) and the
+//! heartbeat appends it — plus the result-cache hit rate when a store
+//! has seen traffic — to each line. Both enrichments ride the existing
+//! ≤2 Hz throttle, so they never add per-chunk cost.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
+
+/// `f64::to_bits` of the most recent RSE seen by a stop predicate; 0
+/// (the bits of +0.0, never a real RSE) means "unset".
+static LIVE_RSE_BITS: AtomicU64 = AtomicU64::new(0);
+
+/// Publishes the RSE a sequential-stopping predicate just computed so
+/// the heartbeat can display it. Non-finite or zero values clear it.
+pub fn set_live_rse(rse: f64) {
+    let bits = if rse.is_finite() && rse != 0.0 {
+        rse.to_bits()
+    } else {
+        0
+    };
+    LIVE_RSE_BITS.store(bits, Ordering::Relaxed);
+}
+
+/// The most recently published live RSE, if any.
+#[must_use]
+pub fn live_rse() -> Option<f64> {
+    match LIVE_RSE_BITS.load(Ordering::Relaxed) {
+        0 => None,
+        bits => Some(f64::from_bits(bits)),
+    }
+}
+
+/// `", rse …"` / `", cache …"` suffix for a heartbeat line: the live RSE
+/// (when a stop predicate has published one) and the result-cache hit
+/// rate (when any cache lookup has resolved). Reads the global registry;
+/// called at most once per throttle interval.
+fn enrichment() -> String {
+    let mut out = String::new();
+    if let Some(rse) = live_rse() {
+        out.push_str(&format!(", rse {rse:.2e}"));
+    }
+    let snap = crate::global().snapshot();
+    let hits = snap.counter("mc.cache.hits").unwrap_or(0);
+    let lookups = hits
+        + snap.counter("mc.cache.misses").unwrap_or(0)
+        + snap.counter("mc.cache.extends").unwrap_or(0);
+    if lookups > 0 {
+        out.push_str(&format!(", cache {hits}/{lookups}"));
+    }
+    out
+}
 
 /// Minimum milliseconds between heartbeat lines.
 pub const MIN_INTERVAL_MS: u64 = 500;
@@ -74,7 +124,8 @@ pub fn tick(label: &str, done: u64, total: u64, started: Instant) {
         0.0
     };
     eprintln!(
-        "progress: {done}/{total} {label} ({pct:.1}%), {rate:.0} {label}/s, eta {eta:.1}s"
+        "progress: {done}/{total} {label} ({pct:.1}%), {rate:.0} {label}/s, eta {eta:.1}s{}",
+        enrichment()
     );
 }
 
@@ -111,5 +162,18 @@ mod tests {
         assert!(enabled());
         set_enabled(false);
         assert!(!enabled());
+    }
+
+    #[test]
+    fn live_rse_roundtrips_and_filters_degenerates() {
+        set_live_rse(0.0625);
+        assert_eq!(live_rse(), Some(0.0625));
+        assert!(enrichment().contains("rse 6.25e-2"), "{}", enrichment());
+        set_live_rse(f64::NAN);
+        assert_eq!(live_rse(), None);
+        set_live_rse(f64::INFINITY);
+        assert_eq!(live_rse(), None);
+        set_live_rse(0.0);
+        assert_eq!(live_rse(), None);
     }
 }

@@ -3,21 +3,22 @@
 //! [`span("name")`](span) returns a guard; dropping it records one timed
 //! event into a process-global sink. The sink keeps (a) per-name
 //! aggregates (count / total / max) forever and (b) the most recent
-//! [`RING_CAP`] individual events in a bounded ring buffer, so a snapshot
-//! can both attribute total time per pipeline stage and show the recent
-//! timeline. Timestamps are microseconds since the first span of the
-//! process (a lazily pinned [`Instant`] epoch), which keeps every snapshot
-//! field an integer.
+//! events in a bounded ring buffer, so a snapshot can both attribute
+//! total time per pipeline stage and show the recent timeline.
+//! Timestamps are microseconds since the process observability epoch
+//! ([`crate::epoch`], shared with the flight recorder), which keeps
+//! every snapshot field an integer.
 //!
 //! # Overflow semantics
 //!
-//! The ring holds exactly [`RING_CAP`] (1024) events. Once full, every new
-//! event **overwrites the oldest surviving event** — aggregates keep
-//! counting forever, only the individual timeline is bounded. Each
-//! overwrite increments the `obs.spans_dropped` counter, so a snapshot (or
-//! a Chrome trace exported from it) always states how much of the timeline
-//! was evicted: `spans_dropped + len(span_events)` equals the total number
-//! of events ever recorded.
+//! The ring holds [`crate::ring_capacity`] events (1024 by default;
+//! `obs::set_ring_capacity` / `MMR_OBS_RING` override it). Once full,
+//! every new event **overwrites the oldest surviving event** —
+//! aggregates keep counting forever, only the individual timeline is
+//! bounded. Each eviction increments the `obs.spans_dropped` counter, so
+//! a snapshot (or a Chrome trace exported from it) always states how
+//! much of the timeline was evicted: `spans_dropped + len(span_events)`
+//! equals the total number of events ever recorded.
 
 use serde::{Deserialize, Serialize};
 
@@ -25,10 +26,6 @@ use serde::{Deserialize, Serialize};
 use std::sync::{Mutex, OnceLock};
 #[cfg(feature = "enabled")]
 use std::time::Instant;
-
-/// Maximum number of individual events retained (oldest evicted first).
-#[cfg(feature = "enabled")]
-const RING_CAP: usize = 1024;
 
 /// Per-name running totals.
 #[cfg(feature = "enabled")]
@@ -50,19 +47,6 @@ struct Event {
     tid: u64,
 }
 
-/// A small stable id for the recording thread, assigned on first use.
-/// Purely for trace-event attribution (Chrome trace `tid` lanes); it is
-/// not the OS thread id.
-#[cfg(feature = "enabled")]
-fn current_tid() -> u64 {
-    use std::sync::atomic::{AtomicU64, Ordering};
-    static NEXT: AtomicU64 = AtomicU64::new(1);
-    thread_local! {
-        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
-    }
-    TID.with(|t| *t)
-}
-
 /// Cached handle onto the eviction counter; resolved once per process.
 #[cfg(feature = "enabled")]
 fn spans_dropped() -> &'static crate::Counter {
@@ -71,68 +55,51 @@ fn spans_dropped() -> &'static crate::Counter {
 }
 
 #[cfg(feature = "enabled")]
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Sink {
     aggregates: Vec<Aggregate>,
-    ring: Vec<Event>,
-    /// Index in `ring` the next event overwrites once the ring is full.
-    next: usize,
-    /// Total events ever pushed (so a snapshot can order the ring).
-    pushed: u64,
+    ring: crate::ring::Ring<Event>,
 }
 
 #[cfg(feature = "enabled")]
 fn sink() -> &'static Mutex<Sink> {
     static SINK: Mutex<Sink> = Mutex::new(Sink {
         aggregates: Vec::new(),
-        ring: Vec::new(),
-        next: 0,
-        pushed: 0,
+        ring: crate::ring::Ring::new(),
     });
     &SINK
 }
 
-/// Monotonic epoch shared by all spans: pinned on first use.
-#[cfg(feature = "enabled")]
-fn epoch() -> Instant {
-    static EPOCH: OnceLock<Instant> = OnceLock::new();
-    *EPOCH.get_or_init(Instant::now)
-}
-
 #[cfg(feature = "enabled")]
 fn record(name: &'static str, start_us: u64, dur_us: u64) {
-    let mut sink = sink()
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    match sink.aggregates.iter_mut().find(|a| a.name == name) {
-        Some(a) => {
-            a.count += 1;
-            a.total_us += dur_us;
-            a.max_us = a.max_us.max(dur_us);
-        }
-        None => sink.aggregates.push(Aggregate {
-            name,
-            count: 1,
-            total_us: dur_us,
-            max_us: dur_us,
-        }),
-    }
     let event = Event {
         name,
         start_us,
         dur_us,
-        tid: current_tid(),
+        tid: crate::current_tid(),
     };
-    if sink.ring.len() < RING_CAP {
-        sink.ring.push(event);
-    } else {
-        // Drop-oldest: the slot at `next` holds the oldest surviving event.
-        spans_dropped().inc();
-        let slot = sink.next;
-        sink.ring[slot] = event;
+    let dropped = {
+        let mut sink = sink()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match sink.aggregates.iter_mut().find(|a| a.name == name) {
+            Some(a) => {
+                a.count += 1;
+                a.total_us += dur_us;
+                a.max_us = a.max_us.max(dur_us);
+            }
+            None => sink.aggregates.push(Aggregate {
+                name,
+                count: 1,
+                total_us: dur_us,
+                max_us: dur_us,
+            }),
+        }
+        sink.ring.push(crate::ring_capacity(), event)
+    };
+    if dropped > 0 {
+        spans_dropped().add(dropped);
     }
-    sink.next = (sink.next + 1) % RING_CAP;
-    sink.pushed += 1;
 }
 
 /// Starts a timed span; the time from this call until the guard drops is
@@ -171,7 +138,7 @@ impl Drop for SpanGuard {
             let dur_us = self.start.elapsed().as_micros() as u64;
             let start_us = self
                 .start
-                .saturating_duration_since(epoch())
+                .saturating_duration_since(crate::epoch())
                 .as_micros() as u64;
             record(self.name, start_us, dur_us);
         }
@@ -235,23 +202,17 @@ pub(crate) fn snapshot() -> (Vec<SpanSnapshot>, Vec<SpanEventSnapshot>) {
             })
             .collect();
         spans.sort_by(|a, b| a.name.cmp(&b.name));
-        // Oldest-first: once the ring has wrapped, `next` points at the
-        // oldest surviving event.
-        let mut events = Vec::with_capacity(sink.ring.len());
-        let start = if sink.pushed > sink.ring.len() as u64 {
-            sink.next
-        } else {
-            0
-        };
-        for i in 0..sink.ring.len() {
-            let e = &sink.ring[(start + i) % sink.ring.len()];
-            events.push(SpanEventSnapshot {
+        let events = sink
+            .ring
+            .in_order()
+            .into_iter()
+            .map(|e| SpanEventSnapshot {
                 name: e.name.to_owned(),
                 start_us: e.start_us,
                 dur_us: e.dur_us,
                 tid: e.tid,
-            });
-        }
+            })
+            .collect();
         (spans, events)
     }
     #[cfg(not(feature = "enabled"))]
@@ -266,6 +227,7 @@ mod tests {
 
     #[test]
     fn span_records_aggregate_and_event() {
+        let _guard = crate::test_ring_lock();
         {
             let _g = span("span.test.basic");
             std::thread::sleep(std::time::Duration::from_millis(2));
@@ -292,13 +254,15 @@ mod tests {
 
     #[test]
     fn ring_is_bounded() {
-        for _ in 0..(RING_CAP + 50) {
+        let _guard = crate::test_ring_lock();
+        let cap = crate::ring_capacity();
+        for _ in 0..(cap + 50) {
             drop(span("span.test.flood"));
         }
         let (spans, events) = snapshot();
-        assert!(events.len() <= RING_CAP);
+        assert!(events.len() <= cap);
         let agg = spans.iter().find(|s| s.name == "span.test.flood").unwrap();
-        assert!(agg.count >= (RING_CAP + 50) as u64);
+        assert!(agg.count >= (cap + 50) as u64);
         // Oldest-first ordering: start times never decrease for one name
         // (other tests interleave, so only check our own floods).
         let floods: Vec<u64> = events
@@ -311,11 +275,13 @@ mod tests {
 
     #[test]
     fn ring_overflow_counts_dropped_spans() {
-        // Flooding RING_CAP + 50 events can keep at most RING_CAP of them,
+        // Flooding capacity + 50 events can keep at most capacity of them,
         // so at least 50 evictions must be accounted to obs.spans_dropped
         // (other tests in this process may evict more; never fewer).
+        let _guard = crate::test_ring_lock();
+        let cap = crate::ring_capacity();
         let before = spans_dropped().get();
-        for _ in 0..(RING_CAP + 50) {
+        for _ in 0..(cap + 50) {
             drop(span("span.test.drop_count"));
         }
         let after = spans_dropped().get();
@@ -329,15 +295,31 @@ mod tests {
     }
 
     #[test]
+    fn shrunk_ring_capacity_evicts_and_counts() {
+        let _guard = crate::test_ring_lock();
+        crate::set_recording(true);
+        crate::set_ring_capacity(8);
+        let before = spans_dropped().get();
+        for _ in 0..20 {
+            drop(span("span.test.shrunk"));
+        }
+        let (_, events) = snapshot();
+        crate::set_ring_capacity(0);
+        assert!(events.len() <= 8, "ring held {} events at cap 8", events.len());
+        assert!(spans_dropped().get() >= before + 12);
+    }
+
+    #[test]
     fn events_carry_a_stable_thread_id() {
+        let _guard = crate::test_ring_lock();
         drop(span("span.test.tid"));
         let (_, events) = snapshot();
-        let mine = current_tid();
+        let mine = crate::current_tid();
         assert!(events
             .iter()
             .any(|e| e.name == "span.test.tid" && e.tid == mine));
         // A different thread gets a different id.
-        let other = std::thread::spawn(current_tid).join().unwrap();
+        let other = std::thread::spawn(crate::current_tid).join().unwrap();
         assert_ne!(mine, other);
     }
 }

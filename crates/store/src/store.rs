@@ -238,7 +238,7 @@ impl Store {
                 slot.tick = tick;
                 let entry = slot.entry.clone();
                 drop(inner);
-                self.count_hit();
+                self.count_hit(&canon);
                 return Lookup::Hit(entry);
             }
             // A 128-bit collision: astronomically unlikely, handled
@@ -250,7 +250,7 @@ impl Store {
             if entry.canon == canon {
                 Store::admit(&mut inner, self.memory_budget, &self.stats, &hex, &entry);
                 drop(inner);
-                self.count_hit();
+                self.count_hit(&canon);
                 return Lookup::Hit(entry);
             }
         }
@@ -269,6 +269,8 @@ impl Store {
                     drop(inner);
                     self.stats.extends.fetch_add(1, Ordering::Relaxed);
                     telemetry::cache().extends.inc();
+                    let best = usable.iter().map(|p| p.chunks).max().unwrap_or(0);
+                    obs::flight::event("cache_extend").detail(&canon).n(best).emit();
                     return Lookup::Extend(usable);
                 }
             }
@@ -277,6 +279,7 @@ impl Store {
         drop(inner);
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
         telemetry::cache().misses.inc();
+        obs::flight::event("cache_miss").detail(&canon).emit();
         Lookup::Miss
     }
 
@@ -320,6 +323,8 @@ impl Store {
                 self.stats.errors.fetch_add(1, Ordering::Relaxed);
                 telemetry::cache().errors.inc();
                 obs::info!("cache: compaction failed ({e}); keeping the old segments");
+            } else {
+                obs::flight::event("cache_compacted").n(live.len() as u64).emit();
             }
         }
     }
@@ -353,9 +358,10 @@ impl Store {
         self.len() == 0
     }
 
-    fn count_hit(&self) {
+    fn count_hit(&self, canon: &str) {
         self.stats.hits.fetch_add(1, Ordering::Relaxed);
         telemetry::cache().hits.inc();
+        obs::flight::event("cache_hit").detail(canon).emit();
     }
 
     /// Admits an entry into the LRU, evicting least-recently-used slots

@@ -8,6 +8,7 @@
 //! mmreliab opsim    [--threads N] [--trials N] [--seed S] [--workers W]
 //! mmreliab litmus   [--trials N] [--seed S]
 //! mmreliab sweep    --param s|p|q [--trials N] [--seed S]
+//! mmreliab inspect  ARTIFACT [--diff OTHER]
 //! ```
 //!
 //! `--threads` is the *simulated* core count `n` of the model; `--workers`
@@ -34,6 +35,16 @@
 //! runs, and `--quiet` suppresses status lines (errors still print) and
 //! wins over `--progress`. Export failures exit with code 2 after the
 //! results have printed.
+//!
+//! `--flight FILE` mirrors the structured flight-event ring to FILE as
+//! CRC-framed `MMRE` lines; `--dossier-dir DIR` writes a crash dossier
+//! (last events + metrics snapshot + fault-ledger delta) into DIR on
+//! panic or degradation. Both follow the export contract: an unusable
+//! path degrades with a warning and exit code 2 after results print.
+//! `mmreliab inspect` renders a flight log (timeline, histogram,
+//! convergence trajectory; `--diff` compares two logs) or a crash
+//! dossier; checkpoint journals and cache directories are handled by the
+//! wider `experiments inspect`.
 
 use memmodel::MemoryModel;
 use mmreliab::analytic::general::{GeneralWindowLaws, Params};
@@ -58,6 +69,10 @@ struct Args {
     metrics: Option<std::path::PathBuf>,
     metrics_prom: bool,
     trace: Option<std::path::PathBuf>,
+    flight: Option<std::path::PathBuf>,
+    dossier_dir: Option<std::path::PathBuf>,
+    diff: Option<std::path::PathBuf>,
+    artifact: Option<std::path::PathBuf>,
     progress: bool,
     quiet: bool,
 }
@@ -79,6 +94,10 @@ fn parse_args() -> Result<Args, mmreliab::Error> {
         metrics: None,
         metrics_prom: false,
         trace: None,
+        flight: None,
+        dossier_dir: None,
+        diff: None,
+        artifact: None,
         progress: false,
         quiet: false,
     };
@@ -140,8 +159,17 @@ fn parse_args() -> Result<Args, mmreliab::Error> {
                 }
             }
             "--trace" => args.trace = Some(value()?.into()),
+            "--flight" => args.flight = Some(value()?.into()),
+            "--dossier-dir" => args.dossier_dir = Some(value()?.into()),
+            "--diff" => args.diff = Some(value()?.into()),
             "--progress" => args.progress = true,
             "--quiet" => args.quiet = true,
+            other if !other.starts_with("--")
+                && args.command == "inspect"
+                && args.artifact.is_none() =>
+            {
+                args.artifact = Some(other.into());
+            }
             other => return Err(invalid(format!("unknown flag {other}\n{}", usage()))),
         }
     }
@@ -153,7 +181,8 @@ fn usage() -> String {
         "usage: mmreliab <table1|survival|windows|trace|opsim|litmus|sweep> \
          [--model sc|tso|pso|wo] [--threads N] [--trials N] [--seed S] [--m M] [--param s|p|q] \
          [--workers W] [--lanes L] [--cache DIR] [--metrics FILE] [--metrics-format json|prom] \
-         [--trace FILE] [--progress] [--quiet]",
+         [--trace FILE] [--flight FILE] [--dossier-dir DIR] [--progress] [--quiet]\n       \
+         mmreliab inspect ARTIFACT [--diff OTHER]",
     )
 }
 
@@ -189,9 +218,35 @@ fn main() {
             }
         }
     }
+    // The flight recorder's durable outputs. An unusable path degrades to
+    // the in-memory ring only; the failure still exits with code 2 after
+    // the results print, mirroring the telemetry-export contract.
+    let mut flight_err = false;
+    if let Some(path) = &args.flight {
+        match obs::flight::mirror_to(path) {
+            Ok(()) => obs::info!("flight events mirrored to {}", path.display()),
+            Err(e) => {
+                eprintln!("warning: flight event log disabled: {} ({e})", path.display());
+                flight_err = true;
+            }
+        }
+    }
+    if let Some(dir) = &args.dossier_dir {
+        match obs::flight::set_dossier_dir(dir) {
+            Ok(()) => obs::info!("crash dossiers will be written to {}", dir.display()),
+            Err(e) => {
+                eprintln!("warning: crash dossiers disabled: {} ({e})", dir.display());
+                flight_err = true;
+            }
+        }
+    }
     let result = match args.command.as_str() {
         "table1" => {
             cmd_table1();
+            Ok(())
+        }
+        "inspect" => {
+            cmd_inspect(&args);
             Ok(())
         }
         "survival" => {
@@ -234,6 +289,101 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(2);
     }
+    if flight_err {
+        std::process::exit(2);
+    }
+}
+
+/// The `inspect` command: renders a flight event log (with an optional
+/// `--diff` against a second log), a crash dossier, or a dossier
+/// directory. Anything else — journals, cache directories — is the
+/// `experiments inspect` analyzer's wider beat.
+fn cmd_inspect(args: &Args) {
+    let fail = |msg: String| -> ! {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    };
+    let Some(path) = &args.artifact else {
+        fail(format!("inspect takes an artifact path\n{}", usage()));
+    };
+    let read = |path: &std::path::Path| -> Vec<u8> {
+        std::fs::read(path)
+            .unwrap_or_else(|e| fail(format!("cannot read {}: {e}", path.display())))
+    };
+    let parse_flight = |path: &std::path::Path, bytes: &[u8]| -> obs::flight::ParsedLog {
+        let parsed = obs::flight::parse_log(&String::from_utf8_lossy(bytes));
+        if parsed.torn {
+            println!(
+                "note: torn tail truncated after {} valid events ({})",
+                parsed.events.len(),
+                path.display()
+            );
+        }
+        if parsed.skipped > 0 {
+            println!(
+                "note: {} well-framed line(s) of an unknown version skipped",
+                parsed.skipped
+            );
+        }
+        parsed
+    };
+    let render_dossier_bytes = |path: &std::path::Path, bytes: &[u8]| {
+        let text = String::from_utf8_lossy(bytes);
+        match serde_json::from_str::<obs::flight::Dossier>(&text) {
+            Ok(d) => print!("{}", obs::flight::render_dossier(&d)),
+            Err(e) => fail(format!("{}: not a crash dossier: {e:?}", path.display())),
+        }
+    };
+    if path.is_dir() {
+        let mut names: Vec<String> = std::fs::read_dir(path)
+            .unwrap_or_else(|e| fail(format!("cannot read {}: {e}", path.display())))
+            .filter_map(Result::ok)
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("dossier-") && n.ends_with(".json"))
+            .collect();
+        names.sort();
+        if names.is_empty() {
+            fail(format!(
+                "{}: no dossiers here; use `experiments inspect` for journals and cache directories",
+                path.display()
+            ));
+        }
+        println!("dossier directory: {} dossier(s)", names.len());
+        for name in names {
+            println!("--- {name}");
+            let file = path.join(&name);
+            render_dossier_bytes(&file, &read(&file));
+        }
+        return;
+    }
+    let bytes = read(path);
+    if bytes.starts_with(b"MMRE") {
+        let parsed = parse_flight(path, &bytes);
+        print!("{}", obs::flight::render_timeline(&parsed.events));
+        print!("{}", obs::flight::render_histogram(&parsed.events));
+        print!("{}", obs::flight::render_convergence(&parsed.events));
+        if let Some(other) = &args.diff {
+            let other_bytes = read(other);
+            if !other_bytes.starts_with(b"MMRE") {
+                fail(format!("{}: not a flight event log", other.display()));
+            }
+            let other_parsed = parse_flight(other, &other_bytes);
+            println!("diff vs {}:", other.display());
+            print!(
+                "{}",
+                obs::flight::diff_logs(&parsed.events, &other_parsed.events).render()
+            );
+        }
+        return;
+    }
+    if bytes.starts_with(b"{") {
+        render_dossier_bytes(path, &bytes);
+        return;
+    }
+    fail(format!(
+        "{}: not a flight log or dossier; use `experiments inspect` for journals and cache directories",
+        path.display()
+    ));
 }
 
 /// Writes the `--trace` and `--metrics` exports, if requested.

@@ -225,3 +225,104 @@ grep -vE '"(elapsed_secs|threads|host_cores|trials_per_sec)":' "$FLIGHT_DIR/clea
 grep -vE '"(elapsed_secs|threads|host_cores|trials_per_sec)":' "$FLIGHT_DIR/degraded.json" > "$FLIGHT_DIR/degraded.stripped"
 diff "$FLIGHT_DIR/clean.stripped" "$FLIGHT_DIR/degraded.stripped"
 rm -rf "$FLIGHT_DIR"
+
+# Live-telemetry smoke: a chaos run with --serve must expose a lint-clean
+# Prometheus exposition and stream at least one CRC-framed MMRE event
+# mid-run, and serving must be invisible in the results — the final JSON
+# is bit-identical to an unserved twin. An unusable --serve address
+# degrades to a warning plus exit code 2 with results intact.
+SERVE_DIR="$(mktemp -d)"
+cargo run --release --offline -p mmr-bench --bin experiments -- \
+  --quick --seed 20110606 --threads 2 --json "$SERVE_DIR/unserved.json" \
+  --chaos 20110606:mixed lem42 thm62
+cargo run --release --offline -p mmr-bench --bin experiments -- \
+  --quick --seed 20110606 --threads 2 --json "$SERVE_DIR/served.json" \
+  --chaos 20110606:mixed --serve 127.0.0.1:0 lem42 thm62 \
+  2> "$SERVE_DIR/served.log" &
+SERVE_PID=$!
+SERVE_PORT=""
+for _ in $(seq 1 100); do
+  SERVE_PORT="$(sed -n 's/^serving telemetry on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$SERVE_DIR/served.log")"
+  [ -n "$SERVE_PORT" ] && break
+  sleep 0.1
+done
+test -n "$SERVE_PORT"
+# /events first (it replays the ring, then tails live until the run ends),
+# then /metrics mid-run. ci.sh runs under sh, so /dev/tcp needs bash.
+bash -c "exec 3<>/dev/tcp/127.0.0.1/$SERVE_PORT; printf 'GET /events HTTP/1.0\r\n\r\n' >&3; cat <&3" \
+  > "$SERVE_DIR/events.scrape" &
+EVENTS_PID=$!
+bash -c "exec 3<>/dev/tcp/127.0.0.1/$SERVE_PORT; printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3; cat <&3" \
+  > "$SERVE_DIR/metrics.scrape"
+wait "$EVENTS_PID"
+wait "$SERVE_PID"
+# The live exposition carries build identity and lints clean: every
+# sample under a TYPE declaration, histograms monotone.
+grep -q '^mmr_build_info{version=' "$SERVE_DIR/metrics.scrape"
+python3 - "$SERVE_DIR/metrics.scrape" <<'EOF2'
+import sys
+lines = open(sys.argv[1]).read().split("\n")
+body = lines[lines.index("") + 1 :] if "" in lines else lines  # skip HTTP headers
+types = {}
+samples = 0
+for line in body:
+    line = line.rstrip("\r")
+    if line.startswith("# TYPE "):
+        _, _, name, kind = line.split(" ")
+        types[name] = kind
+        continue
+    if not line or line.startswith("#"):
+        continue
+    name = line.split(" ")[0].split("{")[0]
+    base = name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            base = name[: -len(suffix)]
+    assert base in types, f"sample {name} has no TYPE declaration"
+    samples += 1
+assert samples > 0, "the live exposition was empty"
+print(f"live exposition ok: {samples} samples, {len(types)} TYPEd series")
+EOF2
+# The event stream carried at least one framed event, CRC-checked.
+grep -c '^MMRE 1 ' "$SERVE_DIR/events.scrape"
+test "$(grep -c '^MMRE 1 ' "$SERVE_DIR/events.scrape")" -ge 1
+python3 - "$SERVE_DIR/unserved.json" "$SERVE_DIR/served.json" <<'EOF2'
+import json, sys
+def strip(node):
+    if isinstance(node, dict):
+        for key in ("elapsed_secs", "threads", "host_cores", "trials_per_sec", "fault_ledger"):
+            node.pop(key, None)
+        for value in node.values():
+            strip(value)
+    elif isinstance(node, list):
+        for value in node:
+            strip(value)
+unserved, served = (json.load(open(p)) for p in sys.argv[1:3])
+strip(unserved); strip(served)
+assert unserved == served, "serving telemetry changed the results"
+print("serve smoke ok: served run is bit-identical")
+EOF2
+SERVE_RC=0
+cargo run --release --offline -p mmr-bench --bin experiments -- \
+  --quick --seed 20110606 --threads 2 --json "$SERVE_DIR/degraded.json" \
+  --chaos 20110606:mixed --serve not-an-address lem42 thm62 \
+  2> "$SERVE_DIR/degraded.log" || SERVE_RC=$?
+test "$SERVE_RC" -eq 2
+grep -q "telemetry server disabled" "$SERVE_DIR/degraded.log"
+python3 - "$SERVE_DIR/unserved.json" "$SERVE_DIR/degraded.json" <<'EOF2'
+import json, sys
+def strip(node):
+    if isinstance(node, dict):
+        for key in ("elapsed_secs", "threads", "host_cores", "trials_per_sec", "fault_ledger"):
+            node.pop(key, None)
+        for value in node.values():
+            strip(value)
+    elif isinstance(node, list):
+        for value in node:
+            strip(value)
+unserved, degraded = (json.load(open(p)) for p in sys.argv[1:3])
+strip(unserved); strip(degraded)
+assert unserved == degraded, "the degraded-serve run lost results"
+print("serve degradation ok: results intact, exit 2")
+EOF2
+rm -rf "$SERVE_DIR"

@@ -26,6 +26,11 @@
 //! noise-aware perf-regression gate against the checked-in trajectory and
 //! exits non-zero on a regression.
 //!
+//! `--serve ADDR` exposes live telemetry over HTTP/1.0 (`GET /metrics`,
+//! `/events`, `/status`) for the run's duration; clients attaching or
+//! detaching never change a seeded result, and an unusable ADDR follows
+//! the shared degradation contract (warn, results intact, exit 2).
+//!
 //! `--chaos SEED[:PROFILE]` installs a deterministic fault plan for the
 //! whole run (see `montecarlo::fault`): seeded chunk panics, worker
 //! stalls, scratch corruption, torn checkpoint writes, and exporter I/O
@@ -38,7 +43,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: experiments [--quick] [--trials N] [--seed S] [--threads T] [--out FILE] [--json FILE] [--checkpoint FILE] [--cache DIR] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--flight FILE] [--dossier-dir DIR] [--chaos SEED[:PROFILE]] [--progress] [--quiet] [--list] [ids...]\n       experiments bench [--trials N] [--seed S] [--threads T] [--lanes L] [--out FILE (default BENCH_e2e.json)] [--baseline FILE] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--quiet]\n       experiments inspect ARTIFACT [--diff OTHER]\n\n--threads bounds worker parallelism only; results are identical for any value\n--lanes sets the batch width of the joined_lanes bench pipelines (1..=64, default 8)\n--cache enables the content-addressed result store in DIR: repeated runs are served\n        bit-identically from cache, grown runs resume from cached chunk prefixes\n        (an unusable DIR degrades to uncached with a warning; bench ignores --cache,\n        its cached pipelines manage their own stores)\n--flight mirrors the structured flight-event ring to FILE as CRC-framed MMRE lines\n--dossier-dir writes a crash dossier (last events + metrics + fault delta) into DIR\n        on panic, degradation, or deadline truncation\n        (an unusable --flight/--dossier-dir path degrades with a warning and exit code 2)\n--metrics/--metrics-format/--trace/--flight/--dossier-dir/--progress/--quiet are observational only and never change results\n--chaos injects a seeded, reproducible fault schedule; profiles: mixed (default) | panics | stalls | corrupt | torn | export | hard\nbench --baseline compares throughput against a prior BENCH_e2e.json and fails on regression\ninspect auto-detects ARTIFACT: flight log (MMRE), crash dossier (JSON), checkpoint\n        journal (MMRJ), cache or dossier directory; --diff compares two flight logs\nexit codes: 0 success, 1 mismatch, 2 usage/IO/bad-checkpoint error, 3 degraded run (partial results)";
+const USAGE: &str = "usage: experiments [--quick] [--trials N] [--seed S] [--threads T] [--out FILE] [--json FILE] [--checkpoint FILE] [--cache DIR] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--flight FILE] [--dossier-dir DIR] [--serve ADDR] [--chaos SEED[:PROFILE]] [--progress] [--quiet] [--list] [ids...]\n       experiments bench [--trials N] [--seed S] [--threads T] [--lanes L] [--out FILE (default BENCH_e2e.json)] [--baseline FILE] [--metrics FILE] [--metrics-format json|prom] [--trace FILE] [--quiet]\n       experiments inspect ARTIFACT [--diff OTHER]\n\n--threads bounds worker parallelism only; results are identical for any value\n--lanes sets the batch width of the joined_lanes bench pipelines (1..=64, default 8)\n--cache enables the content-addressed result store in DIR: repeated runs are served\n        bit-identically from cache, grown runs resume from cached chunk prefixes\n        (an unusable DIR degrades to uncached with a warning; bench ignores --cache,\n        its cached pipelines manage their own stores)\n--flight mirrors the structured flight-event ring to FILE as CRC-framed MMRE lines\n--dossier-dir writes a crash dossier (last events + metrics + fault delta) into DIR\n        on panic, degradation, or deadline truncation\n--serve ADDR exposes live telemetry over HTTP/1.0 for the run's duration:\n        GET /metrics (Prometheus exposition), /events (MMRE event stream),\n        /status (run state + convergence trajectory + fault ledger)\n        (an unusable artifact path or address degrades with a warning and exit code 2)\n--metrics/--metrics-format/--trace/--flight/--dossier-dir/--serve/--progress/--quiet are observational only and never change results\n--chaos injects a seeded, reproducible fault schedule; profiles: mixed (default) | panics | stalls | corrupt | torn | export | hard\nbench --baseline compares throughput against a prior BENCH_e2e.json and fails on regression\ninspect auto-detects ARTIFACT: flight log (MMRE), crash dossier (JSON), checkpoint\n        journal (MMRJ), cache or dossier directory; --diff compares two flight logs\nexit codes: 0 success, 1 mismatch, 2 usage/IO/bad-checkpoint error, 3 degraded run (partial results)";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum MetricsFormat {
@@ -62,6 +67,7 @@ struct Args {
     dossier_dir: Option<PathBuf>,
     diff_path: Option<PathBuf>,
     baseline_path: Option<PathBuf>,
+    serve: Option<String>,
     chaos: Option<String>,
     progress: bool,
     quiet: bool,
@@ -86,6 +92,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
         dossier_dir: None,
         diff_path: None,
         baseline_path: None,
+        serve: None,
         chaos: None,
         progress: false,
         quiet: false,
@@ -168,6 +175,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--baseline" => {
                 parsed.baseline_path = Some(args.next().ok_or("--baseline needs a path")?.into());
+            }
+            "--serve" => {
+                parsed.serve = Some(args.next().ok_or("--serve needs an address")?);
             }
             "--chaos" => {
                 let v = args.next().ok_or("--chaos needs SEED[:PROFILE]")?;
@@ -277,35 +287,55 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    // The flight recorder's durable outputs. An unusable path degrades to
-    // the in-memory ring only — the warning is reported and forces exit
-    // code 2 after the results land, same contract as `--metrics`.
-    let mut flight_err: Option<mmr_bench::Error> = None;
+    obs::set_build_info(obs::BuildInfo::detect(
+        env!("CARGO_PKG_VERSION"),
+        montecarlo::CHUNK_WIDTH,
+    ));
+    obs::serve::set_status_ext(Box::new(|| {
+        let fields = montecarlo::fault::ledger().snapshot().named_fields();
+        let faults = fields
+            .iter()
+            .map(|&(name, count)| {
+                (
+                    name.to_string(),
+                    serde_json::Value::Number(serde_json::Number::U(count)),
+                )
+            })
+            .collect();
+        vec![("faults".to_string(), serde_json::Value::Object(faults))]
+    }));
+
+    // Every optional artifact — flight mirror, dossiers, cache, journal,
+    // telemetry server, exports — shares one degradation contract via the
+    // ledger: warn, run to completion with results intact, exit 2.
+    let mut artifacts = obs::degrade::Artifacts::new();
     if let Some(path) = &args.flight_path {
-        match obs::flight::mirror_to(path) {
-            Ok(()) => obs::info!("flight events mirrored to {}", path.display()),
-            Err(source) => {
-                let e = mmr_bench::Error::Io {
-                    path: path.clone(),
-                    source,
-                };
-                eprintln!("warning: flight event log disabled: {e}");
-                flight_err = Some(e);
-            }
+        let mirrored = obs::flight::mirror_to(path).map_err(|source| mmr_bench::Error::Io {
+            path: path.clone(),
+            source,
+        });
+        if artifacts.install("flight event log", mirrored).is_some() {
+            obs::info!("flight events mirrored to {}", path.display());
         }
     }
     if let Some(dir) = &args.dossier_dir {
-        match obs::flight::set_dossier_dir(dir) {
-            Ok(()) => obs::info!("crash dossiers will be written to {}", dir.display()),
-            Err(source) => {
-                let e = mmr_bench::Error::Io {
-                    path: dir.clone(),
-                    source,
-                };
-                eprintln!("warning: crash dossiers disabled: {e}");
-                flight_err = flight_err.or(Some(e));
-            }
+        let set = obs::flight::set_dossier_dir(dir).map_err(|source| mmr_bench::Error::Io {
+            path: dir.clone(),
+            source,
+        });
+        if artifacts.install("crash dossiers", set).is_some() {
+            obs::info!("crash dossiers will be written to {}", dir.display());
         }
+    }
+    // Held for the run's duration; dropping it stops the accept loop.
+    let server = args
+        .serve
+        .as_deref()
+        .and_then(|addr| artifacts.install("telemetry server", obs::serve::serve(addr)));
+    if let Some(server) = &server {
+        // Unconditional (not obs::info!): scripts binding port 0 discover
+        // the chosen port from this line.
+        eprintln!("serving telemetry on {}", server.addr());
     }
 
     if let Some(spec) = &args.chaos {
@@ -330,10 +360,10 @@ fn main() -> ExitCode {
             obs::info!("bench measures uncached kernels; --cache ignored");
         }
         return match run_bench(&args) {
-            // Results landed; an unusable flight/dossier path still has
-            // to surface in the exit code (I/O outranks a regression,
-            // same precedence as the experiments path).
-            Ok(_) if flight_err.is_some() => ExitCode::from(2),
+            // Results landed; an unusable flight/dossier path or serve
+            // address still has to surface in the exit code (I/O outranks
+            // a regression, same precedence as the experiments path).
+            Ok(_) if artifacts.is_degraded() => ExitCode::from(obs::degrade::EXIT_CODE),
             Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -344,25 +374,18 @@ fn main() -> ExitCode {
 
     // The content-addressed result store: repeated and grown requests are
     // served (or resumed) from DIR. An unusable directory degrades to an
-    // uncached run — the warning is reported and forces exit code 2 after
-    // the results land, same contract as `--metrics`/`--checkpoint` on an
-    // unwritable path.
-    let mut cache_err: Option<mmr_bench::Error> = None;
+    // uncached run, same ledger contract as every artifact above.
     if let Some(dir) = &args.cache_path {
-        match store::Store::open(dir) {
-            Ok(s) => {
-                obs::info!("result cache at {}", dir.display());
-                store::install(std::sync::Arc::new(s));
-            }
-            Err(store::StoreError::Io { path, source }) => {
-                let e = mmr_bench::Error::Io { path, source };
-                eprintln!("warning: result cache disabled: {e}");
-                cache_err = Some(e);
-            }
+        let opened = store::Store::open(dir).map_err(|store::StoreError::Io { path, source }| {
+            mmr_bench::Error::Io { path, source }
+        });
+        if let Some(s) = artifacts.install("result cache", opened) {
+            obs::info!("result cache at {}", dir.display());
+            store::install(std::sync::Arc::new(s));
         }
     }
 
-    match run(&args, cache_err.or(flight_err)) {
+    match run(&args, &mut artifacts) {
         Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
@@ -456,24 +479,24 @@ fn run_bench(args: &Args) -> Result<ExitCode, mmr_bench::Error> {
     })
 }
 
-fn run(args: &Args, cache_err: Option<mmr_bench::Error>) -> Result<ExitCode, mmr_bench::Error> {
+fn run(
+    args: &Args,
+    artifacts: &mut obs::degrade::Artifacts,
+) -> Result<ExitCode, mmr_bench::Error> {
     let registry = registry();
     let selected = mmr_bench::select(&registry, &args.ids)?;
 
     // Resume from the append-only checkpoint journal, if asked for. A
     // corrupt (non-torn) journal is a hard error before any work starts;
-    // an unwritable path downgrades to an un-checkpointed run, but the
-    // failure is still reported and forces exit code 2 after the results
-    // land — same contract as `--metrics` on an unwritable path.
+    // an unwritable path downgrades to an un-checkpointed run via the
+    // shared degradation ledger.
     let mut journal: Option<journal::Journal> = None;
-    let mut journal_err: Option<mmr_bench::Error> = None;
     if let Some(path) = &args.checkpoint_path {
         match journal::Journal::open(path, &args.ctx) {
             Ok(j) => journal = Some(j),
             Err(e @ mmr_bench::Error::BadCheckpoint { .. }) => return Err(e),
             Err(e) => {
-                eprintln!("warning: checkpointing disabled: {e}");
-                journal_err = Some(e);
+                artifacts.install("checkpointing", Err::<(), _>(e));
             }
         }
     }
@@ -494,9 +517,7 @@ fn run(args: &Args, cache_err: Option<mmr_bench::Error>) -> Result<ExitCode, mmr
         let result = run_one_isolated(e, &args.ctx);
         let mut append_failed = false;
         if let Some(j) = journal.as_mut() {
-            if let Err(e) = j.append(&result) {
-                eprintln!("warning: checkpointing disabled: {e}");
-                journal_err = Some(e);
+            if artifacts.install("checkpointing", j.append(&result)).is_none() {
                 append_failed = true;
             }
         }
@@ -561,27 +582,26 @@ fn run(args: &Args, cache_err: Option<mmr_bench::Error>) -> Result<ExitCode, mmr
         None => {}
     }
     if let Some(path) = &args.trace_path {
-        emit_trace(path)?;
+        artifacts.install("span trace export", emit_trace(path));
     }
     if let Some(path) = &args.metrics_path {
-        emit_metrics(path, args.metrics_format)?;
+        artifacts.install("metrics export", emit_metrics(path, args.metrics_format));
     }
 
     let reproduced: usize = ordered.iter().map(|r| r.reproduced).sum();
     let mismatched: usize = ordered.iter().map(|r| r.mismatched).sum();
     let degraded: usize = ordered.iter().filter(|r| r.degraded).count();
     obs::info!("\n{reproduced} checks REPRODUCED, {mismatched} MISMATCH, {degraded} DEGRADED");
-    // Exit-code precedence: I/O failure (2) > degraded (3) > mismatch (1).
-    // A degraded run's verdicts are partial, so flagging the degradation
-    // outranks reporting a mismatch computed from partial estimates.
-    if let Some(e) = journal_err.or(cache_err) {
-        return Err(e);
-    }
-    Ok(if degraded > 0 {
-        ExitCode::from(3)
+    // Exit-code precedence: degraded artifact (2) > degraded run (3) >
+    // mismatch (1). A degraded run's verdicts are partial, so flagging
+    // the degradation outranks reporting a mismatch computed from partial
+    // estimates; a missing artifact outranks both.
+    let base = if degraded > 0 {
+        3
     } else if mismatched > 0 {
-        ExitCode::FAILURE
+        1
     } else {
-        ExitCode::SUCCESS
-    })
+        0
+    };
+    Ok(ExitCode::from(artifacts.exit_code(base)))
 }

@@ -97,6 +97,9 @@ fn inspect_flight(path: &Path, bytes: &[u8], diff: Option<&Path>) -> Result<Stri
         out.push_str(&other_notes);
         let _ = writeln!(out, "diff vs {}:", other.display());
         out.push_str(&obs::flight::diff_logs(&parsed.events, &other_parsed.events).render());
+        out.push_str(
+            &obs::flight::diff_trajectories(&parsed.events, &other_parsed.events).render(),
+        );
     }
     Ok(out)
 }
@@ -342,6 +345,42 @@ mod tests {
         let report = inspect(&a, Some(&b)).unwrap();
         assert!(report.contains("payload divergence: 0"), "{report}");
         assert!(report.contains("incident events (informational): 0 vs 1"), "{report}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn flight_diff_reports_first_diverging_wave() {
+        let dir = tmp_dir("traj");
+        let a = dir.join("a.flight");
+        let b = dir.join("b.flight");
+        let short = [
+            flight_line(0, "run_start", None),
+            flight_line(1, "wave_decided", Some("continue")),
+            flight_line(2, "wave_decided", Some("converged")),
+            flight_line(3, "run_end", Some("ok")),
+        ]
+        .concat();
+        std::fs::write(&a, &short).unwrap();
+        let long = [
+            flight_line(0, "run_start", None),
+            flight_line(1, "wave_decided", Some("continue")),
+            flight_line(2, "wave_decided", Some("continue")),
+            flight_line(3, "wave_decided", Some("converged")),
+            flight_line(4, "run_end", Some("ok")),
+        ]
+        .concat();
+        std::fs::write(&b, &long).unwrap();
+
+        let same = inspect(&a, Some(&a)).unwrap();
+        assert!(
+            same.contains("convergence trajectories: identical (2 waves)"),
+            "{same}"
+        );
+        let report = inspect(&a, Some(&b)).unwrap();
+        assert!(
+            report.contains("convergence trajectories: first divergence at wave 2 (2 vs 3 waves)"),
+            "{report}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -210,6 +210,13 @@ pub struct BenchReport {
     /// batch with the flight switch off. `None` in reports that predate
     /// the recorder (the field deserializes as absent there).
     pub flight_overhead: Option<Vec<TelemetryOverhead>>,
+    /// Live-serving cost of the pool-dispatched pipeline, per model: the
+    /// `joined_mt` batch with a bound telemetry server and one attached
+    /// `/events` streaming client, divided by the unserved `joined_mt`.
+    /// Checksum equality between the two proves serving is out-of-band.
+    /// `None` in reports that predate the server, or when the bench
+    /// environment cannot bind a loopback socket.
+    pub serve_overhead: Option<Vec<TelemetryOverhead>>,
     /// Telemetry snapshot taken after all pipelines ran: per-stage span
     /// timings, runner/pool counters, and per-model trial counts.
     pub telemetry: obs::Snapshot,
@@ -352,6 +359,21 @@ pub fn run(trials: u64, seed: u64, threads: usize, lanes: usize) -> BenchReport 
     let mut speedups = Vec::new();
     let mut telemetry_overhead = Vec::new();
     let mut flight_overhead = Vec::new();
+    let mut serve_overhead = Vec::new();
+    // A live telemetry endpoint with one `/events` streaming client, held
+    // across the per-model loop so `joined_mt_serve` prices the broadcast
+    // bus with a real subscriber draining over TCP. A bind failure
+    // (locked-down environment) skips the measurement, not the bench.
+    let serve_server = obs::serve::serve("127.0.0.1:0").ok();
+    let serve_client = serve_server.as_ref().and_then(|server| {
+        use std::io::{Read as _, Write as _};
+        let mut stream = std::net::TcpStream::connect(server.addr()).ok()?;
+        stream.write_all(b"GET /events HTTP/1.0\r\n\r\n").ok()?;
+        Some(std::thread::spawn(move || {
+            let mut sink = [0u8; 4096];
+            while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+        }))
+    });
     for model in MemoryModel::NAMED {
         let rm = ReliabilityModel::new(model, N).with_filler_len(M);
         let short = model.short_name();
@@ -455,6 +477,21 @@ pub fn run(trials: u64, seed: u64, threads: usize, lanes: usize) -> BenchReport 
             model: short.to_owned(),
             throughput_ratio: mt.trials_per_sec / mt_noflight.trials_per_sec,
         });
+        // The same batch once more while the telemetry server streams
+        // events to its live client. Checksum equality proves an attached
+        // client never touches a result; the ratio is served/unserved
+        // throughput. Stays out of `pipelines` like the flight pair.
+        if serve_server.is_some() {
+            let mt_serve = measure_batch("joined_mt_serve", short, trials, mt_batch);
+            assert_eq!(
+                mt.checksum, mt_serve.checksum,
+                "{short}: a live telemetry client changed the joined_mt outcome fold"
+            );
+            serve_overhead.push(TelemetryOverhead {
+                model: short.to_owned(),
+                throughput_ratio: mt_serve.trials_per_sec / mt.trials_per_sec,
+            });
+        }
         pipelines.push(mt);
         pipelines.push(mt_notel);
 
@@ -471,6 +508,16 @@ pub fn run(trials: u64, seed: u64, threads: usize, lanes: usize) -> BenchReport 
             let _span = obs::span("bench.joined_lanes");
             measure_batch("joined_lanes", short, trials, lanes_batch)
         });
+    }
+
+    // Shut the endpoint down before the cached sweep: dropping the server
+    // stops the accept loop and ends the client's stream, so the reader
+    // thread joins promptly and the warm-replay pipeline (billions of
+    // trials/sec) is not measured with a bus subscriber attached.
+    let served = serve_server.is_some();
+    drop(serve_server);
+    if let Some(reader) = serve_client {
+        let _ = reader.join();
     }
 
     // The content-addressed result cache priced on the full 16-point
@@ -567,6 +614,7 @@ pub fn run(trials: u64, seed: u64, threads: usize, lanes: usize) -> BenchReport 
         cache_speedup: Some(cache_speedup),
         telemetry_overhead,
         flight_overhead: Some(flight_overhead),
+        serve_overhead: served.then_some(serve_overhead),
         telemetry,
         history: vec![entry],
     }
@@ -609,6 +657,9 @@ impl BenchReport {
         for t in self.flight_overhead.as_deref().unwrap_or(&[]) {
             let _ = writeln!(out, "flight on/off {:<4} {:.3}x", t.model, t.throughput_ratio);
         }
+        for t in self.serve_overhead.as_deref().unwrap_or(&[]) {
+            let _ = writeln!(out, "serve on/off {:<4} {:.3}x", t.model, t.throughput_ratio);
+        }
         out
     }
 }
@@ -632,6 +683,10 @@ mod tests {
         assert_eq!(flight.len(), MemoryModel::NAMED.len());
         assert!(flight.iter().all(|t| t.throughput_ratio > 0.0));
         assert!(report.summary().contains("flight on/off"));
+        let serve = report.serve_overhead.as_deref().expect("serve overhead measured");
+        assert_eq!(serve.len(), MemoryModel::NAMED.len());
+        assert!(serve.iter().all(|t| t.throughput_ratio > 0.0));
+        assert!(report.summary().contains("serve on/off"));
         assert!(report.pipelines.iter().all(|p| p.trials_per_sec > 0.0));
         assert_eq!(report.threads, 2);
         assert_eq!(report.lanes, Some(8));

@@ -1419,11 +1419,19 @@ fn wave_stop<A: crate::EstimatorStats>(target: f64) -> impl Fn(&A) -> bool {
         let rse = crate::EstimatorStats::rse(acc);
         let converged = rse <= target;
         obs::progress::set_live_rse(rse);
+        let n = crate::EstimatorStats::count(acc);
         obs::flight::event("wave_decided")
-            .n(crate::EstimatorStats::count(acc))
+            .n(n)
             .value(rse)
             .detail(if converged { "converged" } else { "continue" })
             .emit();
+        // Wave-boundary frame for live subscribers (`--serve` clients):
+        // gated on attached queues so an unserved run publishes nothing,
+        // and skipped by the heartbeat printer (which renders only
+        // throttled `heartbeat` frames).
+        if obs::bus::queue_subscribers() > 0 {
+            obs::bus::publish_frame(obs::bus::Frame::collect("wave", "trials", n, 0, 0.0));
+        }
         converged
     }
 }

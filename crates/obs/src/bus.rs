@@ -1,0 +1,448 @@
+//! Process-global broadcast bus: the single fan-out every telemetry
+//! consumer subscribes to.
+//!
+//! Producers publish two message kinds: every [`FlightEvent`] the flight
+//! recorder emits, and periodic [`Frame`] snapshots (progress, live RSE,
+//! cache hit rate, counter deltas) built at the heartbeat throttle and at
+//! sequential-stopping wave boundaries. Consumers come in two classes:
+//!
+//! * **Sinks** — synchronous in-process callbacks invoked on the
+//!   publishing thread, lossless and ordered. The `--flight` disk mirror
+//!   and the `--progress` stderr heartbeat are sinks, so there is exactly
+//!   one event path from the recorder to every consumer.
+//! * **Queues** — bounded per-subscriber buffers with drop-oldest
+//!   semantics, drained by their own thread (TCP clients, tests). A slow
+//!   or dead queue consumer can never block a worker: publishing into a
+//!   full queue evicts the oldest message and bumps `obs.bus.dropped`.
+//!
+//! Like everything in `obs`, the bus is strictly out-of-band: publishing
+//! never feeds back into seeded computation, and a bus with no
+//! subscribers costs one relaxed atomic load per publish.
+
+use crate::flight::FlightEvent;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// One message on the bus.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BusMessage {
+    /// A flight-recorder event, republished verbatim.
+    Event(FlightEvent),
+    /// A periodic progress/metrics frame.
+    Frame(Frame),
+}
+
+/// A periodic snapshot of run progress, built at most once per heartbeat
+/// interval (`kind: "heartbeat"`) and at each sequential-stopping wave
+/// boundary (`kind: "wave"`). `total` and `rate` are 0 when unknown (wave
+/// frames report only the merged trial count).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Microseconds since the shared telemetry epoch.
+    pub t_us: u64,
+    /// Why the frame was emitted: `heartbeat` or `wave`.
+    pub kind: String,
+    /// The work unit being counted (e.g. `trials`).
+    pub label: String,
+    /// Work units completed so far.
+    pub done: u64,
+    /// Requested total work units (0 when unknown).
+    pub total: u64,
+    /// Work units per second over the run so far (0 when unknown).
+    pub rate: f64,
+    /// Live RSE published by the most recent stop-predicate wave, if any.
+    pub rse: Option<f64>,
+    /// Result-cache hits so far.
+    pub cache_hits: u64,
+    /// Result-cache lookups so far (hits + misses + extends).
+    pub cache_lookups: u64,
+    /// Per-name counter deltas since the previous published frame — the
+    /// "what changed" view a live dashboard tails.
+    pub counters_delta: Vec<crate::CounterSnapshot>,
+}
+
+/// Counter values at the previous [`Frame::collect`], for delta frames.
+static LAST_FRAME_COUNTERS: Mutex<Vec<crate::CounterSnapshot>> = Mutex::new(Vec::new());
+
+impl Frame {
+    /// Builds a frame from the current telemetry state: live RSE, cache
+    /// counters, and the counter delta since the previous collected
+    /// frame. Called at most a few times per second (heartbeat throttle
+    /// plus geometric wave boundaries), never per trial.
+    #[must_use]
+    pub fn collect(kind: &str, label: &str, done: u64, total: u64, rate: f64) -> Frame {
+        let snap = crate::global().snapshot();
+        let hits = snap.counter("mc.cache.hits").unwrap_or(0);
+        let lookups = hits
+            + snap.counter("mc.cache.misses").unwrap_or(0)
+            + snap.counter("mc.cache.extends").unwrap_or(0);
+        let counters_delta = {
+            let mut last = LAST_FRAME_COUNTERS
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let delta: Vec<crate::CounterSnapshot> = snap
+                .counters
+                .iter()
+                .filter_map(|c| {
+                    let before = last
+                        .iter()
+                        .find(|p| p.name == c.name)
+                        .map_or(0, |p| p.value);
+                    let d = c.value.saturating_sub(before);
+                    (d > 0).then(|| crate::CounterSnapshot {
+                        name: c.name.clone(),
+                        value: d,
+                    })
+                })
+                .collect();
+            *last = snap.counters;
+            delta
+        };
+        Frame {
+            t_us: crate::epoch().elapsed().as_micros() as u64,
+            kind: kind.to_owned(),
+            label: label.to_owned(),
+            done,
+            total,
+            rate,
+            rse: crate::progress::live_rse(),
+            cache_hits: hits,
+            cache_lookups: lookups,
+            counters_delta,
+        }
+    }
+}
+
+/// A bounded drop-oldest buffer shared between the bus (producer side)
+/// and one [`Subscription`] (consumer side).
+struct SubQueue {
+    q: Mutex<VecDeque<BusMessage>>,
+    cv: Condvar,
+    cap: usize,
+}
+
+enum Subscriber {
+    Queue {
+        id: u64,
+        queue: Arc<SubQueue>,
+    },
+    Sink {
+        id: u64,
+        f: Box<dyn FnMut(&BusMessage) + Send>,
+    },
+}
+
+impl Subscriber {
+    fn id(&self) -> u64 {
+        match self {
+            Subscriber::Queue { id, .. } | Subscriber::Sink { id, .. } => *id,
+        }
+    }
+}
+
+static SUBSCRIBERS: Mutex<Vec<Subscriber>> = Mutex::new(Vec::new());
+/// Total live subscribers (queues + sinks): the cheap "anyone listening?"
+/// load every publish starts with.
+static TOTAL_SUBS: AtomicUsize = AtomicUsize::new(0);
+/// Live queue subscribers only — gates optional frame production.
+static QUEUE_SUBS: AtomicUsize = AtomicUsize::new(0);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn subscribers() -> std::sync::MutexGuard<'static, Vec<Subscriber>> {
+    SUBSCRIBERS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Cached counter handles (create-on-first-use is lock-bearing).
+fn bus_published() -> &'static crate::Counter {
+    static C: std::sync::OnceLock<crate::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| crate::global().counter("obs.bus.published"))
+}
+
+fn bus_dropped() -> &'static crate::Counter {
+    static C: std::sync::OnceLock<crate::Counter> = std::sync::OnceLock::new();
+    C.get_or_init(|| crate::global().counter("obs.bus.dropped"))
+}
+
+fn refresh_gauges() {
+    let queues = QUEUE_SUBS.load(Ordering::Relaxed) as u64;
+    crate::global().gauge("obs.bus.subscribers").set(queues);
+}
+
+/// A bounded drop-oldest mailbox of bus messages, detached from the bus
+/// when dropped.
+pub struct Subscription {
+    id: u64,
+    queue: Arc<SubQueue>,
+}
+
+impl Subscription {
+    /// Pops the oldest queued message without waiting.
+    #[must_use]
+    pub fn try_recv(&self) -> Option<BusMessage> {
+        self.queue
+            .q
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop_front()
+    }
+
+    /// Pops the oldest queued message, waiting up to `timeout` for one
+    /// to arrive.
+    #[must_use]
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<BusMessage> {
+        let guard = self
+            .queue
+            .q
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let (mut guard, _) = self
+            .queue
+            .cv
+            .wait_timeout_while(guard, timeout, |q| q.is_empty())
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.pop_front()
+    }
+
+    /// Drains everything currently queued, oldest first.
+    #[must_use]
+    pub fn drain(&self) -> Vec<BusMessage> {
+        self.queue
+            .q
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+            .collect()
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        detach(self.id, true);
+    }
+}
+
+/// Subscribes a bounded drop-oldest queue of `capacity` messages
+/// (clamped to ≥ 1). The subscription detaches itself when dropped.
+#[must_use]
+pub fn subscribe(capacity: usize) -> Subscription {
+    let queue = Arc::new(SubQueue {
+        q: Mutex::new(VecDeque::new()),
+        cv: Condvar::new(),
+        cap: capacity.max(1),
+    });
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    subscribers().push(Subscriber::Queue {
+        id,
+        queue: Arc::clone(&queue),
+    });
+    TOTAL_SUBS.fetch_add(1, Ordering::Relaxed);
+    QUEUE_SUBS.fetch_add(1, Ordering::Relaxed);
+    refresh_gauges();
+    Subscription { id, queue }
+}
+
+/// Installs a synchronous sink called on the publishing thread for every
+/// message (lossless, in publish order). Returns an id for
+/// [`remove_sink`]. Sinks must be fast and must never emit flight events
+/// (the recorder publishes while holding its own lock).
+pub(crate) fn install_sink(f: Box<dyn FnMut(&BusMessage) + Send>) -> u64 {
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    subscribers().push(Subscriber::Sink { id, f });
+    TOTAL_SUBS.fetch_add(1, Ordering::Relaxed);
+    id
+}
+
+/// Removes a sink installed by [`install_sink`] (no-op for unknown ids).
+pub(crate) fn remove_sink(id: u64) {
+    detach(id, false);
+}
+
+fn detach(id: u64, is_queue: bool) {
+    let mut subs = subscribers();
+    let before = subs.len();
+    subs.retain(|s| s.id() != id);
+    if subs.len() < before {
+        TOTAL_SUBS.fetch_sub(1, Ordering::Relaxed);
+        if is_queue {
+            QUEUE_SUBS.fetch_sub(1, Ordering::Relaxed);
+            refresh_gauges();
+        }
+    }
+}
+
+/// Whether any subscriber (queue or sink) is attached.
+#[must_use]
+pub fn has_subscribers() -> bool {
+    TOTAL_SUBS.load(Ordering::Relaxed) > 0
+}
+
+/// The number of attached queue subscribers (TCP clients, tests) — the
+/// gate for optional frame production.
+#[must_use]
+pub fn queue_subscribers() -> usize {
+    QUEUE_SUBS.load(Ordering::Relaxed)
+}
+
+/// Publishes a flight event to every subscriber. Called by the flight
+/// recorder under its sink lock, so sinks observe events in sequence
+/// order.
+pub fn publish_event(ev: &FlightEvent) {
+    if !has_subscribers() {
+        return;
+    }
+    publish(&BusMessage::Event(ev.clone()));
+}
+
+/// Publishes a progress frame to every subscriber.
+pub fn publish_frame(frame: Frame) {
+    if !has_subscribers() {
+        return;
+    }
+    publish(&BusMessage::Frame(frame));
+}
+
+fn publish(msg: &BusMessage) {
+    let mut dropped = 0u64;
+    {
+        let mut subs = subscribers();
+        for sub in subs.iter_mut() {
+            match sub {
+                Subscriber::Sink { f, .. } => f(msg),
+                Subscriber::Queue { queue, .. } => {
+                    let mut q = queue
+                        .q
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    while q.len() >= queue.cap {
+                        let _ = q.pop_front();
+                        dropped += 1;
+                    }
+                    q.push_back(msg.clone());
+                    drop(q);
+                    queue.cv.notify_one();
+                }
+            }
+        }
+    }
+    bus_published().inc();
+    if dropped > 0 {
+        bus_dropped().add(dropped);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_event(kind: &'static str) {
+        crate::flight::event(kind).emit();
+    }
+
+    #[test]
+    fn queue_subscriber_receives_published_events() {
+        let _g = crate::test_ring_lock();
+        crate::set_recording(true);
+        crate::flight::set_flight_recording(true);
+        let sub = subscribe(16);
+        test_event("bus_test_a");
+        test_event("bus_test_b");
+        let got = sub.drain();
+        let kinds: Vec<String> = got
+            .iter()
+            .filter_map(|m| match m {
+                BusMessage::Event(e) => Some(e.kind.clone()),
+                BusMessage::Frame(_) => None,
+            })
+            .collect();
+        #[cfg(feature = "enabled")]
+        assert_eq!(kinds, vec!["bus_test_a", "bus_test_b"]);
+        #[cfg(not(feature = "enabled"))]
+        assert!(kinds.is_empty());
+    }
+
+    #[test]
+    fn full_queue_drops_oldest_and_counts() {
+        let _g = crate::test_ring_lock();
+        crate::set_recording(true);
+        crate::flight::set_flight_recording(true);
+        let sub = subscribe(2);
+        let before = crate::global().counter("obs.bus.dropped").get();
+        for _ in 0..5 {
+            test_event("bus_overflow");
+        }
+        let got = sub.drain();
+        #[cfg(feature = "enabled")]
+        {
+            // Capacity 2, five published: the three oldest were evicted.
+            assert_eq!(got.len(), 2);
+            assert_eq!(crate::global().counter("obs.bus.dropped").get(), before + 3);
+            // Drop-oldest: the survivors are the two newest.
+            let seqs: Vec<u64> = got
+                .iter()
+                .filter_map(|m| match m {
+                    BusMessage::Event(e) => Some(e.seq),
+                    BusMessage::Frame(_) => None,
+                })
+                .collect();
+            assert!(seqs[0] < seqs[1]);
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = before;
+            assert!(got.is_empty());
+        }
+    }
+
+    #[test]
+    fn dropping_subscription_detaches() {
+        let _g = crate::test_ring_lock();
+        let before = queue_subscribers();
+        let sub = subscribe(4);
+        assert_eq!(queue_subscribers(), before + 1);
+        drop(sub);
+        assert_eq!(queue_subscribers(), before);
+    }
+
+    #[test]
+    fn sink_sees_messages_in_order_and_removes() {
+        let _g = crate::test_ring_lock();
+        crate::set_recording(true);
+        crate::flight::set_flight_recording(true);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let id = install_sink(Box::new(move |msg| {
+            if let BusMessage::Event(e) = msg {
+                seen2.lock().unwrap().push(e.kind.clone());
+            }
+        }));
+        test_event("bus_sink_a");
+        test_event("bus_sink_b");
+        remove_sink(id);
+        test_event("bus_sink_c");
+        let got = seen.lock().unwrap().clone();
+        #[cfg(feature = "enabled")]
+        assert_eq!(got, vec!["bus_sink_a", "bus_sink_b"]);
+        #[cfg(not(feature = "enabled"))]
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn frames_flow_to_queues_and_serialize() {
+        let _g = crate::test_ring_lock();
+        let sub = subscribe(4);
+        let frame = Frame::collect("heartbeat", "trials", 10, 100, 123.0);
+        publish_frame(frame.clone());
+        let json = serde_json::to_string(&frame).unwrap();
+        let back: Frame = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, frame);
+        match sub.recv_timeout(Duration::from_millis(100)) {
+            Some(BusMessage::Frame(f)) => assert_eq!(f, frame),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+}

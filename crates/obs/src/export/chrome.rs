@@ -98,6 +98,7 @@ mod tests {
             spans: Vec::new(),
             span_events: Vec::new(),
             flight_events: None,
+            build_info: None,
         }
     }
 

@@ -92,10 +92,27 @@ fn sanitize(name: &str) -> String {
     out
 }
 
+/// Escapes a Prometheus label value (backslash, quote, newline).
+fn label_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
 /// Renders the snapshot in the Prometheus text exposition format.
 #[must_use]
 pub fn prometheus(snapshot: &Snapshot) -> String {
     let mut out = String::new();
+    if let Some(b) = &snapshot.build_info {
+        let _ = writeln!(out, "# HELP mmr_build_info {}", help_text("mmr_build_info"));
+        let _ = writeln!(out, "# TYPE mmr_build_info gauge");
+        let _ = writeln!(
+            out,
+            "mmr_build_info{{version=\"{}\",git_rev=\"{}\",host_cores=\"{}\",chunk_width=\"{}\"}} 1",
+            label_escape(&b.version),
+            label_escape(&b.git_rev),
+            b.host_cores,
+            b.chunk_width
+        );
+    }
     for c in &snapshot.counters {
         let name = sanitize(&c.name);
         let _ = writeln!(out, "# HELP {name} {}", help_text(&c.name));
@@ -296,6 +313,7 @@ mod tests {
             }],
             span_events: Vec::new(),
             flight_events: None,
+            build_info: None,
         }
     }
 
@@ -351,6 +369,7 @@ mod tests {
             spans: Vec::new(),
             span_events: Vec::new(),
             flight_events: None,
+            build_info: None,
         };
         let text = prometheus(&snap);
         assert!(text.is_empty());
@@ -399,6 +418,29 @@ mod tests {
         let err = lint("# HELP h\n# TYPE h counter\nh 1\n").unwrap_err();
         assert!(err.contains("HELP without text"), "{err}");
         lint("# HELP h fine\n# TYPE h counter\nh 1\n").unwrap();
+    }
+
+    #[test]
+    fn build_info_renders_as_labeled_gauge_and_lints() {
+        let mut snap = sample();
+        snap.build_info = Some(crate::BuildInfo {
+            version: "0.1.0".into(),
+            git_rev: "abc123\"x".into(),
+            host_cores: 8,
+            chunk_width: 4096,
+        });
+        let text = prometheus(&snap);
+        assert!(text.contains("# HELP mmr_build_info "), "{text}");
+        assert!(text.contains("# TYPE mmr_build_info gauge"), "{text}");
+        assert!(
+            text.contains(
+                "mmr_build_info{version=\"0.1.0\",git_rev=\"abc123\\\"x\",host_cores=\"8\",chunk_width=\"4096\"} 1"
+            ),
+            "{text}"
+        );
+        // The HELP text comes from the METRICS.md table, not the fallback.
+        assert!(!text.contains("mmr_build_info Undocumented"), "{text}");
+        lint(&text).unwrap();
     }
 
     #[cfg(feature = "enabled")]

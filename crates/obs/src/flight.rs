@@ -145,10 +145,11 @@ impl EventBuilder {
         self
     }
 
-    /// Records the event into the ring (and the disk mirror, if one is
-    /// installed). A no-op unless both the master recording switch and
-    /// the flight switch are on; always a no-op in builds without the
-    /// `enabled` feature.
+    /// Records the event into the ring and publishes it on the broadcast
+    /// bus (the single event path the disk mirror and TCP clients
+    /// subscribe to). A no-op unless both the master recording switch
+    /// and the flight switch are on; always a no-op in builds without
+    /// the `enabled` feature.
     pub fn emit(self) {
         if !recording() {
             return;
@@ -169,13 +170,10 @@ impl EventBuilder {
                 value: self.value,
                 detail: self.detail,
             };
-            if let Some(mirror) = &mut sink.mirror {
-                if let Ok(json) = serde_json::to_string(&ev) {
-                    // Best-effort: a mirror that starts failing mid-run
-                    // must not take the run down with it.
-                    let _ = mirror.write_all(frame(&json).as_bytes());
-                }
-            }
+            // Published under the sink lock so every subscriber —
+            // including the lossless disk-mirror sink — observes events
+            // in sequence order.
+            crate::bus::publish_event(&ev);
             sink.ring.push(crate::ring_capacity(), ev)
         };
         if dropped > 0 {
@@ -204,14 +202,15 @@ pub fn recording() -> bool {
 struct FlightSink {
     ring: crate::ring::Ring<FlightEvent>,
     seq: u64,
-    mirror: Option<std::fs::File>,
 }
 
 static SINK: Mutex<FlightSink> = Mutex::new(FlightSink {
     ring: crate::ring::Ring::new(),
     seq: 0,
-    mirror: None,
 });
+
+/// Bus-sink id of the installed disk mirror, if any.
+static MIRROR_SINK: Mutex<Option<u64>> = Mutex::new(None);
 
 fn lock() -> std::sync::MutexGuard<'static, FlightSink> {
     SINK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -244,14 +243,38 @@ pub fn clear() {
 ///
 /// Any error opening `path` for append.
 pub fn mirror_to(path: &Path) -> std::io::Result<()> {
-    let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
-    lock().mirror = Some(file);
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    let mut guard = MIRROR_SINK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(old) = guard.take() {
+        crate::bus::remove_sink(old);
+    }
+    // The mirror is an ordinary bus subscriber: a synchronous sink, so
+    // it stays lossless and sequence-ordered (events are published under
+    // the recorder lock), while remote clients ride bounded queues.
+    let id = crate::bus::install_sink(Box::new(move |msg| {
+        if let crate::bus::BusMessage::Event(ev) = msg {
+            if let Some(line) = frame_line(ev) {
+                // Best-effort: a mirror that starts failing mid-run
+                // must not take the run down with it.
+                let _ = file.write_all(line.as_bytes());
+            }
+        }
+    }));
+    *guard = Some(id);
     Ok(())
 }
 
 /// Stops mirroring (the ring keeps recording).
 pub fn unmirror() {
-    lock().mirror = None;
+    let old = MIRROR_SINK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take();
+    if let Some(id) = old {
+        crate::bus::remove_sink(id);
+    }
 }
 
 /// Frame tag opening every flight-log line.
@@ -263,6 +286,14 @@ const VERSION: u32 = 1;
 fn frame(json: &str) -> String {
     let crc = crc32(format!("{VERSION} {json}").as_bytes());
     format!("{TAG} {VERSION} {crc:08x} {json}\n")
+}
+
+/// Frames one event as its on-disk/on-wire `MMRE` line — what the disk
+/// mirror appends and `GET /events` streams. `None` if serialization
+/// fails (it never does for recorder-built events).
+#[must_use]
+pub(crate) fn frame_line(ev: &FlightEvent) -> Option<String> {
+    serde_json::to_string(ev).ok().map(|json| frame(&json))
 }
 
 /// CRC-32 (zlib polynomial, reflected, init/xorout `0xFFFFFFFF`) — the
@@ -424,6 +455,9 @@ pub struct Dossier {
     pub snapshot: crate::Snapshot,
     /// The last flight events still in the ring, oldest first.
     pub events: Vec<FlightEvent>,
+    /// Build metadata of the producing binary (`Option` so dossiers
+    /// written before it existed still deserialize).
+    pub build: Option<crate::BuildInfo>,
 }
 
 /// Writes a crash dossier (atomically: tmp + rename) into the installed
@@ -454,6 +488,7 @@ pub fn write_dossier(
         fault_delta: delta,
         snapshot: crate::snapshot(),
         events: events(),
+        build: crate::build_info(),
     };
     let json = serde_json::to_string_pretty(&dossier)
         .map_err(|e| std::io::Error::other(format!("dossier serialization failed: {e:?}")))?;
@@ -685,6 +720,66 @@ pub fn diff_logs(a: &[FlightEvent], b: &[FlightEvent]) -> LogDiff {
         incidents_a: a.len() - pa.len(),
         incidents_b: b.len() - pb.len(),
         first_divergences: first,
+    }
+}
+
+/// What [`diff_trajectories`] found comparing two convergence
+/// trajectories (the `wave_decided` sequences two logs or `/status`
+/// captures recorded).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrajectoryDiff {
+    /// Waves in the first trajectory.
+    pub waves_a: usize,
+    /// Waves in the second trajectory.
+    pub waves_b: usize,
+    /// 1-based index of the first wave where the trajectories disagree
+    /// (on trial count, RSE bits, or decision), counting a missing wave
+    /// in the shorter trajectory as a divergence. `None` when identical.
+    pub first_divergence: Option<usize>,
+}
+
+/// Compares the convergence trajectories of two event streams: the
+/// ordered `wave_decided` sequences, keyed by trial count, RSE bits, and
+/// stop decision. This is how a live `/status` capture is checked
+/// against a post-hoc flight log: two bit-identical runs diverge at no
+/// wave.
+#[must_use]
+pub fn diff_trajectories(a: &[FlightEvent], b: &[FlightEvent]) -> TrajectoryDiff {
+    let waves = |evs: &[FlightEvent]| -> Vec<(Option<u64>, Option<u64>, Option<String>)> {
+        evs.iter()
+            .filter(|e| e.kind == "wave_decided")
+            .map(|e| (e.n, e.value.map(f64::to_bits), e.detail.clone()))
+            .collect()
+    };
+    let wa = waves(a);
+    let wb = waves(b);
+    let first_divergence = wa
+        .iter()
+        .zip(&wb)
+        .position(|(x, y)| x != y)
+        .or_else(|| (wa.len() != wb.len()).then(|| wa.len().min(wb.len())))
+        .map(|i| i + 1);
+    TrajectoryDiff {
+        waves_a: wa.len(),
+        waves_b: wb.len(),
+        first_divergence,
+    }
+}
+
+impl TrajectoryDiff {
+    /// Renders the one-line trajectory verdict.
+    #[must_use]
+    pub fn render(&self) -> String {
+        match self.first_divergence {
+            None => format!(
+                "convergence trajectories: identical ({} waves)\n",
+                self.waves_a
+            ),
+            Some(i) => format!(
+                "convergence trajectories: first divergence at wave {i} ({} vs {} waves)\n",
+                self.waves_a, self.waves_b
+            ),
+        }
     }
 }
 

@@ -35,12 +35,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bus;
+pub mod degrade;
 pub mod export;
 pub mod flight;
 pub mod log;
 mod metrics;
 pub mod progress;
 mod ring;
+pub mod serve;
 mod span;
 
 pub use flight::FlightEvent;
@@ -117,6 +120,63 @@ pub fn ring_capacity() -> usize {
         .unwrap_or(DEFAULT_RING_CAP)
 }
 
+/// Build metadata stamped once by the binary and carried on every
+/// [`Snapshot`], Prometheus exposition (`mmr_build_info`), `/status`
+/// response, and crash dossier — so any artifact can be traced back to
+/// the exact build and host shape that produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BuildInfo {
+    /// The binary's crate version (`CARGO_PKG_VERSION`).
+    pub version: String,
+    /// Short git revision of the working tree, or `unknown`.
+    pub git_rev: String,
+    /// Logical cores available to this process at startup.
+    pub host_cores: u64,
+    /// The deterministic chunk width results are tiled in.
+    pub chunk_width: u64,
+}
+
+impl BuildInfo {
+    /// Detects build metadata at startup: `git rev-parse --short HEAD`
+    /// (best-effort) and the host's available parallelism.
+    #[must_use]
+    pub fn detect(version: &str, chunk_width: u64) -> BuildInfo {
+        let git_rev = std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map_or_else(|| "unknown".to_owned(), |s| s.trim().to_owned());
+        BuildInfo {
+            version: version.to_owned(),
+            git_rev,
+            host_cores: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+            chunk_width,
+        }
+    }
+}
+
+/// The stamped build metadata, if any.
+static BUILD_INFO: std::sync::Mutex<Option<BuildInfo>> = std::sync::Mutex::new(None);
+
+/// Stamps the process-wide build metadata (binaries call this once at
+/// startup; later calls replace it).
+pub fn set_build_info(info: BuildInfo) {
+    *BUILD_INFO
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(info);
+}
+
+/// The stamped build metadata, if a binary has provided one.
+#[must_use]
+pub fn build_info() -> Option<BuildInfo> {
+    BUILD_INFO
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+}
+
 /// Monotonic epoch shared by span and flight timestamps: pinned on first
 /// use, so both timelines interleave on one clock.
 pub(crate) fn epoch() -> std::time::Instant {
@@ -157,6 +217,10 @@ pub struct Snapshot {
     /// recorder existed still deserialize; use
     /// [`flight_events`](Snapshot::flight_events) to read it.
     pub flight_events: Option<Vec<FlightEvent>>,
+    /// Build metadata stamped by the binary ([`set_build_info`]);
+    /// `Option` so snapshots serialized before it existed still
+    /// deserialize.
+    pub build_info: Option<BuildInfo>,
 }
 
 impl Snapshot {
@@ -264,6 +328,7 @@ impl Snapshot {
             spans,
             span_events: Vec::new(),
             flight_events: None,
+            build_info: self.build_info.clone(),
         }
     }
 }
@@ -277,6 +342,7 @@ pub fn snapshot() -> Snapshot {
     snap.spans = spans;
     snap.span_events = span_events;
     snap.flight_events = Some(flight::events());
+    snap.build_info = build_info();
     snap
 }
 
@@ -382,6 +448,7 @@ mod tests {
             spans: Vec::new(),
             span_events: Vec::new(),
             flight_events: None,
+            build_info: None,
         };
         let later = Snapshot {
             counters: vec![named_counter("a", 17), named_counter("new", 3)],
@@ -398,6 +465,7 @@ mod tests {
                 tid: 1,
             }],
             flight_events: None,
+            build_info: None,
         };
         let d = later.diff(&earlier);
         assert_eq!(d.counter("a"), Some(7));
@@ -436,6 +504,7 @@ mod tests {
             spans: vec![span(2, 50)],
             span_events: Vec::new(),
             flight_events: None,
+            build_info: None,
         };
         let later = Snapshot {
             counters: Vec::new(),
@@ -444,6 +513,7 @@ mod tests {
             spans: vec![span(5, 90)],
             span_events: Vec::new(),
             flight_events: None,
+            build_info: None,
         };
         let d = later.diff(&earlier);
         let h = d.histogram("h").unwrap();

@@ -1,22 +1,29 @@
-//! Opt-in throttled progress heartbeat on stderr.
+//! Opt-in throttled progress heartbeat on stderr, riding the broadcast
+//! bus.
 //!
 //! The Monte-Carlo runner calls [`tick`] once per completed chunk; when
-//! progress is enabled (`--progress`) and at least [`MIN_INTERVAL_MS`] has
-//! elapsed since the last line, one `progress: …` line with done/total,
-//! percentage, trials/sec, and an ETA is printed. The throttle is a single
-//! relaxed compare-exchange on a timestamp cell, so the disabled path (the
-//! default) costs one atomic load per chunk and prints nothing.
+//! anyone is listening — the stderr heartbeat (`--progress`) or a bus
+//! queue subscriber (a `--serve` client) — and at least
+//! [`MIN_INTERVAL_MS`] has elapsed since the last frame, one
+//! [`Frame`](crate::bus::Frame) with done/total, trials/sec, live RSE,
+//! and cache hit rate is published on [`crate::bus`]. The `--progress`
+//! printer is an ordinary synchronous bus subscriber that renders
+//! heartbeat frames as `progress: …` lines, so the heartbeat and every
+//! remote client share exactly one frame path. The throttle is a single
+//! relaxed compare-exchange on a timestamp cell, so the disabled path
+//! (the default) costs two atomic loads per chunk and prints nothing.
 //!
 //! Progress output is observational only: it never feeds back into the
 //! computation, and it goes to stderr so piped stdout stays clean.
 //!
 //! Sequential-stopping runs additionally publish their live RSE
-//! ([`set_live_rse`], written by the runner's stop predicate) and the
-//! heartbeat appends it — plus the result-cache hit rate when a store
-//! has seen traffic — to each line. Both enrichments ride the existing
-//! ≤2 Hz throttle, so they never add per-chunk cost.
+//! ([`set_live_rse`], written by the runner's stop predicate) and each
+//! frame carries it — plus the result-cache hit rate when a store has
+//! seen traffic. Both enrichments ride the existing ≤2 Hz throttle, so
+//! they never add per-chunk cost.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// `f64::to_bits` of the most recent RSE seen by a stop predicate; 0
@@ -45,22 +52,40 @@ pub fn live_rse() -> Option<f64> {
 
 /// `", rse …"` / `", cache …"` suffix for a heartbeat line: the live RSE
 /// (when a stop predicate has published one) and the result-cache hit
-/// rate (when any cache lookup has resolved). Reads the global registry;
-/// called at most once per throttle interval.
-fn enrichment() -> String {
+/// rate (when any cache lookup has resolved), read from the frame the
+/// bus delivered.
+fn enrichment(frame: &crate::bus::Frame) -> String {
     let mut out = String::new();
-    if let Some(rse) = live_rse() {
+    if let Some(rse) = frame.rse {
         out.push_str(&format!(", rse {rse:.2e}"));
     }
-    let snap = crate::global().snapshot();
-    let hits = snap.counter("mc.cache.hits").unwrap_or(0);
-    let lookups = hits
-        + snap.counter("mc.cache.misses").unwrap_or(0)
-        + snap.counter("mc.cache.extends").unwrap_or(0);
-    if lookups > 0 {
-        out.push_str(&format!(", cache {hits}/{lookups}"));
+    if frame.cache_lookups > 0 {
+        out.push_str(&format!(", cache {}/{}", frame.cache_hits, frame.cache_lookups));
     }
     out
+}
+
+/// Renders one heartbeat frame as the classic `progress: …` stderr line.
+fn render_heartbeat(frame: &crate::bus::Frame) -> String {
+    let pct = if frame.total > 0 {
+        100.0 * frame.done as f64 / frame.total as f64
+    } else {
+        0.0
+    };
+    let eta = if frame.rate > 0.0 && frame.total > frame.done {
+        (frame.total - frame.done) as f64 / frame.rate
+    } else {
+        0.0
+    };
+    format!(
+        "progress: {}/{} {} ({pct:.1}%), {:.0} {}/s, eta {eta:.1}s{}",
+        frame.done,
+        frame.total,
+        frame.label,
+        frame.rate,
+        frame.label,
+        enrichment(frame)
+    )
 }
 
 /// Minimum milliseconds between heartbeat lines.
@@ -75,11 +100,32 @@ fn clock() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-/// Turns the heartbeat on or off (off by default; `--progress` turns it on).
+/// Bus-sink id of the installed stderr printer, if any.
+static PRINTER_SINK: Mutex<Option<u64>> = Mutex::new(None);
+
+/// Turns the heartbeat on or off (off by default; `--progress` turns it
+/// on). Enabling installs the stderr printer as a synchronous bus
+/// subscriber for heartbeat frames; disabling removes it.
 pub fn set_enabled(on: bool) {
     // Pin the epoch before the first tick so elapsed math never underflows.
     let _ = clock();
     ENABLED.store(on, Ordering::Relaxed);
+    let mut guard = PRINTER_SINK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if on && guard.is_none() {
+        *guard = Some(crate::bus::install_sink(Box::new(|msg| {
+            if let crate::bus::BusMessage::Frame(frame) = msg {
+                if frame.kind == "heartbeat" {
+                    eprintln!("{}", render_heartbeat(frame));
+                }
+            }
+        })));
+    } else if !on {
+        if let Some(id) = guard.take() {
+            crate::bus::remove_sink(id);
+        }
+    }
 }
 
 /// Whether the heartbeat is currently enabled.
@@ -89,10 +135,13 @@ pub fn enabled() -> bool {
 }
 
 /// Reports progress of a run: `done` of `total` work units complete,
-/// `started` when the run began. Throttled; most calls return after one
-/// atomic load. `label` names the unit (e.g. `"trials"`).
+/// `started` when the run began. Throttled; most calls return after two
+/// atomic loads. `label` names the unit (e.g. `"trials"`). When anyone
+/// is listening (the stderr heartbeat or a bus queue subscriber), one
+/// heartbeat [`Frame`](crate::bus::Frame) per interval is published on
+/// the bus.
 pub fn tick(label: &str, done: u64, total: u64, started: Instant) {
-    if !enabled() {
+    if !enabled() && crate::bus::queue_subscribers() == 0 {
         return;
     }
     let now_ms = clock().elapsed().as_millis() as u64;
@@ -100,7 +149,7 @@ pub fn tick(label: &str, done: u64, total: u64, started: Instant) {
     if now_ms.saturating_sub(last) < MIN_INTERVAL_MS {
         return;
     }
-    // One printer per interval; losers of the race skip quietly.
+    // One frame per interval; losers of the race skip quietly.
     if LAST_PRINT_MS
         .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
         .is_err()
@@ -113,20 +162,13 @@ pub fn tick(label: &str, done: u64, total: u64, started: Instant) {
     } else {
         0.0
     };
-    let pct = if total > 0 {
-        100.0 * done as f64 / total as f64
-    } else {
-        0.0
-    };
-    let eta = if rate > 0.0 && total > done {
-        (total - done) as f64 / rate
-    } else {
-        0.0
-    };
-    eprintln!(
-        "progress: {done}/{total} {label} ({pct:.1}%), {rate:.0} {label}/s, eta {eta:.1}s{}",
-        enrichment()
-    );
+    crate::bus::publish_frame(crate::bus::Frame::collect(
+        "heartbeat",
+        label,
+        done,
+        total,
+        rate,
+    ));
 }
 
 /// Prints one final un-throttled line for a finished run (only when
@@ -150,30 +192,57 @@ mod tests {
 
     #[test]
     fn disabled_tick_is_silent_and_cheap() {
+        let _g = crate::test_ring_lock();
         // Default-off; tick must be callable without side effects.
+        set_enabled(false);
         assert!(!enabled());
         tick("trials", 10, 100, Instant::now());
         finish("trials", 10, Instant::now());
     }
 
     #[test]
-    fn toggle_roundtrips() {
+    fn toggle_roundtrips_and_installs_printer_sink() {
+        let _g = crate::test_ring_lock();
         set_enabled(true);
         assert!(enabled());
+        assert!(PRINTER_SINK.lock().unwrap().is_some());
         set_enabled(false);
         assert!(!enabled());
+        assert!(PRINTER_SINK.lock().unwrap().is_none());
     }
 
     #[test]
     fn live_rse_roundtrips_and_filters_degenerates() {
+        let _g = crate::test_ring_lock();
         set_live_rse(0.0625);
         assert_eq!(live_rse(), Some(0.0625));
-        assert!(enrichment().contains("rse 6.25e-2"), "{}", enrichment());
+        let frame = crate::bus::Frame::collect("heartbeat", "trials", 1, 2, 1.0);
+        assert!(enrichment(&frame).contains("rse 6.25e-2"), "{}", enrichment(&frame));
         set_live_rse(f64::NAN);
         assert_eq!(live_rse(), None);
         set_live_rse(f64::INFINITY);
         assert_eq!(live_rse(), None);
         set_live_rse(0.0);
         assert_eq!(live_rse(), None);
+    }
+
+    #[test]
+    fn heartbeat_renders_classic_line() {
+        let frame = crate::bus::Frame {
+            t_us: 0,
+            kind: "heartbeat".to_owned(),
+            label: "trials".to_owned(),
+            done: 50,
+            total: 100,
+            rate: 25.0,
+            rse: None,
+            cache_hits: 3,
+            cache_lookups: 4,
+            counters_delta: Vec::new(),
+        };
+        assert_eq!(
+            render_heartbeat(&frame),
+            "progress: 50/100 trials (50.0%), 25 trials/s, eta 2.0s, cache 3/4"
+        );
     }
 }

@@ -45,6 +45,13 @@
 //! convergence trajectory; `--diff` compares two logs) or a crash
 //! dossier; checkpoint journals and cache directories are handled by the
 //! wider `experiments inspect`.
+//!
+//! `--serve ADDR` starts the live telemetry endpoint (`GET /metrics`,
+//! `/events`, `/status` over HTTP/1.0) for the duration of the run.
+//! Serving is strictly out-of-band — clients attaching, detaching, or
+//! stalling never change a seeded result — and an unusable ADDR follows
+//! the same degradation contract as every other artifact flag: warn,
+//! run to completion, exit 2.
 
 use memmodel::MemoryModel;
 use mmreliab::analytic::general::{GeneralWindowLaws, Params};
@@ -73,6 +80,7 @@ struct Args {
     dossier_dir: Option<std::path::PathBuf>,
     diff: Option<std::path::PathBuf>,
     artifact: Option<std::path::PathBuf>,
+    serve: Option<String>,
     progress: bool,
     quiet: bool,
 }
@@ -98,6 +106,7 @@ fn parse_args() -> Result<Args, mmreliab::Error> {
         dossier_dir: None,
         diff: None,
         artifact: None,
+        serve: None,
         progress: false,
         quiet: false,
     };
@@ -162,6 +171,7 @@ fn parse_args() -> Result<Args, mmreliab::Error> {
             "--flight" => args.flight = Some(value()?.into()),
             "--dossier-dir" => args.dossier_dir = Some(value()?.into()),
             "--diff" => args.diff = Some(value()?.into()),
+            "--serve" => args.serve = Some(value()?),
             "--progress" => args.progress = true,
             "--quiet" => args.quiet = true,
             other if !other.starts_with("--")
@@ -181,7 +191,8 @@ fn usage() -> String {
         "usage: mmreliab <table1|survival|windows|trace|opsim|litmus|sweep> \
          [--model sc|tso|pso|wo] [--threads N] [--trials N] [--seed S] [--m M] [--param s|p|q] \
          [--workers W] [--lanes L] [--cache DIR] [--metrics FILE] [--metrics-format json|prom] \
-         [--trace FILE] [--flight FILE] [--dossier-dir DIR] [--progress] [--quiet]\n       \
+         [--trace FILE] [--flight FILE] [--dossier-dir DIR] [--serve ADDR] [--progress] \
+         [--quiet]\n       \
          mmreliab inspect ARTIFACT [--diff OTHER]",
     )
 }
@@ -199,46 +210,59 @@ fn main() {
     }
     // --quiet wins over --progress: quiet means a silent stderr.
     obs::progress::set_enabled(args.progress && !args.quiet);
-    // The content-addressed result store. An unusable directory degrades
-    // to an uncached run; the failure still exits with code 2 after the
-    // results print, mirroring the telemetry-export contract.
-    let mut cache_err: Option<mmreliab::Error> = None;
+    obs::set_build_info(obs::BuildInfo::detect(
+        env!("CARGO_PKG_VERSION"),
+        mmreliab::montecarlo::CHUNK_WIDTH,
+    ));
+    obs::serve::set_status_ext(Box::new(|| {
+        let fields = mmreliab::montecarlo::fault::ledger().snapshot().named_fields();
+        let faults = fields
+            .iter()
+            .map(|&(name, count)| {
+                (
+                    name.to_string(),
+                    serde_json::Value::Number(serde_json::Number::U(count)),
+                )
+            })
+            .collect();
+        vec![("faults".to_string(), serde_json::Value::Object(faults))]
+    }));
+    // Every optional artifact — cache, flight mirror, dossiers, telemetry
+    // server — shares one degradation contract: an unusable path or
+    // address warns, the run completes with results intact, and the
+    // process exits 2. The ledger tracks what degraded.
+    let mut artifacts = obs::degrade::Artifacts::new();
     if let Some(dir) = &args.cache {
-        match store::Store::open(dir) {
-            Ok(s) => {
-                obs::info!("result cache at {}", dir.display());
-                store::install(std::sync::Arc::new(s));
-            }
-            Err(e) => {
-                eprintln!("warning: result cache disabled: {e}");
-                cache_err = Some(mmreliab::Error::Cache {
-                    path: dir.clone(),
-                    detail: e.to_string(),
-                });
-            }
+        if let Some(s) = artifacts.install("result cache", store::Store::open(dir)) {
+            obs::info!("result cache at {}", dir.display());
+            store::install(std::sync::Arc::new(s));
         }
     }
-    // The flight recorder's durable outputs. An unusable path degrades to
-    // the in-memory ring only; the failure still exits with code 2 after
-    // the results print, mirroring the telemetry-export contract.
-    let mut flight_err = false;
     if let Some(path) = &args.flight {
-        match obs::flight::mirror_to(path) {
-            Ok(()) => obs::info!("flight events mirrored to {}", path.display()),
-            Err(e) => {
-                eprintln!("warning: flight event log disabled: {} ({e})", path.display());
-                flight_err = true;
-            }
+        if artifacts
+            .install("flight event log", obs::flight::mirror_to(path))
+            .is_some()
+        {
+            obs::info!("flight events mirrored to {}", path.display());
         }
     }
     if let Some(dir) = &args.dossier_dir {
-        match obs::flight::set_dossier_dir(dir) {
-            Ok(()) => obs::info!("crash dossiers will be written to {}", dir.display()),
-            Err(e) => {
-                eprintln!("warning: crash dossiers disabled: {} ({e})", dir.display());
-                flight_err = true;
-            }
+        if artifacts
+            .install("crash dossiers", obs::flight::set_dossier_dir(dir))
+            .is_some()
+        {
+            obs::info!("crash dossiers will be written to {}", dir.display());
         }
+    }
+    // Held for the run's duration; dropping it stops the accept loop.
+    let server = args
+        .serve
+        .as_deref()
+        .and_then(|addr| artifacts.install("telemetry server", obs::serve::serve(addr)));
+    if let Some(server) = &server {
+        // Unconditional (not obs::info!): scripts binding port 0 discover
+        // the chosen port from this line.
+        eprintln!("serving telemetry on {}", server.addr());
     }
     let result = match args.command.as_str() {
         "table1" => {
@@ -280,18 +304,10 @@ fn main() {
         std::process::exit(1);
     }
     // Telemetry exports run last, so a bad export path never disturbs the
-    // results above; their failures are typed and exit with code 2.
-    if let Err(e) = emit_exports(&args) {
-        eprintln!("error: {e}");
-        std::process::exit(2);
-    }
-    if let Some(e) = cache_err {
-        eprintln!("error: {e}");
-        std::process::exit(2);
-    }
-    if flight_err {
-        std::process::exit(2);
-    }
+    // results above; their failures join the shared degradation ledger.
+    artifacts.install("telemetry exports", emit_exports(&args));
+    drop(server);
+    std::process::exit(i32::from(artifacts.exit_code(0)));
 }
 
 /// The `inspect` command: renders a flight event log (with an optional
@@ -372,6 +388,10 @@ fn cmd_inspect(args: &Args) {
             print!(
                 "{}",
                 obs::flight::diff_logs(&parsed.events, &other_parsed.events).render()
+            );
+            print!(
+                "{}",
+                obs::flight::diff_trajectories(&parsed.events, &other_parsed.events).render()
             );
         }
         return;

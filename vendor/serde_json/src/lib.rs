@@ -8,10 +8,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Number, Serialize};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
-pub use serde::Value;
+pub use serde::{Number, Value};
 
 /// Error produced by serialization or deserialization.
 #[derive(Debug, Clone, PartialEq, Eq)]
